@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark suite.
+
+Every table and figure of the paper's evaluation has one module here; running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates all of them and prints the measured series/tables.  The
+experiment scale is selected with the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny`` / ``small`` / ``default``; the default is ``small`` so
+the whole suite finishes in a few minutes on a laptop CPU).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale  # noqa: E402
+
+_SCALES = {"tiny": TINY, "small": SMALL, "default": DEFAULT}
+
+
+def selected_scale() -> ExperimentScale:
+    """Scale chosen through the REPRO_BENCH_SCALE environment variable."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").strip().lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale used by every benchmark in this session."""
+    return selected_scale()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The figures take seconds-to-minutes per run, so the usual repeated
+    timing makes no sense; ``pedantic`` with one round records the wall time
+    while executing the experiment a single time and returning its result.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

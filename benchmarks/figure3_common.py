@@ -1,0 +1,59 @@
+"""Shared logic for the three Figure 3 benchmarks (one per model).
+
+Figure 3 compares BSP, ASP, DSSP (s_L=3, r=12) and SSP (s = 3..15) on the
+homogeneous 4-worker cluster for three models.  Each benchmark regenerates
+the accuracy-versus-time curves, prints them, and asserts the qualitative
+shape that is robust at the reproduction's scale:
+
+* ASP never waits; BSP accumulates the most synchronization waiting time;
+  DSSP waits no more than SSP at its lower threshold s_L = 3.
+* ASP's iteration throughput (updates per virtual second) is at least BSP's.
+* DSSP reaches the mid-range target accuracy no later than the average SSP
+  curve does (the paper's "DSSP converges a bit faster than averaged SSP").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult, figure3
+from repro.experiments.report import format_comparison_summary, format_figure_result
+from repro.metrics.convergence import time_to_accuracy
+
+
+def run_figure3(model: str, scale, ssp_thresholds=None) -> FigureResult:
+    """Regenerate one Figure 3 row at the requested scale."""
+    return figure3(model=model, scale=scale, ssp_thresholds=ssp_thresholds)
+
+
+def report_and_check(figure: FigureResult) -> None:
+    """Print the regenerated figure and assert its robust qualitative shape."""
+    comparison = figure.comparison
+    print()
+    print(format_figure_result(figure, max_points=6))
+    print()
+    best = max(comparison.best_accuracies().values())
+    print(format_comparison_summary(comparison, targets=[0.5 * best, 0.8 * best]))
+
+    wait_times = comparison.wait_times()
+    throughputs = comparison.throughputs()
+
+    # Synchronization cost ordering: ASP == 0 <= DSSP <= ... and BSP largest.
+    assert wait_times["ASP"] == 0.0
+    assert wait_times["BSP"] >= wait_times["SSP s=3"] - 1e-9
+    assert wait_times["BSP"] >= wait_times["DSSP s=3, r=12"] - 1e-9
+    assert wait_times["DSSP s=3, r=12"] <= wait_times["SSP s=3"] + 1e-9
+
+    # Iteration throughput: the asynchronous end of the spectrum is at least
+    # as fast as the fully synchronous end.
+    assert throughputs["ASP"] >= throughputs["BSP"] - 1e-9
+    assert throughputs["DSSP s=3, r=12"] >= throughputs["BSP"] - 1e-9
+
+    # Convergence: DSSP reaches the mid-range target no later than the
+    # average SSP curve (allowing one evaluation interval of slack).
+    target = 0.8 * best
+    average_ssp = figure.series_by_label("Average SSP")
+    dssp = comparison.result("DSSP s=3, r=12")
+    ssp_time = time_to_accuracy(average_ssp.x, average_ssp.y, target)
+    dssp_time = dssp.time_to_accuracy(target)
+    if ssp_time is not None and dssp_time is not None:
+        eval_interval = float(dssp.times[-1]) / max(len(dssp.times) - 1, 1)
+        assert dssp_time <= ssp_time + 2 * eval_interval

@@ -1,0 +1,33 @@
+"""Ablation — sensitivity of DSSP to the threshold range [s_L, s_U].
+
+The range is the one hyper-parameter DSSP still exposes; the paper argues it
+is much easier to set than SSP's single threshold because the controller
+adapts within it.  This benchmark sweeps several ranges on the heterogeneous
+cluster and reports accuracy, total time, waiting time and mean staleness,
+checking that wider ranges never increase the fast worker's waiting time.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import dssp_range_ablation
+
+RANGES = [(3, 3), (3, 6), (3, 9), (3, 15), (0, 15), (6, 15)]
+
+
+def test_dssp_range_ablation(benchmark, scale):
+    entries = run_once(benchmark, dssp_range_ablation, ranges=RANGES, scale=scale)
+    print()
+    print(f"{'range':<10} {'best acc':>9} {'total t':>9} {'wait t':>9} {'mean stale':>11}")
+    for entry in entries:
+        print(
+            f"[{entry.s_lower:>2},{entry.s_upper:>3}] {entry.best_accuracy:9.3f} "
+            f"{entry.total_time:9.1f} {entry.total_wait_time:9.1f} {entry.mean_staleness:11.2f}"
+        )
+
+    by_range = {(entry.s_lower, entry.s_upper): entry for entry in entries}
+    # Widening the range from the degenerate SSP-like setting can only
+    # reduce (or keep) the waiting time: the controller gains room to defer
+    # synchronization to cheaper moments.
+    assert by_range[(3, 15)].total_wait_time <= by_range[(3, 3)].total_wait_time + 1e-9
+    assert by_range[(3, 9)].total_wait_time <= by_range[(3, 3)].total_wait_time + 1e-9
+    # And the total training time does not increase with a wider range.
+    assert by_range[(3, 15)].total_time <= by_range[(3, 3)].total_time + 1e-9

@@ -1,0 +1,63 @@
+"""Figure 2 — the synchronization controller's waiting-time prediction.
+
+Regenerates the predicted-waiting-time curve of the fastest worker for every
+candidate number of extra iterations ``r`` and checks the paper's caption
+example (``r* = 3`` for a 2.6x slower peer with ``r in [0, 4]``); also
+micro-benchmarks the controller's decision latency, which the paper argues
+must be lightweight because it runs on the server's critical path.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.clocks import ClockTable
+from repro.core.controller import SynchronizationController
+from repro.experiments.figures import figure2_waiting_time_prediction
+from repro.experiments.report import format_figure_result
+
+
+def test_figure2_waiting_time_curve(benchmark):
+    figure = run_once(
+        benchmark,
+        figure2_waiting_time_prediction,
+        fast_interval=1.0,
+        slow_interval=2.6,
+        r_max=8,
+    )
+    print()
+    print(format_figure_result(figure, max_points=9))
+    waits = figure.series_by_label("predicted_wait").y
+    # The optimum is never worse than stopping immediately (r = 0), and with
+    # the caption's r_max = 4 the optimum is exactly r* = 3.
+    assert waits[figure.metadata["r_star"]] <= waits[0]
+    caption = figure2_waiting_time_prediction(fast_interval=1.0, slow_interval=2.6, r_max=4)
+    assert caption.metadata["r_star"] == 3
+
+
+def test_controller_decision_latency(benchmark):
+    """The controller must be cheap: one decision is a few array operations."""
+    table = ClockTable()
+    table.register_worker("fast")
+    table.register_worker("slow")
+    table.record_push("fast", 0.0)
+    table.record_push("slow", 0.0)
+    table.record_push("fast", 1.0)
+    table.record_push("slow", 2.6)
+    table.record_push("fast", 2.0)
+    controller = SynchronizationController(max_extra_iterations=12)
+
+    decision = benchmark(controller.decide, table, "fast")
+    assert decision.extra_iterations >= 0
+    assert decision.extra_iterations <= 12
+
+
+def test_controller_prediction_scaling(benchmark):
+    """Prediction cost stays trivial even for very wide threshold ranges."""
+    controller = SynchronizationController(max_extra_iterations=256)
+
+    def predict():
+        return controller.predicted_waits(0.0, 0.7, 0.0, 2.3)
+
+    waits = benchmark(predict)
+    assert waits.shape == (257,)
+    assert np.all(waits >= 0)

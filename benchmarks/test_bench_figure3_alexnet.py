@@ -1,0 +1,19 @@
+"""Figures 3a/3b — downsized AlexNet on (synthetic) CIFAR-10, homogeneous cluster.
+
+The paper's headline observation for this FC-bearing model: DSSP, SSP and
+ASP converge much faster than BSP in wall-clock time because the iteration
+is communication-heavy and BSP's barrier makes every round as slow as the
+slowest worker; DSSP tracks or slightly beats the averaged SSP curve.
+"""
+
+from benchmarks.conftest import run_once
+from benchmarks.figure3_common import report_and_check, run_figure3
+
+
+def test_figure3_alexnet(benchmark, scale):
+    figure = run_once(benchmark, run_figure3, "alexnet", scale)
+    report_and_check(figure)
+    # AlexNet is the communication-heavy workload: one iteration moves a
+    # large FC-dominated payload relative to its computation, which is why
+    # BSP pays the largest synchronization penalty here.
+    assert figure.metadata["has_fully_connected_hidden"] is True

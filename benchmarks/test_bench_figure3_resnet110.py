@@ -1,0 +1,16 @@
+"""Figures 3e/3f — ResNet-110 on (synthetic) CIFAR-100, homogeneous cluster.
+
+The deepest model in the paper's evaluation.  Same qualitative expectations
+as ResNet-50 (compute-bound iterations, small BSP penalty, DSSP tracking the
+averaged SSP curve), with the learning-rate decay schedule the paper uses
+(x0.1 at 200/300 and 250/300 of the epoch budget).
+"""
+
+from benchmarks.conftest import run_once
+from benchmarks.figure3_common import report_and_check, run_figure3
+
+
+def test_figure3_resnet110(benchmark, scale):
+    figure = run_once(benchmark, run_figure3, "resnet110", scale)
+    report_and_check(figure)
+    assert figure.metadata["has_fully_connected_hidden"] is False

@@ -1,0 +1,15 @@
+"""Figures 3c/3d — ResNet-50 on (synthetic) CIFAR-100, homogeneous cluster.
+
+Pure-CNN workload: computation dominates communication, so the gap between
+BSP and the asynchronous-like paradigms shrinks compared with AlexNet, while
+DSSP still tracks the averaged SSP curve.
+"""
+
+from benchmarks.conftest import run_once
+from benchmarks.figure3_common import report_and_check, run_figure3
+
+
+def test_figure3_resnet50(benchmark, scale):
+    figure = run_once(benchmark, run_figure3, "resnet50", scale)
+    report_and_check(figure)
+    assert figure.metadata["has_fully_connected_hidden"] is False

@@ -1,0 +1,56 @@
+"""Figure 4 — ResNet-110 on the heterogeneous (GTX 1060 + GTX 1080 Ti) cluster.
+
+The paper's strongest result: with workers of very different speeds, DSSP
+converges much earlier than SSP and BSP and tracks ASP's speed.  The
+benchmark regenerates the accuracy-versus-time curves on the simulated
+two-GPU cluster and asserts the robust orderings:
+
+* total training time: DSSP <= SSP (every threshold) <= / ~ BSP;
+* the fast worker never waits under ASP, and waits less under DSSP than
+  under SSP s=3;
+* time to the mid-range accuracy target: DSSP is no slower than the slowest
+  SSP variant and no slower than BSP.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure4_heterogeneous
+from repro.experiments.report import format_comparison_summary, format_figure_result
+
+
+def test_figure4_heterogeneous(benchmark, scale):
+    figure = run_once(benchmark, figure4_heterogeneous, scale=scale)
+    comparison = figure.comparison
+    print()
+    print(format_figure_result(figure, max_points=6))
+    best = max(comparison.best_accuracies().values())
+    targets = [0.6 * best, 0.85 * best]
+    print()
+    print(format_comparison_summary(comparison, targets=targets))
+
+    times = comparison.final_times()
+    waits = comparison.wait_times()
+    dssp_label = "DSSP s=3, r=12"
+
+    # DSSP finishes the epoch budget no later than any fixed-threshold SSP
+    # and no later than BSP (it wastes the least time waiting).
+    for label in times:
+        if label.startswith("SSP") or label == "BSP":
+            assert times[dssp_label] <= times[label] + 1e-9
+
+    # Waiting-time ordering on the skewed cluster.
+    assert waits["ASP"] == 0.0
+    assert waits[dssp_label] <= waits["SSP s=3"] + 1e-9
+    assert waits["BSP"] >= waits[dssp_label] - 1e-9
+
+    # Time-to-accuracy (Table-I style): DSSP reaches the lower target no
+    # later than BSP and no later than the slowest SSP variant.
+    lower_target = targets[0]
+    reach = comparison.times_to_accuracy(lower_target)
+    dssp_reach = reach[dssp_label]
+    assert dssp_reach is not None
+    ssp_reaches = [value for label, value in reach.items() if label.startswith("SSP")]
+    worst_ssp = max((value for value in ssp_reaches if value is not None), default=None)
+    if worst_ssp is not None:
+        assert dssp_reach <= worst_ssp + 1e-9
+    if reach["BSP"] is not None:
+        assert dssp_reach <= reach["BSP"] + 1e-9

@@ -1,0 +1,35 @@
+"""Extension ablation — unstable environment (the paper's stated future work).
+
+The paper's conclusion: "For the further work, we will investigate how DSSP
+can adapt to an unstable environment where network connections are
+fluctuating between the servers."  This benchmark implements that scenario:
+one worker of the homogeneous cluster transiently runs 3x slower during the
+middle third of the run.  Paradigms that adapt (ASP by construction, DSSP by
+re-predicting the threshold each time) should lose less time than BSP and
+fixed-threshold SSP.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import fluctuating_environment_ablation
+
+
+def test_fluctuating_environment(benchmark, scale):
+    entries = run_once(
+        benchmark, fluctuating_environment_ablation, scale=scale, degradation_factor=3.0
+    )
+    print()
+    print(f"{'paradigm':<18} {'best acc':>9} {'total t':>9} {'wait t':>9} {'t@half-best':>12}")
+    for entry in entries:
+        reach = f"{entry.time_to_half_best:12.2f}" if entry.time_to_half_best else f"{'−':>12}"
+        print(
+            f"{entry.paradigm_label:<18} {entry.best_accuracy:9.3f} {entry.total_time:9.2f} "
+            f"{entry.total_wait_time:9.2f} {reach}"
+        )
+
+    by_label = {entry.paradigm_label: entry for entry in entries}
+    dssp = by_label["DSSP s=3, r=12"]
+    # The adaptive paradigms never lose more total time than BSP, and DSSP
+    # waits no more than fixed-threshold SSP while the straggler persists.
+    assert dssp.total_time <= by_label["BSP"].total_time + 1e-9
+    assert dssp.total_wait_time <= by_label["SSP s=3"].total_wait_time + 1e-9
+    assert by_label["ASP"].total_wait_time == 0.0

@@ -1,0 +1,61 @@
+"""Theorems 1 and 2 — empirical regret under SSP and DSSP on a convex problem.
+
+The paper proves that SGD under DSSP keeps the O(sqrt(T)) regret bound of
+SSP (with the threshold replaced by the upper end of the range).  This
+benchmark trains a convex softmax-regression model under both paradigms,
+measures the cumulative regret and checks that it is sub-linear and below
+the theoretical bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.regret import dssp_regret_bound, ssp_regret_bound
+from repro.experiments.ablations import regret_experiment
+
+
+def test_regret_dssp(benchmark):
+    result = run_once(
+        benchmark, regret_experiment, paradigm="dssp", num_workers=4, num_train=512, steps=150
+    )
+    final = float(result.cumulative_regret[-1])
+    print()
+    print(
+        f"DSSP empirical regret R[T]={final:.1f}  bound={result.theoretical_bound:.1f}  "
+        f"sublinear={result.sublinear}"
+    )
+    assert result.within_bound
+    assert result.sublinear
+
+
+def test_regret_ssp(benchmark):
+    result = run_once(
+        benchmark,
+        regret_experiment,
+        paradigm="ssp",
+        paradigm_kwargs={"staleness": 3},
+        num_workers=4,
+        num_train=512,
+        steps=150,
+    )
+    final = float(result.cumulative_regret[-1])
+    print()
+    print(
+        f"SSP  empirical regret R[T]={final:.1f}  bound={result.theoretical_bound:.1f}  "
+        f"sublinear={result.sublinear}"
+    )
+    assert result.within_bound
+
+
+def test_bound_relationship():
+    """Theorem 2's bound equals Theorem 1's bound evaluated at s_L + r."""
+    iterations, workers = 10_000, 4
+    assert dssp_regret_bound(iterations, 3, 12, workers) == ssp_regret_bound(
+        iterations, 15, workers
+    )
+    # And the average-regret bound vanishes as T grows (O(sqrt(T)) / T -> 0).
+    rates = [
+        ssp_regret_bound(t, 3, workers) / t for t in (100, 10_000, 1_000_000)
+    ]
+    assert rates[0] > rates[1] > rates[2]
+    assert np.isclose(rates[2], 0.0, atol=0.5)

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the server-side machinery.
+
+The paper's DSSP adds work to the parameter server (clock bookkeeping and
+the synchronization controller); these benchmarks quantify that overhead per
+push for every paradigm and the cost of a full push (policy decision plus
+SGD weight update) on a realistically sized parameter set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.factory import make_policy
+from repro.optim.sgd import SGD
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.messages import PushRequest
+from repro.ps.server import ParameterServer
+
+PARADIGMS = [
+    ("bsp", {}),
+    ("asp", {}),
+    ("ssp", {"staleness": 3}),
+    ("dssp", {"s_lower": 3, "s_upper": 15}),
+]
+
+
+def _drive_policy(policy, num_workers: int, rounds: int) -> None:
+    time = 0.0
+    blocked = set()
+    for round_index in range(rounds):
+        for index in range(num_workers):
+            worker_id = f"w{index}"
+            if worker_id in blocked:
+                continue
+            time += 0.001 * (index + 1)
+            outcome = policy.on_push(worker_id, time)
+            if outcome.blocked:
+                blocked.add(worker_id)
+            for released in policy.pop_releasable():
+                blocked.discard(released)
+
+
+@pytest.mark.parametrize("name,kwargs", PARADIGMS, ids=[p[0] for p in PARADIGMS])
+def test_policy_decision_overhead(benchmark, name, kwargs):
+    """Time to process 400 push decisions (4 workers x 100 rounds)."""
+
+    def run():
+        policy = make_policy(name, **kwargs)
+        for index in range(4):
+            policy.register_worker(f"w{index}")
+        _drive_policy(policy, num_workers=4, rounds=100)
+        return policy
+
+    policy = benchmark(run)
+    assert policy.statistics()["pushes"] > 0
+
+
+def test_full_push_with_sgd_update(benchmark):
+    """One push against a ~1.7M-parameter store (ResNet-110 sized payload)."""
+    rng = np.random.default_rng(0)
+    weights = {f"layer{i}.weight": rng.normal(size=(400, 430)) for i in range(10)}
+    store = KeyValueStore(initial_weights=weights)
+    server = ParameterServer(
+        store=store,
+        optimizer=SGD(learning_rate=0.05, momentum=0.9),
+        policy=make_policy("dssp", s_lower=3, s_upper=15),
+    )
+    server.register_worker("w0")
+    gradients = {name: rng.normal(size=value.shape) for name, value in weights.items()}
+
+    state = {"version": 0, "time": 0.0}
+
+    def push():
+        state["time"] += 0.01
+        response = server.handle_push(
+            PushRequest(
+                worker_id="w0",
+                gradients=gradients,
+                base_version=server.store.version,
+                timestamp=state["time"],
+            )
+        )
+        return response
+
+    response = benchmark(push)
+    assert response.new_version >= 1

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the NumPy training substrate.
+
+Not a paper experiment, but the throughput numbers here explain the scale
+choices of the reproduction (how many iterations per second the substrate
+can deliver for each model family) and guard against performance regressions
+in the im2col convolution path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import downsized_alexnet, resnet20
+from repro.nn.losses import SoftmaxCrossEntropy
+
+
+def _step(model, inputs, labels):
+    loss = SoftmaxCrossEntropy()
+    model.zero_grad()
+    logits = model.forward(inputs)
+    value = loss.forward(logits, labels)
+    model.backward(loss.backward())
+    return value
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(16, 3, 16, 16)), rng.integers(0, 10, size=16)
+
+
+def test_alexnet_forward_backward(benchmark, batch):
+    inputs, labels = batch
+    model = downsized_alexnet(
+        num_classes=10, image_size=16, width=8, fc_width=64, dropout=0.0,
+        rng=np.random.default_rng(1),
+    )
+    value = benchmark(_step, model, inputs, labels)
+    assert np.isfinite(value)
+
+
+def test_resnet20_forward_backward(benchmark, batch):
+    inputs, labels = batch
+    model = resnet20(num_classes=10, base_width=8, rng=np.random.default_rng(1))
+    value = benchmark(_step, model, inputs, labels)
+    assert np.isfinite(value)
+
+
+def test_gradient_serialization_roundtrip(benchmark):
+    """Cost of copying a model's gradients into a push payload."""
+    model = resnet20(num_classes=10, base_width=8, rng=np.random.default_rng(1))
+    inputs = np.random.default_rng(2).normal(size=(8, 3, 16, 16))
+    labels = np.random.default_rng(3).integers(0, 10, size=8)
+    _step(model, inputs, labels)
+
+    gradients = benchmark(model.gradients)
+    assert len(gradients) == len(dict(model.named_parameters()))

@@ -1,0 +1,92 @@
+"""Demonstrate the DSSP synchronization controller (paper Figure 2 / Algorithm 2).
+
+Shows, for a fast worker and a slow worker with different iteration
+intervals, the predicted waiting time of the fast worker for every candidate
+number of extra iterations r, and the r* the controller picks.  Also replays
+the controller inside a live DSSP policy fed with a skewed push schedule so
+you can see the per-worker thresholds adapt over time.
+
+Run with:
+
+    python examples/controller_prediction.py
+    python examples/controller_prediction.py --fast-interval 1.0 --slow-interval 3.3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import DynamicStaleSynchronousParallel
+from repro.experiments.figures import figure2_waiting_time_prediction
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    filled = int(round(width * value / maximum)) if maximum > 0 else 0
+    return "#" * filled
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast-interval", type=float, default=1.0)
+    parser.add_argument("--slow-interval", type=float, default=2.6)
+    parser.add_argument("--r-max", type=int, default=8)
+    arguments = parser.parse_args()
+
+    figure = figure2_waiting_time_prediction(
+        fast_interval=arguments.fast_interval,
+        slow_interval=arguments.slow_interval,
+        r_max=arguments.r_max,
+    )
+    waits = figure.series_by_label("predicted_wait")
+    r_star = figure.metadata["r_star"]
+
+    print("Predicted waiting time of the fastest worker per extra-iteration budget r")
+    print(f"(fast interval {arguments.fast_interval}s, slow interval {arguments.slow_interval}s)")
+    maximum = float(max(waits.y))
+    for r, wait in zip(waits.x, waits.y):
+        marker = "  <-- r*" if int(r) == r_star else ""
+        print(f"  r={int(r):>2}  wait={wait:7.3f}s  {ascii_bar(wait, maximum)}{marker}")
+    print()
+    print(
+        f"The controller lets the fastest worker run {r_star} extra iterations "
+        f"beyond s_L (equivalent SSP threshold {figure.metadata['equivalent_threshold']})."
+    )
+
+    # Live replay: feed a DSSP policy a schedule where worker 'fast' pushes
+    # ~2.6x more often than worker 'slow' and print each decision.
+    print()
+    print("Live DSSP decisions on a skewed push schedule (s_L=1, s_U=9):")
+    policy = DynamicStaleSynchronousParallel(s_lower=1, s_upper=9)
+    policy.register_worker("fast")
+    policy.register_worker("slow")
+    fast_time, slow_time = 0.0, 0.0
+    blocked = False
+    for step in range(20):
+        slow_due = slow_time + arguments.slow_interval
+        fast_due = fast_time + arguments.fast_interval
+        if blocked or slow_due <= fast_due:
+            slow_time = slow_due
+            policy.on_push("slow", slow_time)
+            released = policy.pop_releasable()
+            if "fast" in released:
+                blocked = False
+                print(f"  t={slow_time:6.2f}  slow push  -> releases the fast worker")
+            else:
+                print(f"  t={slow_time:6.2f}  slow push")
+        else:
+            fast_time = fast_due
+            outcome = policy.on_push("fast", fast_time)
+            if outcome.blocked:
+                blocked = True
+                print(f"  t={fast_time:6.2f}  fast push  -> BLOCKED (controller said wait now)")
+            elif outcome.controller_extra_iterations is not None:
+                print(
+                    f"  t={fast_time:6.2f}  fast push  -> granted {outcome.controller_extra_iterations} "
+                    "extra iterations"
+                )
+            else:
+                print(f"  t={fast_time:6.2f}  fast push  -> OK")
+
+
+if __name__ == "__main__":
+    main()

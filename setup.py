@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment provides setuptools but not the ``wheel`` package,
+so the project uses the classic setup.py/setup.cfg layout: ``pip install
+-e .`` then takes the legacy ``setup.py develop`` path, which needs no wheel
+building.  All metadata lives in setup.cfg.
+"""
+
+from setuptools import setup
+
+setup()

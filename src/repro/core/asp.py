@@ -1,0 +1,29 @@
+"""Asynchronous Parallel (ASP)."""
+
+from __future__ import annotations
+
+from repro.core.policy import PushOutcome, SynchronizationPolicy
+
+__all__ = ["AsynchronousParallel"]
+
+
+class AsynchronousParallel(SynchronizationPolicy):
+    """No synchronization at all (paper Section I-A2).
+
+    Every push is released immediately, so workers never wait — the price is
+    unbounded staleness: the global weights may receive arbitrarily old
+    gradients, which slows or even prevents convergence.
+    """
+
+    name = "asp"
+
+    def _decide(
+        self, worker_id: str, clock: int, staleness: int, timestamp: float
+    ) -> PushOutcome:
+        del timestamp
+        return PushOutcome(worker_id=worker_id, clock=clock, release=True, staleness=staleness)
+
+    def effective_threshold(self) -> int:
+        # Release checks never apply because ASP never blocks; the bound is
+        # conceptually infinite.
+        return 2**31 - 1

@@ -1,0 +1,31 @@
+"""Bulk Synchronous Parallel (BSP)."""
+
+from __future__ import annotations
+
+from repro.core.policy import PushOutcome, SynchronizationPolicy
+
+__all__ = ["BulkSynchronousParallel"]
+
+
+class BulkSynchronousParallel(SynchronizationPolicy):
+    """Full barrier at every iteration (paper Section I-A1).
+
+    A worker that has pushed its ``t``-th update may start iteration ``t+1``
+    only once every worker has pushed its ``t``-th update, i.e. the staleness
+    bound is zero.  BSP keeps the global weights consistent across workers
+    but makes every iteration as slow as the slowest worker.
+    """
+
+    name = "bsp"
+
+    def _decide(
+        self, worker_id: str, clock: int, staleness: int, timestamp: float
+    ) -> PushOutcome:
+        del timestamp
+        release = self.clock_table.slowest_clock() >= clock
+        return PushOutcome(
+            worker_id=worker_id, clock=clock, release=release, staleness=staleness
+        )
+
+    def effective_threshold(self) -> int:
+        return 0

@@ -1,0 +1,59 @@
+"""Factory for constructing synchronization policies from plain configuration.
+
+Experiment configurations refer to paradigms by name (``"bsp"``, ``"asp"``,
+``"ssp"``, ``"dssp"``) with keyword parameters; this factory turns those into
+policy objects so configs remain serializable data.
+"""
+
+from __future__ import annotations
+
+from repro.core.asp import AsynchronousParallel
+from repro.core.bsp import BulkSynchronousParallel
+from repro.core.dssp import DynamicStaleSynchronousParallel
+from repro.core.policy import SynchronizationPolicy
+from repro.core.ssp import StaleSynchronousParallel
+
+__all__ = ["make_policy", "available_policies"]
+
+
+def available_policies() -> list[str]:
+    """Names accepted by :func:`make_policy`."""
+    return ["bsp", "asp", "ssp", "dssp"]
+
+
+def make_policy(name: str, **kwargs) -> SynchronizationPolicy:
+    """Construct a synchronization policy by name.
+
+    * ``make_policy("bsp")``
+    * ``make_policy("asp")``
+    * ``make_policy("ssp", staleness=3)``
+    * ``make_policy("dssp", s_lower=3, s_upper=15)``
+    """
+    normalized = name.strip().lower()
+    if normalized == "bsp":
+        _reject_unknown(kwargs, allowed=set())
+        return BulkSynchronousParallel()
+    if normalized == "asp":
+        _reject_unknown(kwargs, allowed=set())
+        return AsynchronousParallel()
+    if normalized == "ssp":
+        _reject_unknown(kwargs, allowed={"staleness"})
+        if "staleness" not in kwargs:
+            raise ValueError("ssp requires a 'staleness' parameter")
+        return StaleSynchronousParallel(staleness=int(kwargs["staleness"]))
+    if normalized == "dssp":
+        _reject_unknown(kwargs, allowed={"s_lower", "s_upper", "enforce_upper_bound"})
+        if "s_lower" not in kwargs or "s_upper" not in kwargs:
+            raise ValueError("dssp requires 's_lower' and 's_upper' parameters")
+        return DynamicStaleSynchronousParallel(
+            s_lower=int(kwargs["s_lower"]),
+            s_upper=int(kwargs["s_upper"]),
+            enforce_upper_bound=bool(kwargs.get("enforce_upper_bound", False)),
+        )
+    raise ValueError(f"unknown paradigm {name!r}; expected one of {available_policies()}")
+
+
+def _reject_unknown(kwargs: dict, allowed: set[str]) -> None:
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise TypeError(f"unexpected parameters {sorted(unknown)}; allowed: {sorted(allowed)}")

@@ -1,0 +1,83 @@
+"""Image distortions discussed in the paper (Section V-C).
+
+The paper argues that the noise introduced by moderately stale gradients has
+an effect similar to data augmentation by distortion: "rotating the image,
+setting one or two of RGB pixels to zero or adding Gaussian noise".  These
+augmentations are provided both to support that discussion experimentally
+and as a realistic part of the training pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "random_horizontal_flip",
+    "add_gaussian_noise",
+    "random_channel_dropout",
+    "random_rotation",
+    "AugmentationPipeline",
+]
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    images = np.asarray(images, dtype=np.float64).copy()
+    flip = rng.random(images.shape[0]) < probability
+    images[flip] = images[flip, :, :, ::-1]
+    return images
+
+
+def add_gaussian_noise(
+    images: np.ndarray, rng: np.random.Generator, scale: float = 0.05
+) -> np.ndarray:
+    """Add zero-mean Gaussian noise of the given scale."""
+    if scale < 0:
+        raise ValueError("scale must be >= 0")
+    images = np.asarray(images, dtype=np.float64)
+    return images + rng.normal(0.0, scale, size=images.shape)
+
+
+def random_channel_dropout(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.1
+) -> np.ndarray:
+    """Zero one colour channel of each image with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    images = np.asarray(images, dtype=np.float64).copy()
+    num_images, num_channels = images.shape[0], images.shape[1]
+    drop = rng.random(num_images) < probability
+    channels = rng.integers(0, num_channels, size=num_images)
+    for index in np.nonzero(drop)[0]:
+        images[index, channels[index]] = 0.0
+    return images
+
+
+def random_rotation(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Rotate each image by a random multiple of 90 degrees."""
+    images = np.asarray(images, dtype=np.float64).copy()
+    turns = rng.integers(0, 4, size=images.shape[0])
+    for index, k in enumerate(turns):
+        if k:
+            images[index] = np.rot90(images[index], k=int(k), axes=(1, 2))
+    return images
+
+
+class AugmentationPipeline:
+    """Compose augmentations into a single callable for the mini-batch loader."""
+
+    def __init__(
+        self, transforms: Sequence[Callable[[np.ndarray, np.random.Generator], np.ndarray]]
+    ) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images

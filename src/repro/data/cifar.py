@@ -1,0 +1,89 @@
+"""Optional loader for the real CIFAR-10/100 binaries.
+
+The offline reproduction defaults to the synthetic datasets, but when the
+original ``cifar-10-batches-py`` / ``cifar-100-python`` directories are
+available on disk this module loads them so the experiments can be re-run on
+the paper's actual data.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+__all__ = ["load_cifar_if_available"]
+
+_CIFAR10_DIRNAME = "cifar-10-batches-py"
+_CIFAR100_DIRNAME = "cifar-100-python"
+
+
+def _load_pickle(path: Path) -> dict:
+    with path.open("rb") as handle:
+        return pickle.load(handle, encoding="bytes")
+
+
+def _to_images(raw: np.ndarray) -> np.ndarray:
+    return raw.reshape(-1, 3, 32, 32).astype(np.float64) / 255.0
+
+
+def _load_cifar10(root: Path) -> tuple[ArrayDataset, ArrayDataset]:
+    train_inputs, train_labels = [], []
+    for index in range(1, 6):
+        batch = _load_pickle(root / f"data_batch_{index}")
+        train_inputs.append(_to_images(np.asarray(batch[b"data"])))
+        train_labels.append(np.asarray(batch[b"labels"], dtype=np.int64))
+    test_batch = _load_pickle(root / "test_batch")
+    train = ArrayDataset(np.concatenate(train_inputs), np.concatenate(train_labels))
+    test = ArrayDataset(
+        _to_images(np.asarray(test_batch[b"data"])),
+        np.asarray(test_batch[b"labels"], dtype=np.int64),
+    )
+    return train, test
+
+
+def _load_cifar100(root: Path) -> tuple[ArrayDataset, ArrayDataset]:
+    train_batch = _load_pickle(root / "train")
+    test_batch = _load_pickle(root / "test")
+    train = ArrayDataset(
+        _to_images(np.asarray(train_batch[b"data"])),
+        np.asarray(train_batch[b"fine_labels"], dtype=np.int64),
+    )
+    test = ArrayDataset(
+        _to_images(np.asarray(test_batch[b"data"])),
+        np.asarray(test_batch[b"fine_labels"], dtype=np.int64),
+    )
+    return train, test
+
+
+def load_cifar_if_available(
+    name: str, data_root: str | Path = "data"
+) -> tuple[ArrayDataset, ArrayDataset] | None:
+    """Load CIFAR-10 or CIFAR-100 from ``data_root`` if present.
+
+    Parameters
+    ----------
+    name:
+        ``"cifar10"`` or ``"cifar100"``.
+    data_root:
+        Directory expected to contain the extracted CIFAR archives.
+
+    Returns
+    -------
+    ``(train, test)`` datasets, or ``None`` when the files are absent.
+    """
+    root = Path(data_root)
+    if name == "cifar10":
+        directory = root / _CIFAR10_DIRNAME
+        if directory.is_dir():
+            return _load_cifar10(directory)
+        return None
+    if name == "cifar100":
+        directory = root / _CIFAR100_DIRNAME
+        if directory.is_dir():
+            return _load_cifar100(directory)
+        return None
+    raise ValueError(f"unknown dataset {name!r}; expected 'cifar10' or 'cifar100'")

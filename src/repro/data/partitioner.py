@@ -1,0 +1,48 @@
+"""Data-parallel partitioning.
+
+The paper assigns each worker "an equal-sized partition of the entire
+training data".  :func:`partition_indices` implements that split (with the
+remainder spread over the first partitions) plus an optional shuffle, and
+:func:`partition_dataset` materializes the per-worker datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+__all__ = ["partition_indices", "partition_dataset"]
+
+
+def partition_indices(
+    num_samples: int,
+    num_partitions: int,
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Split ``range(num_samples)`` into ``num_partitions`` near-equal parts.
+
+    When ``rng`` is given the indices are shuffled first so every partition
+    is an i.i.d. sample of the dataset (the standard practice for data
+    parallelism).  Partition sizes differ by at most one sample.
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    if num_samples < num_partitions:
+        raise ValueError(
+            f"cannot split {num_samples} samples into {num_partitions} non-empty partitions"
+        )
+    indices = np.arange(num_samples, dtype=np.int64)
+    if rng is not None:
+        indices = rng.permutation(indices)
+    return [np.sort(part) for part in np.array_split(indices, num_partitions)]
+
+
+def partition_dataset(
+    dataset: ArrayDataset,
+    num_partitions: int,
+    rng: np.random.Generator | None = None,
+) -> list[ArrayDataset]:
+    """Materialize per-worker datasets from a full training set."""
+    parts = partition_indices(len(dataset), num_partitions, rng=rng)
+    return [dataset.subset(part) for part in parts]

@@ -1,0 +1,101 @@
+"""Experiment scaling presets.
+
+The paper trains for 300 epochs on 50,000 CIFAR images with full-size
+networks; the offline reproduction must regenerate every figure in minutes
+on a CPU.  An :class:`ExperimentScale` bundles the knobs that trade fidelity
+for speed — dataset size, image resolution, model width, epochs — while the
+*structure* of every experiment (paradigms, cluster shapes, schedules) stays
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "TINY", "SMALL", "DEFAULT", "paper_ssp_thresholds"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how large an experiment run is."""
+
+    name: str
+    num_train: int
+    num_test: int
+    image_size: int
+    num_classes_cifar100: int
+    model_width: int
+    fc_width: int
+    resnet_depth_for_110: int
+    resnet_depth_for_50: int
+    epochs: float
+    batch_size: int
+    evaluate_every_updates: int
+    noise_scale: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.num_train <= 0 or self.num_test <= 0:
+            raise ValueError("dataset sizes must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+#: Smoke-test scale used by the unit/integration tests (seconds per run).
+TINY = ExperimentScale(
+    name="tiny",
+    num_train=320,
+    num_test=120,
+    image_size=8,
+    num_classes_cifar100=10,
+    model_width=4,
+    fc_width=24,
+    resnet_depth_for_110=8,
+    resnet_depth_for_50=8,
+    epochs=2.0,
+    batch_size=16,
+    evaluate_every_updates=16,
+)
+
+#: Default benchmark scale (tens of seconds per paradigm on a laptop CPU).
+SMALL = ExperimentScale(
+    name="small",
+    num_train=960,
+    num_test=240,
+    image_size=8,
+    num_classes_cifar100=20,
+    model_width=6,
+    fc_width=48,
+    resnet_depth_for_110=20,
+    resnet_depth_for_50=14,
+    epochs=3.0,
+    batch_size=32,
+    evaluate_every_updates=20,
+)
+
+#: Larger run for closer-to-paper curves (minutes per paradigm).
+DEFAULT = ExperimentScale(
+    name="default",
+    num_train=4000,
+    num_test=800,
+    image_size=16,
+    num_classes_cifar100=20,
+    model_width=8,
+    fc_width=64,
+    resnet_depth_for_110=32,
+    resnet_depth_for_50=20,
+    epochs=6.0,
+    batch_size=32,
+    evaluate_every_updates=40,
+)
+
+
+def paper_ssp_thresholds(full: bool = False) -> list[int]:
+    """SSP thresholds swept in the paper's Figures 3b/3d/3f.
+
+    The paper sweeps every integer in ``[3, 15]``.  By default the offline
+    benchmarks use a representative subset to keep wall-clock time down;
+    pass ``full=True`` for the complete sweep.
+    """
+    if full:
+        return list(range(3, 16))
+    return [3, 6, 9, 12, 15]

@@ -1,0 +1,73 @@
+"""Export experiment results to plain files (CSV / JSON).
+
+The benchmark harness prints results; this module persists them so figures
+can be re-plotted later (e.g. with matplotlib outside this offline
+environment) and so runs can be diffed across machines.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ParadigmComparison
+
+__all__ = ["export_figure_csv", "export_comparison_json", "load_comparison_json"]
+
+
+def export_figure_csv(figure: FigureResult, path: str | Path) -> Path:
+    """Write a figure's curves to CSV with columns ``series, x, y``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "y"])
+        for series in figure.series:
+            for x, y in zip(series.x, series.y):
+                writer.writerow([series.label, float(x), float(y)])
+    return path
+
+
+def export_comparison_json(
+    comparison: ParadigmComparison, path: str | Path, targets: list[float] | None = None
+) -> Path:
+    """Write a paradigm comparison's summary and curves to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict = {
+        "workload": comparison.workload_name,
+        "num_workers": comparison.cluster.num_workers,
+        "devices": [spec.device.name for spec in comparison.cluster.workers],
+        "runs": {},
+    }
+    for label, result in comparison.results.items():
+        entry = {
+            "paradigm": result.paradigm,
+            "best_accuracy": result.best_accuracy,
+            "final_accuracy": result.final_accuracy,
+            "total_virtual_time": result.total_virtual_time,
+            "total_updates": result.total_updates,
+            "updates_per_second": result.throughput.updates_per_second,
+            "total_wait_time": result.total_wait_time,
+            "mean_staleness": result.staleness_summary.mean,
+            "max_staleness": result.staleness_summary.maximum,
+            "times": [float(value) for value in result.times],
+            "accuracies": [float(value) for value in result.accuracies],
+        }
+        if targets:
+            entry["time_to_accuracy"] = {
+                f"{target:.3f}": result.time_to_accuracy(target) for target in targets
+            }
+        payload["runs"][label] = entry
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_comparison_json(path: str | Path) -> dict:
+    """Read back a comparison exported with :func:`export_comparison_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no exported comparison at {path}")
+    return json.loads(path.read_text())

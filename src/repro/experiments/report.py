@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print these reports so that running
+``pytest benchmarks/ --benchmark-only -s`` regenerates human-readable
+versions of the paper's tables and figure summaries.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ParadigmComparison
+
+__all__ = ["format_figure_result", "format_comparison_summary"]
+
+
+def format_comparison_summary(comparison: ParadigmComparison, targets: list[float] | None = None) -> str:
+    """Tabular summary of a paradigm comparison.
+
+    One row per run: best accuracy, total virtual training time, updates per
+    second, total waiting time, and optionally the time to reach each target
+    accuracy in ``targets``.
+    """
+    targets = targets or []
+    header = f"{'Run':<22} {'best acc':>9} {'total t':>10} {'upd/s':>8} {'wait t':>9}"
+    for target in targets:
+        header += f" {'t@' + format(target, '.2f'):>10}"
+    lines = [f"Workload: {comparison.workload_name}", header]
+    for label, result in comparison.results.items():
+        line = (
+            f"{label:<22} {result.best_accuracy:9.3f} {result.total_virtual_time:10.1f} "
+            f"{result.throughput.updates_per_second:8.2f} {result.total_wait_time:9.1f}"
+        )
+        for target in targets:
+            reached = result.time_to_accuracy(target)
+            line += f" {reached:10.1f}" if reached is not None else f" {'−':>10}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_figure_result(figure: FigureResult, max_points: int = 8) -> str:
+    """Compact text rendering of a figure: each curve as (time, accuracy) pairs."""
+    lines = [f"{figure.figure_id}: {figure.description}"]
+    for series in figure.series:
+        indices = _subsample_indices(len(series.x), max_points)
+        pairs = ", ".join(
+            f"({series.x[index]:.1f}, {series.y[index]:.3f})" for index in indices
+        )
+        lines.append(f"  {series.label:<22} {pairs}")
+    if figure.metadata:
+        lines.append(f"  metadata: {figure.metadata}")
+    return "\n".join(lines)
+
+
+def _subsample_indices(length: int, max_points: int) -> list[int]:
+    if length <= 0:
+        return []
+    if length <= max_points:
+        return list(range(length))
+    step = (length - 1) / (max_points - 1)
+    return sorted({int(round(index * step)) for index in range(max_points)})

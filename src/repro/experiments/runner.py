@@ -1,0 +1,136 @@
+"""Paradigm-comparison runner.
+
+The paper's figures all have the same shape: run the *same* workload under
+several synchronization paradigms on the *same* cluster and compare the
+accuracy-versus-training-time curves.  :func:`run_paradigm_comparison` does
+exactly that and returns a :class:`ParadigmComparison` whose helpers compute
+the derived quantities the paper reports (average-SSP curve, time to target
+accuracy, throughput ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.workloads import Workload
+from repro.simulation.cluster import ClusterSpec
+from repro.simulation.trainer import SimulationConfig, SimulationResult, simulate_training
+
+__all__ = ["ParadigmComparison", "run_paradigm_comparison", "average_curves"]
+
+
+@dataclass
+class ParadigmComparison:
+    """Results of running one workload under several paradigms."""
+
+    workload_name: str
+    cluster: ClusterSpec
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> list[str]:
+        """Labels of the runs, in insertion order."""
+        return list(self.results)
+
+    def result(self, label: str) -> SimulationResult:
+        """Result of one run by label."""
+        if label not in self.results:
+            raise KeyError(f"unknown run {label!r}; available: {self.labels}")
+        return self.results[label]
+
+    def best_accuracies(self) -> dict[str, float]:
+        """Best test accuracy per run."""
+        return {label: result.best_accuracy for label, result in self.results.items()}
+
+    def final_times(self) -> dict[str, float]:
+        """Total virtual training time per run."""
+        return {label: result.total_virtual_time for label, result in self.results.items()}
+
+    def throughputs(self) -> dict[str, float]:
+        """Server updates per virtual second per run."""
+        return {
+            label: result.throughput.updates_per_second
+            for label, result in self.results.items()
+        }
+
+    def times_to_accuracy(self, target: float) -> dict[str, float | None]:
+        """Virtual time each run needs to reach ``target`` accuracy."""
+        return {label: result.time_to_accuracy(target) for label, result in self.results.items()}
+
+    def wait_times(self) -> dict[str, float]:
+        """Total synchronization waiting time per run."""
+        return {label: result.total_wait_time for label, result in self.results.items()}
+
+
+def run_paradigm_comparison(
+    workload: Workload,
+    cluster: ClusterSpec,
+    paradigms: list[tuple[str, dict]],
+    epochs: float,
+    batch_size: int,
+    learning_rate: float = 0.05,
+    momentum: float = 0.9,
+    lr_milestones: tuple[float, ...] = (),
+    evaluate_every_updates: int = 20,
+    seed: int = 0,
+    labels: list[str] | None = None,
+) -> ParadigmComparison:
+    """Run ``workload`` under every paradigm in ``paradigms`` on ``cluster``.
+
+    ``paradigms`` is a list of ``(name, kwargs)`` pairs, e.g.
+    ``[("bsp", {}), ("ssp", {"staleness": 3})]``.  Every run uses the same
+    seed so the runs differ only in their synchronization behaviour.
+    """
+    if not paradigms:
+        raise ValueError("paradigms must not be empty")
+    if labels is not None and len(labels) != len(paradigms):
+        raise ValueError("labels must match paradigms in length")
+
+    comparison = ParadigmComparison(workload_name=workload.name, cluster=cluster)
+    for index, (name, kwargs) in enumerate(paradigms):
+        config = SimulationConfig(
+            cluster=cluster,
+            paradigm=name,
+            paradigm_kwargs=dict(kwargs),
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            momentum=momentum,
+            lr_milestones=lr_milestones,
+            evaluate_every_updates=evaluate_every_updates,
+            timing_cost=workload.timing_cost,
+            timing_batch_size=workload.paper_batch_size,
+            seed=seed,
+        )
+        result = simulate_training(
+            config, workload.model_builder, workload.train_dataset, workload.test_dataset
+        )
+        label = labels[index] if labels is not None else result.paradigm_label
+        comparison.results[label] = result
+    return comparison
+
+
+def average_curves(
+    results: list[SimulationResult], num_points: int = 50
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average several accuracy-versus-time curves onto a common time grid.
+
+    This reproduces the paper's "Average SSP s=3 to 15" curve: each SSP run
+    finishes at a different time, so the curves are linearly interpolated
+    onto a shared grid spanning the shortest run's start to the longest
+    run's end (holding each curve at its final value beyond its own end).
+    """
+    if not results:
+        raise ValueError("results must not be empty")
+    if num_points < 2:
+        raise ValueError("num_points must be >= 2")
+    start = min(float(result.times[0]) for result in results)
+    end = max(float(result.times[-1]) for result in results)
+    grid = np.linspace(start, end, num_points)
+    stacked = []
+    for result in results:
+        interpolated = np.interp(grid, result.times, result.accuracies)
+        stacked.append(interpolated)
+    return grid, np.mean(np.stack(stacked, axis=0), axis=0)

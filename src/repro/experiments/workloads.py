@@ -1,0 +1,166 @@
+"""Workloads: dataset + trained model + paper-scale timing cost.
+
+A :class:`Workload` packages everything a paradigm-comparison run needs:
+
+* the (synthetic or real) train/test datasets,
+* a builder for the model that is actually trained at the chosen
+  :class:`~repro.experiments.config.ExperimentScale`, and
+* the :class:`~repro.simulation.workload.ModelCost` of the *paper-scale*
+  architecture, used for the simulated timing so the compute-to-
+  communication ratio matches the hardware environment the paper measured
+  (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import synthetic_cifar10, synthetic_cifar100
+from repro.experiments.config import ExperimentScale
+from repro.models.alexnet import downsized_alexnet
+from repro.models.mlp import mlp
+from repro.models.resnet import cifar_resnet, resnet50
+from repro.nn.module import Module
+from repro.simulation.workload import ModelCost, estimate_model_cost
+
+__all__ = ["Workload", "alexnet_workload", "resnet_workload", "mlp_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One training workload (model family + dataset) at a given scale."""
+
+    name: str
+    model_builder: Callable[[np.random.Generator], Module]
+    train_dataset: ArrayDataset
+    test_dataset: ArrayDataset
+    timing_cost: ModelCost
+    num_classes: int
+    has_fully_connected_hidden: bool
+    #: Mini-batch size the paper trains with; used for the simulated timing.
+    paper_batch_size: int = 128
+
+    @property
+    def sample_shape(self) -> tuple[int, ...]:
+        """Shape of one input sample."""
+        return self.train_dataset.sample_shape
+
+
+def _paper_scale_cost(model: Module, image_size: int = 32) -> ModelCost:
+    """Cost of a paper-scale architecture on CIFAR-sized (32x32 RGB) inputs."""
+    return estimate_model_cost(model, (3, image_size, image_size))
+
+
+def alexnet_workload(scale: ExperimentScale, seed: int = 0) -> Workload:
+    """The paper's downsized AlexNet on (synthetic) CIFAR-10.
+
+    The trained model uses the scale's width/resolution; the timing cost is
+    that of the paper-scale downsized AlexNet (3 conv + 2 FC on 32x32),
+    whose parameter payload is dominated by the fully connected stage.
+    """
+    train, test = synthetic_cifar10(
+        num_train=scale.num_train,
+        num_test=scale.num_test,
+        image_size=scale.image_size,
+        noise_scale=scale.noise_scale,
+        seed=seed,
+    )
+
+    def builder(rng: np.random.Generator) -> Module:
+        return downsized_alexnet(
+            num_classes=10,
+            image_size=scale.image_size,
+            width=scale.model_width,
+            fc_width=scale.fc_width,
+            dropout=0.0,
+            rng=rng,
+        )
+
+    reference = downsized_alexnet(num_classes=10, image_size=32, width=32, fc_width=256)
+    return Workload(
+        name="downsized_alexnet/cifar10",
+        model_builder=builder,
+        train_dataset=train,
+        test_dataset=test,
+        timing_cost=_paper_scale_cost(reference),
+        num_classes=10,
+        has_fully_connected_hidden=True,
+    )
+
+
+def resnet_workload(
+    scale: ExperimentScale, paper_depth: int = 110, seed: int = 1
+) -> Workload:
+    """The paper's ResNet-50 / ResNet-110 on (synthetic) CIFAR-100.
+
+    ``paper_depth`` selects which of the paper's two ResNets the timing cost
+    corresponds to; the trained model uses the scale's reduced depth/width.
+    """
+    if paper_depth not in (50, 110):
+        raise ValueError("paper_depth must be 50 or 110 (the models the paper evaluates)")
+    train, test = synthetic_cifar100(
+        num_train=scale.num_train,
+        num_test=scale.num_test,
+        image_size=scale.image_size,
+        noise_scale=scale.noise_scale,
+        num_classes=scale.num_classes_cifar100,
+        seed=seed,
+    )
+
+    trained_depth = (
+        scale.resnet_depth_for_110 if paper_depth == 110 else scale.resnet_depth_for_50
+    )
+
+    def builder(rng: np.random.Generator) -> Module:
+        return cifar_resnet(
+            depth=trained_depth,
+            num_classes=scale.num_classes_cifar100,
+            base_width=scale.model_width,
+            rng=rng,
+        )
+
+    if paper_depth == 110:
+        reference = cifar_resnet(depth=110, num_classes=100, base_width=16)
+    else:
+        reference = resnet50(num_classes=100, base_width=16)
+    return Workload(
+        name=f"resnet{paper_depth}/cifar100",
+        model_builder=builder,
+        train_dataset=train,
+        test_dataset=test,
+        timing_cost=_paper_scale_cost(reference),
+        num_classes=scale.num_classes_cifar100,
+        has_fully_connected_hidden=False,
+    )
+
+
+def mlp_workload(scale: ExperimentScale, seed: int = 2) -> Workload:
+    """A small fully connected workload used by tests and the quickstart."""
+    train, test = synthetic_cifar10(
+        num_train=scale.num_train,
+        num_test=scale.num_test,
+        image_size=scale.image_size,
+        noise_scale=scale.noise_scale,
+        seed=seed,
+    )
+    flat_train = ArrayDataset(train.inputs.reshape(len(train), -1), train.labels)
+    flat_test = ArrayDataset(test.inputs.reshape(len(test), -1), test.labels)
+    input_dim = flat_train.inputs.shape[1]
+
+    def builder(rng: np.random.Generator) -> Module:
+        return mlp(input_dim=input_dim, hidden_dims=(scale.fc_width,), num_classes=10, rng=rng)
+
+    reference = mlp(input_dim=3 * 32 * 32, hidden_dims=(512, 256), num_classes=10)
+    return Workload(
+        name="mlp/cifar10",
+        model_builder=builder,
+        train_dataset=flat_train,
+        test_dataset=flat_test,
+        timing_cost=estimate_model_cost(reference, (3 * 32 * 32,)),
+        num_classes=10,
+        has_fully_connected_hidden=True,
+    )

@@ -1,0 +1,25 @@
+"""Measurement utilities: accuracy, metric tracking, convergence, throughput."""
+
+from repro.metrics.accuracy import top1_accuracy, evaluate_model
+from repro.metrics.tracker import MetricPoint, MetricSeries, ExperimentTracker
+from repro.metrics.convergence import (
+    time_to_accuracy,
+    accuracy_at_time,
+    area_under_accuracy_curve,
+)
+from repro.metrics.throughput import iteration_throughput, ThroughputSummary
+from repro.metrics.plotting import ascii_curves
+
+__all__ = [
+    "top1_accuracy",
+    "evaluate_model",
+    "MetricPoint",
+    "MetricSeries",
+    "ExperimentTracker",
+    "time_to_accuracy",
+    "accuracy_at_time",
+    "area_under_accuracy_curve",
+    "iteration_throughput",
+    "ThroughputSummary",
+    "ascii_curves",
+]

@@ -1,0 +1,56 @@
+"""Classification accuracy and model evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.module import Module
+
+__all__ = ["top1_accuracy", "evaluate_model"]
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose arg-max logit equals the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels shape does not match logits")
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = logits.argmax(axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def evaluate_model(
+    model: Module, dataset: ArrayDataset, batch_size: int = 64
+) -> tuple[float, float]:
+    """Evaluate a classifier: returns ``(accuracy, mean cross-entropy loss)``.
+
+    The model is switched to evaluation mode for the duration of the call
+    and restored to training mode afterwards.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    was_training = model.training
+    model.eval()
+    loss_fn = SoftmaxCrossEntropy()
+    correct = 0.0
+    total_loss = 0.0
+    count = 0
+    try:
+        for start in range(0, len(dataset), batch_size):
+            inputs = dataset.inputs[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            logits = model.forward(inputs)
+            total_loss += loss_fn.forward(logits, labels) * inputs.shape[0]
+            correct += top1_accuracy(logits, labels) * inputs.shape[0]
+            count += inputs.shape[0]
+    finally:
+        model.train(was_training)
+    if count == 0:
+        return 0.0, float("nan")
+    return correct / count, total_loss / count

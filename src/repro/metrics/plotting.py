@@ -1,0 +1,66 @@
+"""Terminal (ASCII) plotting of accuracy-versus-time curves.
+
+The offline environment has no plotting libraries, so the examples render
+the regenerated figures as ASCII charts — enough to eyeball whether the
+curve shapes match the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_curves"]
+
+_MARKERS = "Oxo+*#%@&$"
+
+
+def ascii_curves(
+    curves: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "time",
+    y_label: str = "accuracy",
+) -> str:
+    """Render named (x, y) curves as an ASCII chart.
+
+    Parameters
+    ----------
+    curves:
+        Mapping from curve label to ``(x_values, y_values)``.
+    width, height:
+        Character dimensions of the plotting area.
+    """
+    if not curves:
+        raise ValueError("curves must not be empty")
+    if width < 16 or height < 4:
+        raise ValueError("width must be >= 16 and height >= 4")
+
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in curves.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in curves.values()])
+    if all_x.size == 0:
+        raise ValueError("curves must contain at least one point")
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    x_span = max(x_max - x_min, 1e-12)
+    y_span = max(y_max - y_min, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, (xs, ys)) in enumerate(curves.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        for x, y in zip(xs, ys):
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            grid[row][column] = marker
+
+    lines = [f"{y_label} ({y_min:.3f} .. {y_max:.3f})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.1f} .. {x_max:.1f}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Time-series metric tracking for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MetricPoint", "MetricSeries", "ExperimentTracker"]
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One observation of a named metric at a point in (virtual or wall) time."""
+
+    time: float
+    value: float
+    step: int | None = None
+
+
+@dataclass
+class MetricSeries:
+    """Ordered observations of one metric."""
+
+    name: str
+    points: list[MetricPoint] = field(default_factory=list)
+
+    def record(self, time: float, value: float, step: int | None = None) -> None:
+        """Append an observation; time must be non-decreasing."""
+        if self.points and time < self.points[-1].time:
+            raise ValueError(
+                f"time went backwards for metric {self.name!r}: "
+                f"{time} < {self.points[-1].time}"
+            )
+        self.points.append(MetricPoint(time=float(time), value=float(value), step=step))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Observation times as an array."""
+        return np.array([point.time for point in self.points], dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Observation values as an array."""
+        return np.array([point.value for point in self.points], dtype=np.float64)
+
+    def latest(self) -> MetricPoint | None:
+        """Most recent observation, or ``None`` when empty."""
+        return self.points[-1] if self.points else None
+
+    def best(self, mode: str = "max") -> MetricPoint | None:
+        """Best observation by value (``mode`` is ``"max"`` or ``"min"``)."""
+        if not self.points:
+            return None
+        if mode == "max":
+            return max(self.points, key=lambda point: point.value)
+        if mode == "min":
+            return min(self.points, key=lambda point: point.value)
+        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class ExperimentTracker:
+    """A bag of named metric series recorded during one run."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, MetricSeries] = {}
+
+    def record(self, name: str, time: float, value: float, step: int | None = None) -> None:
+        """Record an observation for ``name``, creating the series if needed."""
+        if name not in self._series:
+            self._series[name] = MetricSeries(name=name)
+        self._series[name].record(time, value, step=step)
+
+    def series(self, name: str) -> MetricSeries:
+        """Return the series for ``name`` (empty series if never recorded)."""
+        if name not in self._series:
+            self._series[name] = MetricSeries(name=name)
+        return self._series[name]
+
+    def names(self) -> list[str]:
+        """All metric names recorded so far."""
+        return sorted(self._series)
+
+    def as_dict(self) -> dict[str, list[tuple[float, float]]]:
+        """Plain-data view ``{name: [(time, value), ...]}`` for serialization."""
+        return {
+            name: [(point.time, point.value) for point in series.points]
+            for name, series in self._series.items()
+        }

@@ -1,0 +1,60 @@
+"""Small fully connected models for tests, examples and convex experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn import BatchNorm1d, Dropout, Linear, ReLU, Sequential
+
+__all__ = ["mlp", "logistic_regression"]
+
+
+def mlp(
+    input_dim: int,
+    hidden_dims: Sequence[int],
+    num_classes: int,
+    dropout: float = 0.0,
+    batch_norm: bool = False,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build a multi-layer perceptron classifier.
+
+    Parameters
+    ----------
+    input_dim:
+        Flattened input dimensionality.
+    hidden_dims:
+        Sizes of the hidden layers; may be empty for a linear model.
+    num_classes:
+        Number of output logits.
+    dropout:
+        Dropout probability applied after every hidden activation (0 disables).
+    batch_norm:
+        Insert :class:`BatchNorm1d` after every hidden linear layer.
+    """
+    if input_dim <= 0 or num_classes <= 0:
+        raise ValueError("input_dim and num_classes must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    layers = []
+    previous = int(input_dim)
+    for width in hidden_dims:
+        if width <= 0:
+            raise ValueError("hidden layer widths must be positive")
+        layers.append(Linear(previous, int(width), rng=rng))
+        if batch_norm:
+            layers.append(BatchNorm1d(int(width)))
+        layers.append(ReLU())
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng=rng))
+        previous = int(width)
+    layers.append(Linear(previous, int(num_classes), rng=rng))
+    return Sequential(*layers)
+
+
+def logistic_regression(
+    input_dim: int, num_classes: int, rng: np.random.Generator | None = None
+) -> Sequential:
+    """Linear softmax classifier — the convex model used for regret experiments."""
+    return mlp(input_dim, hidden_dims=(), num_classes=num_classes, rng=rng)

@@ -1,0 +1,141 @@
+"""Model registry mapping experiment-config names to builders.
+
+The experiment harness refers to models by name (``"downsized_alexnet"``,
+``"resnet110"``, ...) so that experiment configurations remain plain data.
+The registry resolves those names to builder callables and records the
+geometry each model expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.models.alexnet import downsized_alexnet
+from repro.models.mlp import logistic_regression, mlp
+from repro.models.resnet import cifar_resnet, resnet20, resnet32, resnet50, resnet56, resnet110
+from repro.nn.module import Module
+
+__all__ = ["ModelSpec", "register_model", "build_model", "available_models"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Description of a registered model builder."""
+
+    name: str
+    builder: Callable[..., Module]
+    description: str
+    default_kwargs: dict = field(default_factory=dict)
+    has_fully_connected_hidden: bool = False
+
+    def build(self, rng: np.random.Generator | None = None, **overrides) -> Module:
+        """Instantiate the model, merging defaults with overrides."""
+        kwargs = dict(self.default_kwargs)
+        kwargs.update(overrides)
+        return self.builder(rng=rng, **kwargs)
+
+
+_REGISTRY: dict[str, ModelSpec] = {}
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Add a model spec to the registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"model {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def build_model(name: str, rng: np.random.Generator | None = None, **overrides) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known models: {sorted(_REGISTRY)}")
+    return _REGISTRY[name].build(rng=rng, **overrides)
+
+
+def available_models() -> dict[str, ModelSpec]:
+    """Copy of the registry keyed by model name."""
+    return dict(_REGISTRY)
+
+
+def _register_builtin_models() -> None:
+    register_model(
+        ModelSpec(
+            name="downsized_alexnet",
+            builder=downsized_alexnet,
+            description="3-conv / 2-FC AlexNet reduction (paper Section V-A3)",
+            default_kwargs={"num_classes": 10},
+            has_fully_connected_hidden=True,
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="resnet20",
+            builder=resnet20,
+            description="CIFAR ResNet-20 (small stand-in for deeper ResNets)",
+            default_kwargs={"num_classes": 100},
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="resnet32",
+            builder=resnet32,
+            description="CIFAR ResNet-32",
+            default_kwargs={"num_classes": 100},
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="resnet56",
+            builder=resnet56,
+            description="CIFAR ResNet-56",
+            default_kwargs={"num_classes": 100},
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="resnet110",
+            builder=resnet110,
+            description="CIFAR ResNet-110 (paper's deepest model)",
+            default_kwargs={"num_classes": 100},
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="resnet50",
+            builder=resnet50,
+            description="Bottleneck ResNet-50 adapted to CIFAR-sized inputs",
+            default_kwargs={"num_classes": 100},
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="cifar_resnet",
+            builder=cifar_resnet,
+            description="Parametric 6n+2 CIFAR ResNet",
+            default_kwargs={"depth": 20, "num_classes": 100},
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="mlp",
+            builder=mlp,
+            description="Multi-layer perceptron (tests and quickstart)",
+            default_kwargs={"input_dim": 32, "hidden_dims": (64,), "num_classes": 10},
+            has_fully_connected_hidden=True,
+        )
+    )
+    register_model(
+        ModelSpec(
+            name="logistic_regression",
+            builder=logistic_regression,
+            description="Convex softmax classifier (regret-bound experiments)",
+            default_kwargs={"input_dim": 32, "num_classes": 10},
+        )
+    )
+
+
+_register_builtin_models()

@@ -1,0 +1,176 @@
+"""CIFAR-style residual networks (the paper's "pure CNN" category).
+
+Two families are provided:
+
+* :func:`cifar_resnet` — the classic 6n+2 architecture from He et al. with
+  basic (two-conv) blocks; depths 20/32/56/110 are the standard choices and
+  ``resnet110`` is the deepest model the paper evaluates.
+* :func:`resnet50` — a bottleneck residual network.  The paper's "ResNet-50"
+  on CIFAR-100 is the ImageNet bottleneck architecture adapted to 32x32
+  inputs; we reproduce that structure with a configurable width multiplier
+  so it remains tractable on the NumPy substrate.
+
+Both use batch normalization after every convolution and end with global
+average pooling followed by a single softmax classifier layer, so neither
+contains a (hidden) fully connected layer — the property the paper's
+throughput analysis hinges on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    ReLU,
+    Residual,
+    Sequential,
+)
+
+__all__ = ["cifar_resnet", "resnet20", "resnet32", "resnet56", "resnet110", "resnet50"]
+
+
+def _conv_bn(
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    rng: np.random.Generator,
+) -> list:
+    """Convolution followed by batch normalization (no activation)."""
+    return [
+        Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size=kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=False,
+            rng=rng,
+        ),
+        BatchNorm2d(out_channels),
+    ]
+
+
+def _basic_block(
+    in_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+) -> Sequential:
+    """Two 3x3 convolutions with a (possibly projecting) identity shortcut."""
+    body = Sequential(
+        *_conv_bn(in_channels, out_channels, 3, stride, 1, rng),
+        ReLU(),
+        *_conv_bn(out_channels, out_channels, 3, 1, 1, rng),
+    )
+    if stride != 1 or in_channels != out_channels:
+        shortcut = Sequential(*_conv_bn(in_channels, out_channels, 1, stride, 0, rng))
+    else:
+        shortcut = Identity()
+    return Sequential(Residual(body, shortcut), ReLU())
+
+
+def _bottleneck_block(
+    in_channels: int, mid_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+) -> Sequential:
+    """1x1 -> 3x3 -> 1x1 bottleneck with a projecting shortcut when needed."""
+    body = Sequential(
+        *_conv_bn(in_channels, mid_channels, 1, 1, 0, rng),
+        ReLU(),
+        *_conv_bn(mid_channels, mid_channels, 3, stride, 1, rng),
+        ReLU(),
+        *_conv_bn(mid_channels, out_channels, 1, 1, 0, rng),
+    )
+    if stride != 1 or in_channels != out_channels:
+        shortcut = Sequential(*_conv_bn(in_channels, out_channels, 1, stride, 0, rng))
+    else:
+        shortcut = Identity()
+    return Sequential(Residual(body, shortcut), ReLU())
+
+
+def cifar_resnet(
+    depth: int,
+    num_classes: int = 100,
+    in_channels: int = 3,
+    base_width: int = 16,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build a CIFAR ResNet of the 6n+2 family (He et al. 2016).
+
+    ``depth`` must satisfy ``depth = 6n + 2`` (20, 32, 44, 56, 110, ...).
+    ``base_width`` scales the channel counts (16/32/64 at the default).
+    """
+    if depth < 8 or (depth - 2) % 6 != 0:
+        raise ValueError(f"cifar_resnet depth must be 6n+2 with n >= 1, got {depth}")
+    if base_width <= 0:
+        raise ValueError("base_width must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    blocks_per_stage = (depth - 2) // 6
+    widths = (base_width, base_width * 2, base_width * 4)
+
+    layers: list = [*_conv_bn(in_channels, widths[0], 3, 1, 1, rng), ReLU()]
+    in_width = widths[0]
+    for stage_index, stage_width in enumerate(widths):
+        for block_index in range(blocks_per_stage):
+            stride = 2 if stage_index > 0 and block_index == 0 else 1
+            layers.append(_basic_block(in_width, stage_width, stride, rng))
+            in_width = stage_width
+    layers.extend([GlobalAvgPool2d(), Linear(in_width, num_classes, rng=rng)])
+    return Sequential(*layers)
+
+
+def resnet20(num_classes: int = 100, **kwargs) -> Sequential:
+    """CIFAR ResNet-20."""
+    return cifar_resnet(20, num_classes=num_classes, **kwargs)
+
+
+def resnet32(num_classes: int = 100, **kwargs) -> Sequential:
+    """CIFAR ResNet-32."""
+    return cifar_resnet(32, num_classes=num_classes, **kwargs)
+
+
+def resnet56(num_classes: int = 100, **kwargs) -> Sequential:
+    """CIFAR ResNet-56."""
+    return cifar_resnet(56, num_classes=num_classes, **kwargs)
+
+
+def resnet110(num_classes: int = 100, **kwargs) -> Sequential:
+    """CIFAR ResNet-110 — the deepest model in the paper's evaluation."""
+    return cifar_resnet(110, num_classes=num_classes, **kwargs)
+
+
+def resnet50(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    base_width: int = 16,
+    blocks_per_stage: tuple[int, int, int, int] = (3, 4, 6, 3),
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Bottleneck ResNet-50 adapted to small (CIFAR-sized) inputs.
+
+    The stage structure (3, 4, 6, 3) matches ImageNet ResNet-50; the stem is
+    the CIFAR 3x3 convolution instead of the 7x7/stride-2 + max-pool stem so
+    the network remains meaningful on 32x32 or smaller images.  ``base_width``
+    scales all channel counts (the ImageNet model corresponds to 64).
+    """
+    if base_width <= 0:
+        raise ValueError("base_width must be positive")
+    if len(blocks_per_stage) != 4 or any(b <= 0 for b in blocks_per_stage):
+        raise ValueError("blocks_per_stage must be four positive integers")
+    rng = rng if rng is not None else np.random.default_rng()
+    expansion = 4
+    stage_mid_widths = (base_width, base_width * 2, base_width * 4, base_width * 8)
+
+    layers: list = [*_conv_bn(in_channels, base_width, 3, 1, 1, rng), ReLU()]
+    in_width = base_width
+    for stage_index, (mid_width, num_blocks) in enumerate(zip(stage_mid_widths, blocks_per_stage)):
+        out_width = mid_width * expansion
+        for block_index in range(num_blocks):
+            stride = 2 if stage_index > 0 and block_index == 0 else 1
+            layers.append(_bottleneck_block(in_width, mid_width, out_width, stride, rng))
+            in_width = out_width
+    layers.extend([GlobalAvgPool2d(), Linear(in_width, num_classes, rng=rng)])
+    return Sequential(*layers)

@@ -1,0 +1,104 @@
+"""2-D convolution layer implemented with im2col."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(N, C, H, W)`` inputs.
+
+    The forward pass rearranges input patches with im2col so the convolution
+    becomes a single matrix multiply; the backward pass uses the transposed
+    multiply plus col2im for the input gradient.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        if stride <= 0 or padding < 0:
+            raise ValueError("stride must be positive and padding non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(
+                initializers.kaiming_normal(
+                    (out_channels, in_channels, kernel_size, kernel_size), rng
+                )
+            ),
+        )
+        self.bias: Parameter | None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Parameter(initializers.zeros((out_channels,)))
+            )
+        else:
+            self.bias = None
+        self._cache_cols: np.ndarray | None = None
+        self._cache_input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_channels}, H, W), got {inputs.shape}"
+            )
+        n, _, h, w = inputs.shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+
+        cols = im2col(inputs, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        output = cols @ weight_matrix.T
+        if self.bias is not None:
+            output = output + self.bias.data
+        output = output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+        self._cache_cols = cols
+        self._cache_input_shape = inputs.shape
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        n, _, out_h, out_w = grad_output.shape
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        grad_weight = grad_matrix.T @ self._cache_cols
+        self.weight.accumulate_grad(grad_weight.reshape(self.weight.data.shape))
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_matrix.sum(axis=0))
+
+        grad_cols = grad_matrix @ weight_matrix
+        return col2im(
+            grad_cols,
+            self._cache_input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )

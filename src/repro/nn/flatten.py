@@ -1,0 +1,27 @@
+"""Flatten layer bridging convolutional and fully connected stages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Reshape ``(N, ...)`` inputs to ``(N, prod(...))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)

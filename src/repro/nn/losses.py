@@ -1,0 +1,74 @@
+"""Loss functions.
+
+A loss exposes ``forward(predictions, targets) -> float`` and ``backward()``
+returning the gradient with respect to the predictions, so that the training
+loop is ``loss.forward(...); grad = loss.backward(); model.backward(grad)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+__all__ = ["SoftmaxCrossEntropy", "MeanSquaredError"]
+
+
+class SoftmaxCrossEntropy:
+    """Softmax followed by cross-entropy against integer class labels."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Return the mean cross-entropy loss over the batch."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, classes), got shape {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+            )
+        log_probs = log_softmax(logits, axis=1)
+        losses = -log_probs[np.arange(labels.shape[0]), labels]
+        self._cache = (logits, labels)
+        return float(losses.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits, labels = self._cache
+        probabilities = softmax(logits, axis=1)
+        grad = (probabilities - one_hot(labels, logits.shape[1])) / logits.shape[0]
+        return grad
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MeanSquaredError:
+    """Mean squared error for regression targets."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"predictions shape {predictions.shape} != targets shape {targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

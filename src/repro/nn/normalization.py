@@ -1,0 +1,122 @@
+"""Batch-normalization layers.
+
+Running mean/variance are stored as *buffers* (non-trainable state); the
+parameter server propagates them alongside the weights so the evaluation
+model sees sensible statistics regardless of which worker computed the most
+recent update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNormBase(Module):
+    """Shared implementation for 1-D and 2-D batch normalization."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = self.register_parameter("weight", Parameter(np.ones(num_features)))
+        self.beta = self.register_parameter("bias", Parameter(np.zeros(num_features)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # The per-shape layers reduce/broadcast over different axes.
+    _reduce_axes: tuple[int, ...] = (0,)
+
+    def _reshape_stats(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._check_shape(inputs)
+        if self.training:
+            mean = inputs.mean(axis=self._reduce_axes)
+            var = inputs.var(axis=self._reduce_axes)
+            count = inputs.size // self.num_features
+            unbiased_var = var * count / max(count - 1, 1)
+            running_mean = self._buffers["running_mean"]
+            running_var = self._buffers["running_var"]
+            running_mean[...] = (1 - self.momentum) * running_mean + self.momentum * mean
+            running_var[...] = (1 - self.momentum) * running_var + self.momentum * unbiased_var
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+
+        inv_std = 1.0 / np.sqrt(self._reshape_stats(var) + self.eps)
+        normalized = (inputs - self._reshape_stats(mean)) * inv_std
+        output = self._reshape_stats(self.gamma.data) * normalized + self._reshape_stats(
+            self.beta.data
+        )
+        self._cache = (normalized, inv_std, inputs)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, inputs = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+
+        self.gamma.accumulate_grad((grad_output * normalized).sum(axis=self._reduce_axes))
+        self.beta.accumulate_grad(grad_output.sum(axis=self._reduce_axes))
+
+        if not self.training:
+            # In eval mode the normalization statistics are constants.
+            return grad_output * self._reshape_stats(self.gamma.data) * inv_std
+
+        count = inputs.size // self.num_features
+        grad_normalized = grad_output * self._reshape_stats(self.gamma.data)
+        sum_grad = grad_normalized.sum(axis=self._reduce_axes)
+        sum_grad_norm = (grad_normalized * normalized).sum(axis=self._reduce_axes)
+        grad_input = (
+            grad_normalized
+            - self._reshape_stats(sum_grad) / count
+            - normalized * self._reshape_stats(sum_grad_norm) / count
+        ) * inv_std
+        return grad_input
+
+    def _check_shape(self, inputs: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalization over ``(N, C)`` feature matrices."""
+
+    _reduce_axes = (0,)
+
+    def _check_shape(self, inputs: np.ndarray) -> None:
+        if inputs.ndim != 2 or inputs.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.num_features}), got {inputs.shape}"
+            )
+
+    def _reshape_stats(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalization over ``(N, C, H, W)`` images (per-channel stats)."""
+
+    _reduce_axes = (0, 2, 3)
+
+    def _check_shape(self, inputs: np.ndarray) -> None:
+        if inputs.ndim != 4 or inputs.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.num_features}, H, W), got {inputs.shape}"
+            )
+
+    def _reshape_stats(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array).reshape(1, self.num_features, 1, 1)

@@ -1,0 +1,49 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    ``data`` holds the current value, ``grad`` the gradient accumulated by
+    the most recent backward pass (or zeros).  Optimizers update ``data`` in
+    place; the parameter-server code reads/writes ``data`` wholesale.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad")
+
+    def __init__(self, data: np.ndarray, requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.requires_grad = bool(requires_grad)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zeros."""
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient (shape-checked)."""
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Parameter(shape={self.data.shape}, requires_grad={self.requires_grad})"

@@ -1,0 +1,124 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling over non-overlapping or strided windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.padding = int(padding)
+        self._cache_argmax: np.ndarray | None = None
+        self._cache_input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        n, c, h, w = inputs.shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+
+        cols = im2col(inputs, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        cols = cols.reshape(-1, inputs.shape[1], self.kernel_size * self.kernel_size)
+        argmax = cols.argmax(axis=2)
+        output = np.take_along_axis(cols, argmax[..., None], axis=2).squeeze(2)
+        output = output.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+        self._cache_argmax = argmax
+        self._cache_input_shape = inputs.shape
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_argmax is None or self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        n, c, out_h, out_w = grad_output.shape
+        window = self.kernel_size * self.kernel_size
+
+        grad_cols = np.zeros((n * out_h * out_w, c, window), dtype=np.float64)
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c)
+        np.put_along_axis(grad_cols, self._cache_argmax[..., None], grad_flat[..., None], axis=2)
+        grad_cols = grad_cols.reshape(n * out_h * out_w, c * window)
+        return col2im(
+            grad_cols,
+            self._cache_input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+
+class AvgPool2d(Module):
+    """Average pooling over strided windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.padding = int(padding)
+        self._cache_input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        n, c, h, w = inputs.shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        cols = im2col(inputs, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        cols = cols.reshape(-1, c, self.kernel_size * self.kernel_size)
+        output = cols.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        self._cache_input_shape = inputs.shape
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        n, c, out_h, out_w = grad_output.shape
+        window = self.kernel_size * self.kernel_size
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c) / window
+        grad_cols = np.repeat(grad_flat[..., None], window, axis=2)
+        grad_cols = grad_cols.reshape(n * out_h * out_w, c * window)
+        return col2im(
+            grad_cols,
+            self._cache_input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent, producing ``(N, C)`` features."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) input, got shape {inputs.shape}")
+        self._cache_input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._cache_input_shape
+        grad_output = np.asarray(grad_output, dtype=np.float64).reshape(n, c, 1, 1)
+        return np.broadcast_to(grad_output / (h * w), self._cache_input_shape).copy()

@@ -1,0 +1,94 @@
+"""Optimizer base class operating on state dictionaries.
+
+Unlike framework optimizers that are bound to a model's parameter objects,
+these optimizers update a *state dictionary* ``{name: ndarray}`` in place
+given a gradient dictionary with matching keys.  That is exactly the
+operation the parameter server performs when a worker pushes an update, so
+the same optimizer code serves both the single-machine training loop and the
+server-side update rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, MutableMapping
+
+import numpy as np
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: applies gradient dictionaries to weight dictionaries."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        self._base_learning_rate = float(learning_rate)
+        self._learning_rate = float(learning_rate)
+        self._step_count = 0
+
+    @property
+    def learning_rate(self) -> float:
+        """Learning rate that will be used by the next :meth:`step` call."""
+        return self._learning_rate
+
+    @learning_rate.setter
+    def learning_rate(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {value}")
+        self._learning_rate = float(value)
+
+    @property
+    def base_learning_rate(self) -> float:
+        """Learning rate the optimizer was constructed with."""
+        return self._base_learning_rate
+
+    @property
+    def step_count(self) -> int:
+        """Number of :meth:`step` calls performed so far."""
+        return self._step_count
+
+    def step(
+        self,
+        weights: MutableMapping[str, np.ndarray],
+        gradients: Mapping[str, np.ndarray],
+        scale: float = 1.0,
+    ) -> None:
+        """Update ``weights`` in place using ``gradients``.
+
+        ``scale`` multiplies the gradients before the update; the parameter
+        server uses it to average gradients aggregated from several workers.
+        """
+        self._check_keys(weights, gradients)
+        self._apply(weights, gradients, scale)
+        self._step_count += 1
+
+    def _apply(
+        self,
+        weights: MutableMapping[str, np.ndarray],
+        gradients: Mapping[str, np.ndarray],
+        scale: float,
+    ) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_keys(
+        weights: Mapping[str, np.ndarray], gradients: Mapping[str, np.ndarray]
+    ) -> None:
+        missing = set(gradients) - set(weights)
+        if missing:
+            raise KeyError(f"gradients refer to unknown weights: {sorted(missing)[:5]}")
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (step count and learning rate)."""
+        return {
+            "step_count": self._step_count,
+            "learning_rate": self._learning_rate,
+            "base_learning_rate": self._base_learning_rate,
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self._step_count = int(state["step_count"])
+        self._learning_rate = float(state["learning_rate"])
+        self._base_learning_rate = float(state.get("base_learning_rate", self._learning_rate))

@@ -1,0 +1,89 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, MutableMapping
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with optional (Nesterov) momentum and L2 weight decay.
+
+    This matches the update rule the paper uses (MXNet's SGD): for each
+    parameter ``w`` with gradient ``g``:
+
+    .. code-block:: text
+
+        g = g + weight_decay * w
+        v = momentum * v + g
+        w = w - lr * v            (or w - lr * (g + momentum * v) for Nesterov)
+    """
+
+    def __init__(
+        self,
+        learning_rate: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _apply(
+        self,
+        weights: MutableMapping[str, np.ndarray],
+        gradients: Mapping[str, np.ndarray],
+        scale: float,
+    ) -> None:
+        for name, grad in gradients.items():
+            weight = weights[name]
+            grad = np.asarray(grad, dtype=np.float64) * scale
+            if grad.shape != weight.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match weight shape "
+                    f"{weight.shape} for parameter {name!r}"
+                )
+            if self.weight_decay:
+                grad = grad + self.weight_decay * weight
+            if self.momentum:
+                velocity = self._velocity.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(weight)
+                velocity = self.momentum * velocity + grad
+                self._velocity[name] = velocity
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            weight -= self._learning_rate * update
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["weight_decay"] = self.weight_decay
+        state["nesterov"] = self.nesterov
+        state["velocity"] = {name: np.array(v, copy=True) for name, v in self._velocity.items()}
+        return state
+
+    def load_state_dict(self, state: Mapping) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state.get("momentum", self.momentum))
+        self.weight_decay = float(state.get("weight_decay", self.weight_decay))
+        self.nesterov = bool(state.get("nesterov", self.nesterov))
+        self._velocity = {
+            name: np.array(value, copy=True)
+            for name, value in dict(state.get("velocity", {})).items()
+        }

@@ -1,0 +1,61 @@
+"""Staleness-aware SGD (related-work baseline).
+
+Hadjis et al. ("Omnivore", referenced as [27] in the paper) mitigate the
+effect of asynchronous staleness by scaling down the contribution of stale
+gradients.  We provide this as an optional server-side update rule so the
+reproduction can ablate DSSP against a *gradient-side* mitigation rather
+than a *scheduling-side* one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, MutableMapping
+
+import numpy as np
+
+from repro.optim.sgd import SGD
+
+__all__ = ["StalenessAwareSGD"]
+
+
+class StalenessAwareSGD(SGD):
+    """SGD whose effective step size shrinks with the update's staleness.
+
+    The scale factor is ``1 / (1 + alpha * staleness)`` where ``staleness``
+    is the number of global updates that happened between the moment the
+    pushing worker pulled its weights and the moment its gradient is applied.
+    ``alpha = 0`` recovers plain SGD.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        alpha: float = 0.5,
+    ) -> None:
+        super().__init__(learning_rate, momentum=momentum, weight_decay=weight_decay)
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+        self._pending_staleness = 0
+
+    def set_staleness(self, staleness: int) -> None:
+        """Record the staleness of the next gradient to be applied."""
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self._pending_staleness = int(staleness)
+
+    def staleness_scale(self, staleness: int) -> float:
+        """Scale applied to a gradient with the given staleness."""
+        return 1.0 / (1.0 + self.alpha * max(staleness, 0))
+
+    def _apply(
+        self,
+        weights: MutableMapping[str, np.ndarray],
+        gradients: Mapping[str, np.ndarray],
+        scale: float,
+    ) -> None:
+        effective = scale * self.staleness_scale(self._pending_staleness)
+        super()._apply(weights, gradients, effective)
+        self._pending_staleness = 0

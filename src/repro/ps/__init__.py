@@ -1,0 +1,58 @@
+"""Parameter-server framework.
+
+The paper's training system is the classic parameter-server architecture:
+one logical server holds the globally shared weights; every worker keeps a
+model replica and an equal-sized partition of the training data, and
+iterates *compute gradients -> push -> wait for OK -> pull -> continue*.
+
+This subpackage provides that framework built from scratch:
+
+* :class:`KeyValueStore` — versioned storage of the global weights.
+* :class:`ParameterServer` — applies pushed gradients with an optimizer and
+  consults a :class:`repro.core.SynchronizationPolicy` to decide when each
+  worker receives the OK signal.
+* :class:`Worker` — a model replica bound to a data partition that computes
+  gradients from its (possibly stale) local weights.
+* :class:`ThreadedTrainer` — a real concurrent runtime in which every worker
+  is a Python thread and synchronization is enforced with condition
+  variables; useful to demonstrate the framework end to end on one machine.
+* :func:`train_distributed` — a convenience coordinator that assembles the
+  pieces from plain configuration.
+"""
+
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.messages import PushRequest, PullReply, OkSignal, WorkerReport
+from repro.ps.server import ParameterServer, PushResponse
+from repro.ps.worker import Worker, GradientComputation
+from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
+from repro.ps.coordinator import DistributedTrainingConfig, train_distributed
+from repro.ps.callbacks import Callback, CallbackList, EvaluationRecorder
+from repro.ps.checkpoint import (
+    CheckpointMetadata,
+    save_checkpoint,
+    load_checkpoint,
+    restore_into,
+)
+
+__all__ = [
+    "KeyValueStore",
+    "PushRequest",
+    "PullReply",
+    "OkSignal",
+    "WorkerReport",
+    "ParameterServer",
+    "PushResponse",
+    "Worker",
+    "GradientComputation",
+    "ThreadedTrainer",
+    "ThreadedTrainingResult",
+    "DistributedTrainingConfig",
+    "train_distributed",
+    "Callback",
+    "CallbackList",
+    "EvaluationRecorder",
+    "CheckpointMetadata",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_into",
+]

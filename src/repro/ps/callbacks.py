@@ -1,0 +1,74 @@
+"""Callback hooks for the training runtimes.
+
+Both the threaded runtime and the simulator call these hooks so that
+experiments can record accuracy curves, staleness distributions or custom
+diagnostics without modifying the training loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Callback", "CallbackList", "EvaluationRecorder"]
+
+
+class Callback:
+    """Base class; override any subset of the hooks."""
+
+    def on_training_start(self, context: dict) -> None:
+        """Called once before the first iteration."""
+
+    def on_push(self, context: dict) -> None:
+        """Called after the server processed a push (context has the response)."""
+
+    def on_evaluation(self, context: dict) -> None:
+        """Called after a periodic evaluation (context has time/accuracy/loss)."""
+
+    def on_training_end(self, context: dict) -> None:
+        """Called once after the last iteration."""
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to a list of callbacks, in order."""
+
+    def __init__(self, callbacks: list[Callback] | None = None) -> None:
+        self.callbacks = list(callbacks or [])
+
+    def append(self, callback: Callback) -> None:
+        """Add a callback to the end of the dispatch list."""
+        self.callbacks.append(callback)
+
+    def on_training_start(self, context: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_training_start(context)
+
+    def on_push(self, context: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_push(context)
+
+    def on_evaluation(self, context: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_evaluation(context)
+
+    def on_training_end(self, context: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_training_end(context)
+
+
+@dataclass
+class EvaluationRecorder(Callback):
+    """Collects the (time, accuracy, loss) series produced by evaluations."""
+
+    times: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    def on_evaluation(self, context: dict) -> None:
+        self.times.append(float(context["time"]))
+        self.accuracies.append(float(context["accuracy"]))
+        self.losses.append(float(context["loss"]))
+
+    @property
+    def best_accuracy(self) -> float:
+        """Highest accuracy observed so far (0.0 when no evaluations ran)."""
+        return max(self.accuracies, default=0.0)

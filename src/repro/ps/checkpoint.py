@@ -1,0 +1,126 @@
+"""Checkpointing of distributed training state.
+
+Long training runs (the paper's jobs run up to the cluster's 24-hour limit)
+need to survive restarts.  A checkpoint captures everything the server owns:
+the global weights, the non-trainable buffers, the optimizer state (including
+momentum velocity) and the store version, serialized to a single ``.npz``
+file plus a small JSON header.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.ps.kvstore import KeyValueStore
+
+__all__ = ["CheckpointMetadata", "save_checkpoint", "load_checkpoint", "restore_into"]
+
+_WEIGHT_PREFIX = "weight::"
+_BUFFER_PREFIX = "buffer::"
+_VELOCITY_PREFIX = "velocity::"
+_HEADER_KEY = "__header__"
+
+
+@dataclass(frozen=True)
+class CheckpointMetadata:
+    """Header information stored alongside the arrays."""
+
+    version: int
+    paradigm: str
+    extra: dict
+
+    def to_json(self) -> str:
+        return json.dumps({"version": self.version, "paradigm": self.paradigm, "extra": self.extra})
+
+    @staticmethod
+    def from_json(payload: str) -> "CheckpointMetadata":
+        data = json.loads(payload)
+        return CheckpointMetadata(
+            version=int(data["version"]),
+            paradigm=str(data.get("paradigm", "unknown")),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+def save_checkpoint(
+    path: str | Path,
+    store: KeyValueStore,
+    optimizer: Optimizer,
+    paradigm: str = "unknown",
+    extra: dict | None = None,
+) -> Path:
+    """Write the server state to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in store.weights_snapshot().items():
+        arrays[_WEIGHT_PREFIX + name] = value
+    for name, value in store.buffers_snapshot().items():
+        arrays[_BUFFER_PREFIX + name] = value
+
+    optimizer_state = optimizer.state_dict()
+    velocity = optimizer_state.pop("velocity", {})
+    for name, value in dict(velocity).items():
+        arrays[_VELOCITY_PREFIX + name] = np.asarray(value)
+
+    metadata = CheckpointMetadata(
+        version=store.version,
+        paradigm=paradigm,
+        extra={"optimizer": optimizer_state, **(extra or {})},
+    )
+    arrays[_HEADER_KEY] = np.frombuffer(metadata.to_json().encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict, dict, dict, CheckpointMetadata]:
+    """Read a checkpoint; returns ``(weights, buffers, velocity, metadata)``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        header = bytes(archive[_HEADER_KEY].tobytes()).decode("utf-8")
+        metadata = CheckpointMetadata.from_json(header)
+        weights = {
+            name[len(_WEIGHT_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_WEIGHT_PREFIX)
+        }
+        buffers = {
+            name[len(_BUFFER_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_BUFFER_PREFIX)
+        }
+        velocity = {
+            name[len(_VELOCITY_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_VELOCITY_PREFIX)
+        }
+    return weights, buffers, velocity, metadata
+
+
+def restore_into(
+    path: str | Path, store: KeyValueStore, optimizer: Optimizer
+) -> CheckpointMetadata:
+    """Restore a checkpoint into an existing store and optimizer.
+
+    The store must have been built for the same model (same parameter names
+    and shapes); mismatches raise rather than silently truncating.
+    """
+    weights, buffers, velocity, metadata = load_checkpoint(path)
+    store.overwrite_weights(weights)
+    if buffers:
+        store.update_buffers(buffers)
+    optimizer_state = dict(metadata.extra.get("optimizer", {}))
+    if optimizer_state:
+        optimizer_state["velocity"] = velocity
+        optimizer.load_state_dict(optimizer_state)
+    return metadata

@@ -1,0 +1,158 @@
+"""Convenience coordinator assembling a full threaded training run.
+
+:func:`train_distributed` wires together dataset partitioning, model
+replicas, the parameter server with a chosen synchronization paradigm and
+the threaded runtime.  It is the "five lines to a distributed run" entry
+point used by the quickstart example and the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.factory import make_policy
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import MiniBatchLoader
+from repro.data.partitioner import partition_dataset
+from repro.metrics.accuracy import evaluate_model
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.module import Module
+from repro.optim.schedules import ConstantSchedule
+from repro.optim.sgd import SGD
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
+from repro.ps.server import ParameterServer
+from repro.ps.worker import Worker
+from repro.utils.rng import RngStream
+
+__all__ = ["DistributedTrainingConfig", "train_distributed"]
+
+
+@dataclass
+class DistributedTrainingConfig:
+    """Configuration of a threaded distributed training run.
+
+    Attributes
+    ----------
+    paradigm:
+        ``"bsp"``, ``"asp"``, ``"ssp"`` or ``"dssp"``.
+    paradigm_kwargs:
+        Parameters of the paradigm (e.g. ``{"staleness": 3}`` for SSP or
+        ``{"s_lower": 3, "s_upper": 15}`` for DSSP).
+    num_workers:
+        Number of worker threads.
+    iterations_per_worker:
+        Push iterations each worker performs.
+    batch_size:
+        Mini-batch size per worker iteration.
+    micro_batches:
+        Number of micro-batches aggregated per push (models multi-GPU workers).
+    learning_rate, momentum, weight_decay:
+        Server-side SGD hyper-parameters.
+    slowdowns:
+        Optional per-worker artificial slowdown in seconds per iteration,
+        keyed by worker id (``"worker-0"``, ...), to emulate heterogeneity.
+    evaluate_every_pushes:
+        Evaluate the global model every N pushes (0 disables evaluation).
+    seed:
+        Master seed for data order and weight initialization.
+    """
+
+    paradigm: str = "dssp"
+    paradigm_kwargs: dict = field(default_factory=lambda: {"s_lower": 3, "s_upper": 15})
+    num_workers: int = 4
+    iterations_per_worker: int = 20
+    batch_size: int = 32
+    micro_batches: int = 1
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    slowdowns: Mapping[str, float] = field(default_factory=dict)
+    evaluate_every_pushes: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.iterations_per_worker <= 0:
+            raise ValueError("iterations_per_worker must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+def train_distributed(
+    config: DistributedTrainingConfig,
+    model_builder: Callable[[np.random.Generator], Module],
+    train_dataset: ArrayDataset,
+    test_dataset: ArrayDataset | None = None,
+) -> ThreadedTrainingResult:
+    """Run threaded distributed training and return its result.
+
+    ``model_builder`` is called once per worker plus once for the global
+    model; every replica is immediately overwritten with the global initial
+    weights so all workers start from the same point, as in the paper.
+    """
+    streams = RngStream(config.seed)
+    policy = make_policy(config.paradigm, **config.paradigm_kwargs)
+
+    global_model = model_builder(streams.get("init"))
+    store = KeyValueStore(
+        initial_weights={name: p.data for name, p in global_model.named_parameters()},
+        initial_buffers=global_model.buffers(),
+    )
+    optimizer = SGD(
+        learning_rate=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    server = ParameterServer(
+        store=store,
+        optimizer=optimizer,
+        policy=policy,
+        learning_rate_schedule=ConstantSchedule(config.learning_rate),
+    )
+
+    partitions = partition_dataset(
+        train_dataset, config.num_workers, rng=streams.get("partition")
+    )
+    workers = []
+    for index, partition in enumerate(partitions):
+        worker_id = f"worker-{index}"
+        server.register_worker(worker_id)
+        loader = MiniBatchLoader(
+            partition,
+            batch_size=config.batch_size,
+            rng=streams.get(f"loader-{index}"),
+        )
+        replica = model_builder(streams.get(f"model-{index}"))
+        replica.load_state_dict(global_model.state_dict())
+        workers.append(
+            Worker(
+                worker_id=worker_id,
+                model=replica,
+                loader=loader,
+                loss_fn=SoftmaxCrossEntropy(),
+                micro_batches=config.micro_batches,
+            )
+        )
+
+    evaluate_fn = None
+    if test_dataset is not None and config.evaluate_every_pushes > 0:
+        eval_model = model_builder(streams.get("eval"))
+
+        def evaluate_fn(state: Mapping[str, np.ndarray]) -> tuple[float, float]:
+            eval_model.load_state_dict(dict(state))
+            return evaluate_model(eval_model, test_dataset, batch_size=config.batch_size)
+
+    trainer = ThreadedTrainer(
+        server=server,
+        workers=workers,
+        iterations_per_worker=config.iterations_per_worker,
+        slowdowns=config.slowdowns,
+        evaluate_fn=evaluate_fn,
+        evaluate_every_pushes=config.evaluate_every_pushes,
+    )
+    return trainer.run()

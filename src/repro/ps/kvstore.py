@@ -1,0 +1,130 @@
+"""Versioned key-value store for the globally shared weights."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["KeyValueStore"]
+
+
+class KeyValueStore:
+    """Holds the global model state on the server.
+
+    Two kinds of entries are stored:
+
+    * *weights* — trainable parameters, updated by applying pushed gradients
+      through an :class:`repro.optim.Optimizer`;
+    * *buffers* — non-trainable state (e.g. batch-norm running statistics),
+      overwritten wholesale when a worker pushes fresher values.
+
+    ``version`` counts the number of gradient applications, which is the
+    quantity used to measure update staleness.
+    """
+
+    def __init__(
+        self,
+        initial_weights: Mapping[str, np.ndarray],
+        initial_buffers: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        if not initial_weights:
+            raise ValueError("initial_weights must contain at least one parameter")
+        self._weights: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, np.array(value, dtype=np.float64, copy=True))
+            for name, value in initial_weights.items()
+        )
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, np.array(value, dtype=np.float64, copy=True))
+            for name, value in (initial_buffers or {}).items()
+        )
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Number of gradient updates applied so far."""
+        return self._version
+
+    @property
+    def parameter_names(self) -> list[str]:
+        """Names of the trainable parameters."""
+        return list(self._weights)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar count of the trainable parameters."""
+        return int(sum(array.size for array in self._weights.values()))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes transferred by one full pull (weights plus buffers)."""
+        total = sum(array.nbytes for array in self._weights.values())
+        total += sum(array.nbytes for array in self._buffers.values())
+        return int(total)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current weights (what a pull returns)."""
+        return OrderedDict((name, value.copy()) for name, value in self._weights.items())
+
+    def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current buffers."""
+        return OrderedDict((name, value.copy()) for name, value in self._buffers.items())
+
+    def full_state(self) -> "OrderedDict[str, np.ndarray]":
+        """Weights and buffers combined (for loading into an evaluation model)."""
+        state = self.weights_snapshot()
+        state.update(self.buffers_snapshot())
+        return state
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def apply_gradients(
+        self,
+        gradients: Mapping[str, np.ndarray],
+        optimizer: Optimizer,
+        scale: float = 1.0,
+    ) -> int:
+        """Apply a gradient dictionary with ``optimizer`` and bump the version.
+
+        Returns the new version number.
+        """
+        unknown = set(gradients) - set(self._weights)
+        if unknown:
+            raise KeyError(f"gradients refer to unknown parameters: {sorted(unknown)[:5]}")
+        optimizer.step(self._weights, gradients, scale=scale)
+        self._version += 1
+        return self._version
+
+    def update_buffers(self, buffers: Mapping[str, np.ndarray]) -> None:
+        """Overwrite buffer entries with fresher worker-side values."""
+        for name, value in buffers.items():
+            value = np.asarray(value, dtype=np.float64)
+            if name in self._buffers and self._buffers[name].shape != value.shape:
+                raise ValueError(
+                    f"buffer shape mismatch for {name!r}: "
+                    f"{self._buffers[name].shape} vs {value.shape}"
+                )
+            self._buffers[name] = value.copy()
+
+    def overwrite_weights(self, weights: Mapping[str, np.ndarray]) -> None:
+        """Replace the stored weights (used by checkpoint restore)."""
+        unknown = set(weights) - set(self._weights)
+        if unknown:
+            raise KeyError(f"unknown parameters: {sorted(unknown)[:5]}")
+        for name, value in weights.items():
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != self._weights[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {self._weights[name].shape} vs {value.shape}"
+                )
+            self._weights[name] = value.copy()

@@ -1,0 +1,78 @@
+"""Message types exchanged between workers and the parameter server.
+
+The thread-based runtime passes these objects through queues; the simulator
+constructs them as event payloads.  Keeping them as explicit dataclasses
+(rather than ad-hoc tuples) documents the protocol the paper describes:
+*push* carries gradients and the version of the weights they were computed
+from, *OK* releases a worker, *pull* returns a snapshot of the weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["PushRequest", "PullReply", "OkSignal", "WorkerReport"]
+
+
+@dataclass(frozen=True)
+class PushRequest:
+    """Gradient push from a worker to the server.
+
+    Attributes
+    ----------
+    worker_id:
+        Identifier of the pushing worker.
+    gradients:
+        Mapping of parameter name to gradient array (already averaged over
+        the worker's mini-batch and local GPU replicas).
+    base_version:
+        The key-value store version from which the worker's local weights
+        were pulled; the server uses it to measure update staleness.
+    timestamp:
+        The worker-side time of the push (wall-clock seconds in the threaded
+        runtime, virtual seconds in the simulator).
+    buffers:
+        Optional non-trainable state (batch-norm statistics) to refresh on
+        the server.
+    local_loss:
+        Training loss of the mini-batch, reported for monitoring.
+    """
+
+    worker_id: str
+    gradients: Mapping[str, np.ndarray]
+    base_version: int
+    timestamp: float
+    buffers: Mapping[str, np.ndarray] = field(default_factory=dict)
+    local_loss: float | None = None
+
+
+@dataclass(frozen=True)
+class PullReply:
+    """Snapshot of the global weights returned to a worker."""
+
+    weights: Mapping[str, np.ndarray]
+    buffers: Mapping[str, np.ndarray]
+    version: int
+
+
+@dataclass(frozen=True)
+class OkSignal:
+    """Release signal: the worker may pull and start its next iteration."""
+
+    worker_id: str
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """End-of-run summary a worker hands back to the coordinator."""
+
+    worker_id: str
+    iterations: int
+    samples_processed: int
+    total_wait_time: float
+    total_compute_time: float
+    mean_loss: float

@@ -1,0 +1,245 @@
+"""Thread-based parameter-server runtime.
+
+Every worker runs in its own Python thread; the server is shared and
+protected by a lock; the OK signal of each worker is a ``threading.Event``.
+This runtime exercises the framework as a genuinely concurrent system on one
+machine (the GIL serializes NumPy-bound compute to a degree, but the
+synchronization behaviour — who waits for whom, and for how long — is real).
+
+Per-worker artificial slowdowns emulate heterogeneous devices: a worker with
+``slowdown=0.01`` sleeps ten milliseconds per iteration, so it behaves like
+the paper's GTX 1060 next to a faster GTX 1080 Ti.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.ps.callbacks import Callback, CallbackList
+from repro.ps.messages import PushRequest, WorkerReport
+from repro.ps.server import ParameterServer
+from repro.ps.worker import Worker
+from repro.utils.logging import get_logger
+
+__all__ = ["ThreadedTrainer", "ThreadedTrainingResult"]
+
+_LOGGER = get_logger("ps.runtime")
+
+
+@dataclass
+class ThreadedTrainingResult:
+    """Everything the threaded runtime reports at the end of a run."""
+
+    wall_time: float
+    worker_reports: list[WorkerReport]
+    server_statistics: dict
+    evaluation_times: list[float] = field(default_factory=list)
+    evaluation_accuracies: list[float] = field(default_factory=list)
+    evaluation_losses: list[float] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy of the last evaluation (0.0 when none ran)."""
+        return self.evaluation_accuracies[-1] if self.evaluation_accuracies else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy over all evaluations (0.0 when none ran)."""
+        return max(self.evaluation_accuracies, default=0.0)
+
+
+class ThreadedTrainer:
+    """Runs distributed training with worker threads and a shared server."""
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        workers: list[Worker],
+        iterations_per_worker: int,
+        slowdowns: Mapping[str, float] | None = None,
+        evaluate_fn: Callable[[Mapping[str, np.ndarray]], tuple[float, float]] | None = None,
+        evaluate_every_pushes: int = 0,
+        callbacks: list[Callback] | None = None,
+        wait_timeout: float = 120.0,
+    ) -> None:
+        """Create a threaded trainer.
+
+        Parameters
+        ----------
+        server, workers:
+            A configured :class:`ParameterServer` and the worker replicas.
+            Workers must already be registered with the server.
+        iterations_per_worker:
+            How many push iterations each worker performs.
+        slowdowns:
+            Optional per-worker sleep (seconds) added to every iteration to
+            emulate slower devices.
+        evaluate_fn:
+            Callable mapping a full global state to ``(accuracy, loss)``;
+            evaluated every ``evaluate_every_pushes`` pushes when positive.
+        wait_timeout:
+            Safety timeout for a blocked worker; exceeding it aborts the run
+            with an error instead of hanging the test suite.
+        """
+        if iterations_per_worker <= 0:
+            raise ValueError("iterations_per_worker must be positive")
+        registered = set(server.worker_ids)
+        for worker in workers:
+            if worker.worker_id not in registered:
+                raise ValueError(f"worker {worker.worker_id!r} is not registered with the server")
+        self.server = server
+        self.workers = workers
+        self.iterations_per_worker = int(iterations_per_worker)
+        self.slowdowns = dict(slowdowns or {})
+        self.evaluate_fn = evaluate_fn
+        self.evaluate_every_pushes = int(evaluate_every_pushes)
+        self.callbacks = CallbackList(callbacks)
+        self.wait_timeout = float(wait_timeout)
+
+        self._lock = threading.Lock()
+        self._ok_events: dict[str, threading.Event] = {
+            worker.worker_id: threading.Event() for worker in workers
+        }
+        self._errors: list[str] = []
+        self._result: ThreadedTrainingResult | None = None
+        self._compute_times: dict[str, float] = {}
+        self._eval_times: list[float] = []
+        self._eval_accuracies: list[float] = []
+        self._eval_losses: list[float] = []
+        self._start_time = 0.0
+        self._abort = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> ThreadedTrainingResult:
+        """Run the training to completion and return the collected results."""
+        self._start_time = time.monotonic()
+        self.callbacks.on_training_start({"server": self.server, "workers": self.workers})
+
+        threads = [
+            threading.Thread(target=self._worker_loop, args=(worker,), daemon=True)
+            for worker in self.workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        wall_time = time.monotonic() - self._start_time
+        reports = [self._make_report(worker) for worker in self.workers]
+        result = ThreadedTrainingResult(
+            wall_time=wall_time,
+            worker_reports=reports,
+            server_statistics=self.server.statistics(),
+            evaluation_times=self._eval_times,
+            evaluation_accuracies=self._eval_accuracies,
+            evaluation_losses=self._eval_losses,
+            errors=list(self._errors),
+        )
+        self.callbacks.on_training_end({"result": result})
+        self._result = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Worker thread body
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker: Worker) -> None:
+        worker_id = worker.worker_id
+        slowdown = self.slowdowns.get(worker_id, 0.0)
+        total_wait = 0.0
+        total_compute = 0.0
+        try:
+            with self._lock:
+                reply = self.server.handle_pull()
+            worker.load_weights(reply.weights, reply.version)
+
+            for iteration in range(self.iterations_per_worker):
+                if self._abort.is_set():
+                    return
+                compute_start = time.monotonic()
+                computation = worker.compute_gradients()
+                if slowdown > 0:
+                    time.sleep(slowdown)
+                total_compute += time.monotonic() - compute_start
+
+                request = PushRequest(
+                    worker_id=worker_id,
+                    gradients=computation.gradients,
+                    base_version=computation.base_version,
+                    timestamp=time.monotonic() - self._start_time,
+                    buffers=computation.buffers,
+                    local_loss=computation.loss,
+                )
+                with self._lock:
+                    self._ok_events[worker_id].clear()
+                    response = self.server.handle_push(request)
+                    for released in response.released_workers:
+                        self._ok_events[released].set()
+                    if response.release_now:
+                        self._ok_events[worker_id].set()
+                    self._maybe_evaluate()
+                    self.callbacks.on_push(
+                        {"response": response, "worker_id": worker_id, "iteration": iteration}
+                    )
+
+                wait_start = time.monotonic()
+                if not self._ok_events[worker_id].wait(timeout=self.wait_timeout):
+                    raise TimeoutError(
+                        f"worker {worker_id!r} waited more than {self.wait_timeout}s for OK"
+                    )
+                total_wait += time.monotonic() - wait_start
+
+                with self._lock:
+                    reply = self.server.handle_pull()
+                worker.load_weights(reply.weights, reply.version)
+        except Exception as error:  # noqa: BLE001 - worker failures must not hang the run
+            _LOGGER.exception("worker %s failed", worker_id)
+            self._errors.append(f"{worker_id}: {error}")
+            self._abort.set()
+            # Release everyone so the run terminates promptly.
+            for event in self._ok_events.values():
+                event.set()
+        finally:
+            self._record_worker_times(worker_id, total_wait, total_compute)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _record_worker_times(self, worker_id: str, wait: float, compute: float) -> None:
+        with self._lock:
+            self.server.policy.clock_table.record_wait(worker_id, wait)
+            self._compute_times[worker_id] = compute
+
+    def _maybe_evaluate(self) -> None:
+        """Evaluate the global weights every ``evaluate_every_pushes`` pushes.
+
+        Called with the server lock held.
+        """
+        if self.evaluate_fn is None or self.evaluate_every_pushes <= 0:
+            return
+        if self.server.pushes_handled % self.evaluate_every_pushes != 0:
+            return
+        accuracy, loss = self.evaluate_fn(self.server.store.full_state())
+        now = time.monotonic() - self._start_time
+        self._eval_times.append(now)
+        self._eval_accuracies.append(accuracy)
+        self._eval_losses.append(loss)
+        self.callbacks.on_evaluation({"time": now, "accuracy": accuracy, "loss": loss})
+
+    def _make_report(self, worker: Worker) -> WorkerReport:
+        compute_times = self._compute_times
+        return WorkerReport(
+            worker_id=worker.worker_id,
+            iterations=worker.iterations,
+            samples_processed=worker.samples_processed,
+            total_wait_time=self.server.policy.clock_table.total_wait_time(worker.worker_id),
+            total_compute_time=compute_times.get(worker.worker_id, 0.0),
+            mean_loss=worker.mean_loss,
+        )

@@ -1,0 +1,182 @@
+"""The parameter server: weight updates plus synchronization decisions.
+
+The server is deliberately free of threads and I/O — it is a state machine
+driven by push events — so the exact same object serves the thread-based
+runtime (:mod:`repro.ps.runtime`) and the discrete-event simulator
+(:mod:`repro.simulation.trainer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import SynchronizationPolicy
+from repro.core.staleness import StalenessTracker
+from repro.optim.optimizer import Optimizer
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.messages import PullReply, PushRequest
+from repro.utils.logging import get_logger
+
+__all__ = ["PushResponse", "ParameterServer"]
+
+_LOGGER = get_logger("ps.server")
+
+
+@dataclass(frozen=True)
+class PushResponse:
+    """Outcome of handling one push request.
+
+    ``release_now`` tells the runtime whether the pushing worker gets its OK
+    immediately; ``released_workers`` lists previously blocked workers whose
+    wait condition became satisfied by this push (they must also be sent OK).
+    """
+
+    worker_id: str
+    release_now: bool
+    released_workers: tuple[str, ...]
+    new_version: int
+    staleness: int
+    used_extra_credit: bool
+
+
+class ParameterServer:
+    """Applies pushed gradients and enforces a synchronization paradigm."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        optimizer: Optimizer,
+        policy: SynchronizationPolicy,
+        gradient_scale: float | None = None,
+        learning_rate_schedule=None,
+    ) -> None:
+        """Create a server.
+
+        Parameters
+        ----------
+        store:
+            Key-value store holding the global weights.
+        optimizer:
+            Server-side update rule applied to every push.
+        policy:
+            Synchronization paradigm (BSP/ASP/SSP/DSSP).
+        gradient_scale:
+            Factor multiplied into every pushed gradient before the update.
+            Defaults to ``1 / num_workers`` once workers are registered, which
+            makes one *round* of pushes from all workers equivalent to one
+            large-batch update (the convention the paper's MXNet setup uses).
+        learning_rate_schedule:
+            Optional schedule object with a ``learning_rate(progress)``
+            method; when set, :meth:`set_progress` adjusts the optimizer's
+            learning rate (the paper decays the rate at fixed epochs).
+        """
+        self.store = store
+        self.optimizer = optimizer
+        self.policy = policy
+        self.staleness_tracker = StalenessTracker()
+        self._gradient_scale = gradient_scale
+        self._schedule = learning_rate_schedule
+        self._registered_workers: list[str] = []
+        self._pushes_handled = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str) -> None:
+        """Register a worker with both the server and the policy."""
+        if worker_id in self._registered_workers:
+            raise ValueError(f"worker {worker_id!r} already registered")
+        self._registered_workers.append(worker_id)
+        self.policy.register_worker(worker_id)
+
+    @property
+    def worker_ids(self) -> list[str]:
+        """Registered workers in registration order."""
+        return list(self._registered_workers)
+
+    @property
+    def num_workers(self) -> int:
+        """Number of registered workers."""
+        return len(self._registered_workers)
+
+    @property
+    def pushes_handled(self) -> int:
+        """Total number of push requests processed."""
+        return self._pushes_handled
+
+    def gradient_scale(self) -> float:
+        """Scale applied to pushed gradients (default ``1 / num_workers``)."""
+        if self._gradient_scale is not None:
+            return self._gradient_scale
+        return 1.0 / max(self.num_workers, 1)
+
+    # ------------------------------------------------------------------
+    # Training-time interface
+    # ------------------------------------------------------------------
+    def set_progress(self, progress: float) -> None:
+        """Update the learning rate from the schedule given training progress.
+
+        ``progress`` is measured in epochs (total samples processed divided
+        by the training-set size), matching how the paper schedules decay.
+        """
+        if self._schedule is None:
+            return
+        self.optimizer.learning_rate = self._schedule.learning_rate(progress)
+
+    def handle_push(self, request: PushRequest) -> PushResponse:
+        """Apply a pushed gradient and decide which workers to release."""
+        if request.worker_id not in self._registered_workers:
+            raise KeyError(f"push from unregistered worker {request.worker_id!r}")
+
+        staleness = self.store.version - request.base_version
+        if staleness < 0:
+            raise ValueError(
+                "push base_version is newer than the store version "
+                f"({request.base_version} > {self.store.version})"
+            )
+        self.staleness_tracker.record(request.worker_id, staleness)
+
+        new_version = self.store.apply_gradients(
+            request.gradients, self.optimizer, scale=self.gradient_scale()
+        )
+        if request.buffers:
+            self.store.update_buffers(request.buffers)
+
+        outcome = self.policy.on_push(request.worker_id, request.timestamp)
+        released = tuple(self.policy.pop_releasable())
+        self._pushes_handled += 1
+        _LOGGER.debug(
+            "push from %s: version=%d staleness=%d release=%s unblocked=%s",
+            request.worker_id,
+            new_version,
+            staleness,
+            outcome.release,
+            released,
+        )
+        return PushResponse(
+            worker_id=request.worker_id,
+            release_now=outcome.release,
+            released_workers=released,
+            new_version=new_version,
+            staleness=staleness,
+            used_extra_credit=outcome.used_extra_credit,
+        )
+
+    def handle_pull(self) -> PullReply:
+        """Return a snapshot of the global weights (the pull operation)."""
+        return PullReply(
+            weights=self.store.weights_snapshot(),
+            buffers=self.store.buffers_snapshot(),
+            version=self.store.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict:
+        """Combined policy and staleness statistics for experiment reports."""
+        stats = self.policy.statistics()
+        stats["store_version"] = self.store.version
+        stats["update_staleness"] = self.staleness_tracker.summary()
+        stats["learning_rate"] = self.optimizer.learning_rate
+        return stats

@@ -1,0 +1,149 @@
+"""Worker-side logic: a model replica bound to a data partition.
+
+A worker owns
+
+* a replica of the model,
+* its partition of the training data (served by a mini-batch loader), and
+* the version number of the global weights its replica currently holds.
+
+One call to :meth:`Worker.compute_gradients` performs the gradient
+computation of one iteration (optionally aggregating several micro-batches,
+which models the paper's "each worker sums the gradients of its 4 GPUs").
+The worker never updates weights itself — that is the server's job — so the
+same class is used by the threaded runtime and the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.loader import MiniBatchLoader
+from repro.nn.module import Module
+from repro.utils.serialization import scale_state
+
+__all__ = ["GradientComputation", "Worker"]
+
+
+@dataclass(frozen=True)
+class GradientComputation:
+    """Result of one local iteration."""
+
+    gradients: Mapping[str, np.ndarray]
+    buffers: Mapping[str, np.ndarray]
+    loss: float
+    samples: int
+    base_version: int
+
+
+class Worker:
+    """A parameter-server worker (one model replica plus a data partition)."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        model: Module,
+        loader: MiniBatchLoader,
+        loss_fn,
+        micro_batches: int = 1,
+    ) -> None:
+        if micro_batches <= 0:
+            raise ValueError("micro_batches must be positive")
+        self.worker_id = worker_id
+        self.model = model
+        self.loader = loader
+        self.loss_fn = loss_fn
+        self.micro_batches = int(micro_batches)
+        self._local_version = 0
+        self._iterations = 0
+        self._samples_processed = 0
+        self._loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Weight synchronization
+    # ------------------------------------------------------------------
+    @property
+    def local_version(self) -> int:
+        """Store version of the weights currently loaded in the replica."""
+        return self._local_version
+
+    def load_weights(self, weights: Mapping[str, np.ndarray], version: int) -> None:
+        """Replace the replica's trainable weights with a pulled snapshot."""
+        parameters = dict(self.model.named_parameters())
+        unknown = set(weights) - set(parameters)
+        if unknown:
+            raise KeyError(f"pulled weights contain unknown parameters: {sorted(unknown)[:5]}")
+        for name, value in weights.items():
+            parameters[name].data[...] = np.asarray(value, dtype=np.float64)
+        self._local_version = int(version)
+
+    # ------------------------------------------------------------------
+    # Gradient computation
+    # ------------------------------------------------------------------
+    def compute_gradients(self) -> GradientComputation:
+        """Run one iteration: forward/backward over ``micro_batches`` batches.
+
+        The returned gradients are averaged over the micro-batches, matching
+        the behaviour of a worker that averages the gradients produced by its
+        local GPUs before pushing.
+        """
+        self.model.train(True)
+        accumulated: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        total_loss = 0.0
+        total_samples = 0
+        for _ in range(self.micro_batches):
+            inputs, labels = self.loader.next_batch()
+            self.model.zero_grad()
+            outputs = self.model.forward(inputs)
+            loss = self.loss_fn.forward(outputs, labels)
+            self.model.backward(self.loss_fn.backward())
+            gradients = self.model.gradients()
+            if not accumulated:
+                accumulated = gradients
+            else:
+                for name, grad in gradients.items():
+                    accumulated[name] = accumulated[name] + grad
+            total_loss += loss * inputs.shape[0]
+            total_samples += inputs.shape[0]
+
+        averaged = scale_state(accumulated, 1.0 / self.micro_batches)
+        self._iterations += 1
+        self._samples_processed += total_samples
+        mean_loss = total_loss / max(total_samples, 1)
+        self._loss_history.append(mean_loss)
+        return GradientComputation(
+            gradients=averaged,
+            buffers=self.model.buffers(),
+            loss=mean_loss,
+            samples=total_samples,
+            base_version=self._local_version,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def iterations(self) -> int:
+        """Number of iterations (pushes) this worker has computed."""
+        return self._iterations
+
+    @property
+    def samples_processed(self) -> int:
+        """Total training samples consumed by this worker."""
+        return self._samples_processed
+
+    @property
+    def mean_loss(self) -> float:
+        """Mean training loss over all iterations so far."""
+        if not self._loss_history:
+            return float("nan")
+        return float(np.mean(self._loss_history))
+
+    def recent_loss(self, window: int = 10) -> float:
+        """Mean training loss over the last ``window`` iterations."""
+        if not self._loss_history:
+            return float("nan")
+        return float(np.mean(self._loss_history[-window:]))

@@ -1,0 +1,483 @@
+"""Simulated distributed training: virtual time, real gradients.
+
+The simulator drives the same :class:`repro.ps.server.ParameterServer` and
+:class:`repro.ps.worker.Worker` objects as the threaded runtime, but instead
+of real threads and wall-clock time it advances a virtual clock with a
+discrete-event loop:
+
+1. every worker starts by pulling the initial weights and schedules its
+   first *push arrival* after one simulated iteration time (compute time on
+   its device plus push/pull communication time on its link);
+2. the earliest push arrival is processed: the worker's gradient is computed
+   *for real* from its (possibly stale) local weights, applied at the server,
+   and the synchronization policy decides whether the worker continues
+   immediately or waits;
+3. released workers pull the fresh weights and schedule their next push;
+   blocked workers are released (and their waiting time recorded) when a
+   later push satisfies their policy condition;
+4. the global model is periodically evaluated on the test set, producing the
+   accuracy-versus-virtual-time curves that correspond to the paper's
+   figures.
+
+Because gradients are real, stale updates genuinely perturb convergence —
+ASP pays an accuracy cost, BSP pays a time cost, and SSP/DSSP trade between
+them exactly as in the paper; because time is simulated, heterogeneous GPU
+clusters (Figure 4, Table I) can be reproduced deterministically on a
+laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.dssp import DynamicStaleSynchronousParallel
+from repro.core.factory import make_policy
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import MiniBatchLoader
+from repro.data.partitioner import partition_dataset
+from repro.metrics.accuracy import evaluate_model
+from repro.metrics.convergence import time_to_accuracy
+from repro.metrics.throughput import ThroughputSummary, iteration_throughput
+from repro.metrics.tracker import ExperimentTracker
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.module import Module
+from repro.optim.schedules import ConstantSchedule, MultiStepSchedule
+from repro.optim.sgd import SGD
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.messages import PushRequest
+from repro.ps.server import ParameterServer
+from repro.ps.worker import Worker
+from repro.simulation.cluster import ClusterSpec
+from repro.simulation.clock import VirtualClock
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.trace import SimulationTrace
+from repro.simulation.workload import IterationTimeModel, estimate_model_cost
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+
+__all__ = ["SimulationConfig", "SimulationResult", "SimulatedTraining", "simulate_training"]
+
+_LOGGER = get_logger("simulation.trainer")
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of one simulated training run.
+
+    Attributes
+    ----------
+    cluster:
+        The simulated machines (device profiles, network links, GPUs per
+        worker).
+    paradigm, paradigm_kwargs:
+        Synchronization paradigm name and its parameters.
+    epochs:
+        Epoch budget (the paper trains for 300 epochs; the offline defaults
+        are smaller).  How the budget is accounted is controlled by
+        ``epoch_accounting``.
+    epoch_accounting:
+        ``"global"`` (default): training stops once the server has applied
+        ``epochs * len(train) / batch_size`` updates in total, regardless of
+        which workers produced them — on a heterogeneous cluster fast
+        workers therefore contribute more updates and asynchronous-like
+        paradigms finish earlier, as in the paper's Figure 4.
+        ``"per_worker"``: every worker performs exactly its own share of
+        iterations (strict data-parallel epochs); total training time is then
+        gated by the slowest worker for every paradigm.
+    batch_size:
+        Mini-batch size per worker iteration.
+    learning_rate, momentum, weight_decay:
+        Server-side SGD hyper-parameters.
+    lr_milestones, lr_decay:
+        Epoch milestones at which the learning rate is multiplied by
+        ``lr_decay`` (the paper uses milestones (200, 250) with decay 0.1).
+    evaluate_every_updates:
+        Evaluate the global model every N server updates; <= 0 evaluates
+        only at the start and end.
+    max_updates:
+        Optional hard cap on the number of server updates (safety valve for
+        benchmarks).
+    time_scale:
+        Uniform stretch applied to all simulated durations.
+    timing_jitter:
+        Whether per-iteration times receive random jitter (kept on for
+        realism; turn off for exactly reproducible timing analyses).
+    timing_cost:
+        Optional :class:`repro.simulation.workload.ModelCost` used for the
+        *time* components only.  The experiment harness passes the cost of
+        the paper-scale architecture here while training a scaled-down model,
+        so the compute-to-communication ratio (which drives the paradigms'
+        relative behaviour) matches the paper's hardware even though the
+        arithmetic runs on a smaller network.  When ``None`` the cost is
+        estimated from the trained model itself.
+    timing_batch_size:
+        Mini-batch size used for the *time* components only (the paper uses
+        128); defaults to ``batch_size`` when ``None``.
+    slowdown_schedule:
+        Optional callable ``(worker_id, virtual_time) -> multiplier`` applied
+        to that worker's next iteration time.  Models unstable environments
+        (fluctuating network, transient stragglers) — the scenario the paper
+        lists as future work; see
+        :func:`repro.experiments.ablations.fluctuating_environment_ablation`.
+    seed:
+        Master seed controlling data order, initialization and jitter.
+    """
+
+    cluster: ClusterSpec
+    paradigm: str = "dssp"
+    paradigm_kwargs: dict = field(default_factory=lambda: {"s_lower": 3, "s_upper": 15})
+    epochs: float = 3.0
+    epoch_accounting: str = "global"
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    lr_milestones: tuple[float, ...] = ()
+    lr_decay: float = 0.1
+    evaluate_every_updates: int = 20
+    max_updates: int | None = None
+    time_scale: float = 1.0
+    timing_jitter: bool = True
+    timing_cost: object | None = None
+    timing_batch_size: int | None = None
+    slowdown_schedule: Callable[[str, float], float] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.max_updates is not None and self.max_updates <= 0:
+            raise ValueError("max_updates must be positive when given")
+        if self.epoch_accounting not in ("global", "per_worker"):
+            raise ValueError(
+                f"epoch_accounting must be 'global' or 'per_worker', got {self.epoch_accounting!r}"
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulated run reports."""
+
+    paradigm: str
+    paradigm_label: str
+    times: np.ndarray
+    accuracies: np.ndarray
+    losses: np.ndarray
+    total_virtual_time: float
+    total_updates: int
+    throughput: ThroughputSummary
+    wait_time_per_worker: dict[str, float]
+    iterations_per_worker: dict[str, int]
+    staleness_summary: object
+    server_statistics: dict
+    tracker: ExperimentTracker
+    trace: SimulationTrace
+    controller_decisions: int = 0
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy of the last evaluation."""
+        return float(self.accuracies[-1]) if self.accuracies.size else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy over the run."""
+        return float(self.accuracies.max()) if self.accuracies.size else 0.0
+
+    @property
+    def total_wait_time(self) -> float:
+        """Sum of all workers' synchronization waiting time."""
+        return float(sum(self.wait_time_per_worker.values()))
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Virtual time needed to reach ``target`` accuracy (None if never)."""
+        return time_to_accuracy(self.times, self.accuracies, target)
+
+
+class SimulatedTraining:
+    """Discrete-event simulation of one distributed training run."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        model_builder: Callable[[np.random.Generator], Module],
+        train_dataset: ArrayDataset,
+        test_dataset: ArrayDataset,
+    ) -> None:
+        self.config = config
+        self.model_builder = model_builder
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self._streams = RngStream(config.seed)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build_server(self, global_model: Module) -> ParameterServer:
+        config = self.config
+        store = KeyValueStore(
+            initial_weights={name: p.data for name, p in global_model.named_parameters()},
+            initial_buffers=global_model.buffers(),
+        )
+        optimizer = SGD(
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        if config.lr_milestones:
+            schedule = MultiStepSchedule(
+                config.learning_rate, config.lr_milestones, decay=config.lr_decay
+            )
+        else:
+            schedule = ConstantSchedule(config.learning_rate)
+        policy = make_policy(config.paradigm, **config.paradigm_kwargs)
+        return ParameterServer(
+            store=store, optimizer=optimizer, policy=policy, learning_rate_schedule=schedule
+        )
+
+    def _build_workers(self, global_model: Module, server: ParameterServer) -> dict[str, Worker]:
+        config = self.config
+        partitions = partition_dataset(
+            self.train_dataset, config.cluster.num_workers, rng=self._streams.get("partition")
+        )
+        workers: dict[str, Worker] = {}
+        for spec, partition in zip(config.cluster.workers, partitions):
+            server.register_worker(spec.worker_id)
+            loader = MiniBatchLoader(
+                partition,
+                batch_size=config.batch_size,
+                rng=self._streams.get(f"loader-{spec.worker_id}"),
+            )
+            replica = self.model_builder(self._streams.get(f"model-{spec.worker_id}"))
+            replica.load_state_dict(global_model.state_dict())
+            workers[spec.worker_id] = Worker(
+                worker_id=spec.worker_id,
+                model=replica,
+                loader=loader,
+                loss_fn=SoftmaxCrossEntropy(),
+            )
+        return workers
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        config = self.config
+        global_model = self.model_builder(self._streams.get("init"))
+        eval_model = self.model_builder(self._streams.get("eval"))
+        server = self._build_server(global_model)
+        workers = self._build_workers(global_model, server)
+
+        sample_shape = self.train_dataset.sample_shape
+        cost = config.timing_cost or estimate_model_cost(global_model, sample_shape)
+        time_model = IterationTimeModel(
+            cost,
+            batch_size=config.timing_batch_size or config.batch_size,
+            time_scale=config.time_scale,
+        )
+        timing_rng = self._streams.get("timing") if config.timing_jitter else None
+
+        partition_size = len(self.train_dataset) // config.cluster.num_workers
+        iterations_per_worker = max(
+            1, int(np.ceil(config.epochs * partition_size / config.batch_size))
+        )
+        total_update_budget = max(
+            1, int(np.ceil(config.epochs * len(self.train_dataset) / config.batch_size))
+        )
+        if config.epoch_accounting == "global":
+            # Workers keep iterating until the global update budget is spent;
+            # a fast worker may contribute more updates than its own share.
+            quota = {worker_id: total_update_budget for worker_id in workers}
+        else:
+            quota = {worker_id: iterations_per_worker for worker_id in workers}
+
+        clock = VirtualClock()
+        queue = EventQueue()
+        trace = SimulationTrace()
+        tracker = ExperimentTracker()
+
+        blocked_since: dict[str, float] = {}
+        wait_time: dict[str, float] = {worker_id: 0.0 for worker_id in workers}
+        iterations_done: dict[str, int] = {worker_id: 0 for worker_id in workers}
+        samples_processed = 0
+        last_eval_update = -1
+
+        def iteration_time(worker_id: str, now: float) -> float:
+            spec = config.cluster.worker(worker_id)
+            duration = time_model.iteration_time(spec, rng=timing_rng)
+            if config.slowdown_schedule is not None:
+                factor = float(config.slowdown_schedule(worker_id, now))
+                if factor <= 0:
+                    raise ValueError(
+                        f"slowdown_schedule returned non-positive factor {factor} "
+                        f"for worker {worker_id!r}"
+                    )
+                duration *= factor
+            return duration
+
+        def evaluate(now: float) -> None:
+            nonlocal last_eval_update
+            eval_model.load_state_dict(dict(server.store.full_state()))
+            accuracy, loss = evaluate_model(
+                eval_model, self.test_dataset, batch_size=max(config.batch_size, 64)
+            )
+            tracker.record("accuracy", now, accuracy, step=server.store.version)
+            tracker.record("test_loss", now, loss, step=server.store.version)
+            trace.record(now, "evaluation", accuracy=accuracy, loss=loss)
+            last_eval_update = server.store.version
+
+        def schedule_push(worker_id: str, now: float) -> None:
+            queue.push(
+                Event(
+                    time=now + iteration_time(worker_id, now),
+                    kind=EventKind.PUSH_ARRIVAL,
+                    worker_id=worker_id,
+                )
+            )
+
+        def release_worker(worker_id: str, now: float, waited: float) -> None:
+            wait_time[worker_id] += waited
+            trace.record(now, "release", worker_id=worker_id, wait_time=waited)
+            reply = server.handle_pull()
+            workers[worker_id].load_weights(reply.weights, reply.version)
+            if iterations_done[worker_id] < quota[worker_id]:
+                schedule_push(worker_id, now)
+
+        # Initial pulls and first pushes.
+        initial_reply = server.handle_pull()
+        for worker_id, worker in workers.items():
+            worker.load_weights(initial_reply.weights, initial_reply.version)
+            schedule_push(worker_id, 0.0)
+        evaluate(0.0)
+
+        if config.epoch_accounting == "global":
+            max_updates = config.max_updates or total_update_budget
+        else:
+            max_updates = config.max_updates or (iterations_per_worker * len(workers))
+        while queue and server.store.version < max_updates:
+            event = queue.pop()
+            clock.advance_to(event.time)
+            now = clock.now
+            if event.kind is not EventKind.PUSH_ARRIVAL:
+                continue
+            worker_id = event.worker_id
+            worker = workers[worker_id]
+
+            computation = worker.compute_gradients()
+            samples_processed += computation.samples
+            progress_epochs = samples_processed / max(len(self.train_dataset), 1)
+            server.set_progress(progress_epochs)
+
+            response = server.handle_push(
+                PushRequest(
+                    worker_id=worker_id,
+                    gradients=computation.gradients,
+                    base_version=computation.base_version,
+                    timestamp=now,
+                    buffers=computation.buffers,
+                    local_loss=computation.loss,
+                )
+            )
+            iterations_done[worker_id] += 1
+            tracker.record("train_loss", now, computation.loss, step=server.store.version)
+            trace.record(
+                now,
+                "push",
+                worker_id=worker_id,
+                staleness=response.staleness,
+                version=response.new_version,
+            )
+
+            if response.release_now:
+                reply = server.handle_pull()
+                worker.load_weights(reply.weights, reply.version)
+                if iterations_done[worker_id] < quota[worker_id]:
+                    schedule_push(worker_id, now)
+            else:
+                blocked_since[worker_id] = now
+                trace.record(now, "block", worker_id=worker_id)
+
+            for released_id in response.released_workers:
+                waited = now - blocked_since.pop(released_id, now)
+                release_worker(released_id, now, waited)
+
+            if (
+                config.evaluate_every_updates > 0
+                and server.store.version - last_eval_update >= config.evaluate_every_updates
+            ):
+                evaluate(now)
+
+        # Any still-blocked workers are released at the end of the run so
+        # their waiting time up to the final event is accounted for.
+        final_time = clock.now
+        for worker_id, since in list(blocked_since.items()):
+            wait_time[worker_id] += final_time - since
+        if server.store.version != last_eval_update:
+            evaluate(final_time)
+
+        accuracy_series = tracker.series("accuracy")
+        loss_series = tracker.series("test_loss")
+        throughput = iteration_throughput(
+            total_updates=server.store.version,
+            total_time=max(final_time, 1e-12),
+            samples_per_update=config.batch_size,
+        )
+        policy = server.policy
+        controller_decisions = (
+            len(policy.controller_decisions())
+            if isinstance(policy, DynamicStaleSynchronousParallel)
+            else 0
+        )
+        label = _paradigm_label(config.paradigm, config.paradigm_kwargs)
+        _LOGGER.info(
+            "%s finished: %.0f virtual seconds, %d updates, final accuracy %.3f",
+            label,
+            final_time,
+            server.store.version,
+            accuracy_series.values[-1] if len(accuracy_series) else 0.0,
+        )
+        return SimulationResult(
+            paradigm=config.paradigm,
+            paradigm_label=label,
+            times=accuracy_series.times,
+            accuracies=accuracy_series.values,
+            losses=loss_series.values,
+            total_virtual_time=final_time,
+            total_updates=server.store.version,
+            throughput=throughput,
+            wait_time_per_worker=dict(wait_time),
+            iterations_per_worker=dict(iterations_done),
+            staleness_summary=server.staleness_tracker.summary(),
+            server_statistics=server.statistics(),
+            tracker=tracker,
+            trace=trace,
+            controller_decisions=controller_decisions,
+        )
+
+
+def _paradigm_label(paradigm: str, kwargs: Mapping) -> str:
+    """Readable label like ``"SSP s=3"`` or ``"DSSP s=3, r=12"``."""
+    name = paradigm.upper()
+    if paradigm == "ssp":
+        return f"{name} s={kwargs.get('staleness')}"
+    if paradigm == "dssp":
+        s_lower = kwargs.get("s_lower")
+        s_upper = kwargs.get("s_upper", s_lower)
+        return f"{name} s={s_lower}, r={int(s_upper) - int(s_lower)}"
+    return name
+
+
+def simulate_training(
+    config: SimulationConfig,
+    model_builder: Callable[[np.random.Generator], Module],
+    train_dataset: ArrayDataset,
+    test_dataset: ArrayDataset,
+) -> SimulationResult:
+    """Convenience wrapper: build and run a :class:`SimulatedTraining`."""
+    return SimulatedTraining(config, model_builder, train_dataset, test_dataset).run()

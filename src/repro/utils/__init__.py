@@ -1,0 +1,36 @@
+"""Shared utilities: seeded RNG management, logging, timing, serialization."""
+
+from repro.utils.rng import RngStream, seed_everything, spawn_rng
+from repro.utils.timing import Stopwatch, format_seconds
+from repro.utils.logging import get_logger
+from repro.utils.serialization import (
+    flatten_state,
+    state_num_parameters,
+    state_nbytes,
+    states_allclose,
+    clone_state,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "RngStream",
+    "seed_everything",
+    "spawn_rng",
+    "Stopwatch",
+    "format_seconds",
+    "get_logger",
+    "flatten_state",
+    "state_num_parameters",
+    "state_nbytes",
+    "states_allclose",
+    "clone_state",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]

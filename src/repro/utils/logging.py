@@ -1,0 +1,47 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it attaches a ``NullHandler``
+to its own namespace so applications stay in control of output.  The helper
+:func:`get_logger` optionally installs a simple stream handler for scripts
+and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` may be a module ``__name__`` (already prefixed) or a short
+    suffix such as ``"ps.server"``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the library logger (for scripts/examples)."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    has_stream = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in logger.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

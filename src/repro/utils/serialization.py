@@ -1,0 +1,90 @@
+"""Helpers for manipulating model state dictionaries.
+
+A *state* is an ordered mapping ``{parameter_name: numpy.ndarray}``.  The
+parameter server, the optimizers and the simulator all exchange state in
+this form, so these helpers are the common currency of the library.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+
+import numpy as np
+
+__all__ = [
+    "clone_state",
+    "flatten_state",
+    "unflatten_like",
+    "state_num_parameters",
+    "state_nbytes",
+    "states_allclose",
+    "add_states",
+    "scale_state",
+]
+
+State = Mapping[str, np.ndarray]
+
+
+def clone_state(state: State) -> "OrderedDict[str, np.ndarray]":
+    """Deep-copy a state dictionary."""
+    return OrderedDict((name, np.array(array, copy=True)) for name, array in state.items())
+
+
+def flatten_state(state: State) -> np.ndarray:
+    """Concatenate every array in ``state`` into one flat float64 vector."""
+    if not state:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([np.asarray(array, dtype=np.float64).ravel() for array in state.values()])
+
+
+def unflatten_like(vector: np.ndarray, reference: State) -> "OrderedDict[str, np.ndarray]":
+    """Reshape a flat vector back into the shapes of ``reference``.
+
+    Raises ``ValueError`` if the vector length does not match the total
+    number of parameters in the reference state.
+    """
+    total = state_num_parameters(reference)
+    vector = np.asarray(vector).ravel()
+    if vector.size != total:
+        raise ValueError(
+            f"vector has {vector.size} elements but reference state has {total}"
+        )
+    result: OrderedDict[str, np.ndarray] = OrderedDict()
+    offset = 0
+    for name, array in reference.items():
+        size = array.size
+        result[name] = vector[offset : offset + size].reshape(array.shape).astype(array.dtype)
+        offset += size
+    return result
+
+
+def state_num_parameters(state: State) -> int:
+    """Total number of scalar parameters in a state."""
+    return int(sum(array.size for array in state.values()))
+
+
+def state_nbytes(state: State) -> int:
+    """Total bytes occupied by the arrays in a state."""
+    return int(sum(array.nbytes for array in state.values()))
+
+
+def states_allclose(left: State, right: State, rtol: float = 1e-6, atol: float = 1e-8) -> bool:
+    """True if two states have identical keys and element-wise close values."""
+    if set(left.keys()) != set(right.keys()):
+        return False
+    return all(
+        np.allclose(left[name], right[name], rtol=rtol, atol=atol) for name in left
+    )
+
+
+def add_states(left: State, right: State) -> "OrderedDict[str, np.ndarray]":
+    """Element-wise sum of two states with identical keys/shapes."""
+    if set(left.keys()) != set(right.keys()):
+        raise ValueError("cannot add states with different parameter names")
+    return OrderedDict((name, left[name] + right[name]) for name in left)
+
+
+def scale_state(state: State, factor: float) -> "OrderedDict[str, np.ndarray]":
+    """Multiply every array in a state by ``factor``."""
+    return OrderedDict((name, array * factor) for name, array in state.items())

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import SyntheticImageConfig, make_synthetic_image_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_image_datasets() -> tuple[ArrayDataset, ArrayDataset]:
+    """A very small image-classification problem (fast to train on)."""
+    config = SyntheticImageConfig(
+        num_classes=4, num_train=160, num_test=64, image_size=8, noise_scale=0.4, seed=7
+    )
+    return make_synthetic_image_dataset(config)
+
+
+@pytest.fixture
+def tiny_flat_datasets(tiny_image_datasets) -> tuple[ArrayDataset, ArrayDataset]:
+    """The same problem with flattened inputs (for MLP models)."""
+    train, test = tiny_image_datasets
+    return (
+        ArrayDataset(train.inputs.reshape(len(train), -1), train.labels),
+        ArrayDataset(test.inputs.reshape(len(test), -1), test.labels),
+    )

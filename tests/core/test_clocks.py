@@ -1,0 +1,103 @@
+"""Tests for the worker clock table."""
+
+import pytest
+
+from repro.core.clocks import ClockTable
+
+
+@pytest.fixture
+def table() -> ClockTable:
+    table = ClockTable()
+    for worker in ("a", "b", "c"):
+        table.register_worker(worker)
+    return table
+
+
+class TestRegistration:
+    def test_workers_start_at_clock_zero(self, table):
+        assert table.clocks() == {"a": 0, "b": 0, "c": 0}
+
+    def test_duplicate_registration_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.register_worker("a")
+
+    def test_unknown_worker_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.clock("unknown")
+
+    def test_worker_ids_preserved_in_order(self, table):
+        assert table.worker_ids == ["a", "b", "c"]
+        assert table.num_workers == 3
+
+
+class TestRecording:
+    def test_push_increments_clock(self, table):
+        assert table.record_push("a", 1.0) == 1
+        assert table.record_push("a", 2.0) == 2
+        assert table.clock("a") == 2
+        assert table.clock("b") == 0
+
+    def test_push_timestamps_must_not_go_backwards(self, table):
+        table.record_push("a", 5.0)
+        with pytest.raises(ValueError):
+            table.record_push("a", 4.0)
+
+    def test_equal_timestamps_allowed(self, table):
+        table.record_push("a", 5.0)
+        assert table.record_push("a", 5.0) == 2
+
+    def test_latest_interval_requires_two_pushes(self, table):
+        assert table.latest_interval("a") is None
+        table.record_push("a", 1.0)
+        assert table.latest_interval("a") is None
+        table.record_push("a", 3.5)
+        assert table.latest_interval("a") == pytest.approx(2.5)
+
+    def test_wait_time_accumulates(self, table):
+        table.record_wait("a", 1.0)
+        table.record_wait("a", 0.5)
+        assert table.total_wait_time("a") == pytest.approx(1.5)
+
+    def test_negative_wait_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.record_wait("a", -0.1)
+
+
+class TestQueries:
+    def test_slowest_and_fastest(self, table):
+        table.record_push("a", 1.0)
+        table.record_push("a", 2.0)
+        table.record_push("b", 1.5)
+        assert table.fastest_worker() == "a"
+        assert table.slowest_worker() == "c"
+        assert table.fastest_clock() == 2
+        assert table.slowest_clock() == 0
+
+    def test_staleness_is_lead_over_slowest(self, table):
+        for _ in range(3):
+            table.record_push("a", 1.0)
+        table.record_push("b", 1.0)
+        assert table.staleness("a") == 3
+        assert table.staleness("b") == 1
+        assert table.staleness("c") == 0
+
+    def test_is_fastest_handles_ties(self, table):
+        table.record_push("a", 1.0)
+        table.record_push("b", 1.0)
+        assert table.is_fastest("a")
+        assert table.is_fastest("b")
+        assert not table.is_fastest("c")
+
+    def test_empty_table_queries(self):
+        empty = ClockTable()
+        assert empty.slowest_clock() == 0
+        assert empty.fastest_clock() == 0
+        with pytest.raises(RuntimeError):
+            empty.slowest_worker()
+
+    def test_history_kept_when_requested(self):
+        table = ClockTable(keep_history=True)
+        table.register_worker("a")
+        table.record_push("a", 1.0)
+        table.record_push("a", 2.0)
+        assert table.record("a").push_history == [1.0, 2.0]

@@ -1,0 +1,94 @@
+"""Tests for the synchronization controller (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clocks import ClockTable
+from repro.core.controller import SynchronizationController
+
+
+def table_with_intervals(fast_interval: float, slow_interval: float) -> ClockTable:
+    """Clock table where worker 'fast' and 'slow' each pushed twice."""
+    table = ClockTable()
+    table.register_worker("fast")
+    table.register_worker("slow")
+    table.record_push("fast", 0.0)
+    table.record_push("slow", 0.0)
+    table.record_push("fast", fast_interval)
+    table.record_push("slow", slow_interval)
+    # Make 'fast' the fastest in clock terms as well.
+    table.record_push("fast", 2 * fast_interval)
+    return table
+
+
+class TestConstruction:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronizationController(max_extra_iterations=-1)
+
+    def test_zero_budget_always_returns_zero(self):
+        controller = SynchronizationController(max_extra_iterations=0)
+        table = table_with_intervals(1.0, 2.6)
+        assert controller.decide(table, "fast").extra_iterations == 0
+
+
+class TestFallback:
+    def test_missing_history_falls_back_to_zero(self):
+        controller = SynchronizationController(max_extra_iterations=5)
+        table = ClockTable()
+        table.register_worker("fast")
+        table.register_worker("slow")
+        table.record_push("fast", 0.0)
+        decision = controller.decide(table, "fast")
+        assert decision.fallback
+        assert decision.extra_iterations == 0
+
+
+class TestPrediction:
+    def test_paper_figure2_example(self):
+        """With a 2.6x slower worker and r_max=4 the optimum is r*=3 (Fig. 2)."""
+        controller = SynchronizationController(max_extra_iterations=4)
+        waits = controller.predicted_waits(
+            fast_latest=0.0, fast_interval=1.0, slow_latest=0.0, slow_interval=2.6
+        )
+        assert int(np.argmin(np.round(waits, 9))) == 3
+
+    def test_decision_matches_predicted_waits(self):
+        controller = SynchronizationController(max_extra_iterations=6)
+        table = table_with_intervals(1.0, 2.6)
+        decision = controller.decide(table, "fast")
+        waits = controller.predicted_waits(
+            fast_latest=2.0, fast_interval=1.0, slow_latest=2.6, slow_interval=2.6
+        )
+        assert decision.extra_iterations == int(np.argmin(np.round(waits, 9)))
+        assert decision.predicted_wait == pytest.approx(waits[decision.extra_iterations])
+
+    def test_equal_speeds_prefer_zero_extra_iterations(self):
+        """When both workers run at the same pace, waiting now is optimal."""
+        controller = SynchronizationController(max_extra_iterations=8)
+        table = table_with_intervals(2.0, 2.0)
+        decision = controller.decide(table, "fast")
+        assert decision.extra_iterations == 0
+
+    def test_chosen_wait_never_worse_than_stopping_now(self):
+        controller = SynchronizationController(max_extra_iterations=10)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            fast = float(rng.uniform(0.1, 2.0))
+            slow = float(rng.uniform(0.1, 5.0))
+            waits = controller.predicted_waits(
+                fast_latest=0.0, fast_interval=fast, slow_latest=0.0, slow_interval=slow
+            )
+            assert waits.min() <= waits[0] + 1e-12
+
+    def test_decisions_are_recorded(self):
+        controller = SynchronizationController(max_extra_iterations=4)
+        table = table_with_intervals(1.0, 3.0)
+        controller.decide(table, "fast")
+        controller.decide(table, "fast")
+        assert len(controller.decisions) == 2
+
+    def test_predicted_waits_requires_positive_intervals(self):
+        controller = SynchronizationController(max_extra_iterations=4)
+        with pytest.raises(ValueError):
+            controller.predicted_waits(0.0, 0.0, 0.0, 1.0)

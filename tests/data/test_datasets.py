@@ -1,0 +1,157 @@
+"""Tests for datasets, the synthetic generators and the CIFAR loader stub."""
+
+import numpy as np
+import pytest
+
+from repro.data.cifar import load_cifar_if_available
+from repro.data.dataset import ArrayDataset, train_test_split
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_convex_regression_dataset,
+    make_synthetic_image_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+)
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        dataset = ArrayDataset(np.arange(12).reshape(6, 2), np.arange(6))
+        assert len(dataset) == 6
+        inputs, label = dataset[2]
+        assert np.allclose(inputs, [4, 5])
+        assert label == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((0, 2)), np.zeros(0))
+
+    def test_subset_copies_data(self):
+        dataset = ArrayDataset(np.arange(6).reshape(3, 2).astype(float), np.arange(3))
+        subset = dataset.subset(np.array([0, 2]))
+        subset.inputs[0, 0] = 99.0
+        assert dataset.inputs[0, 0] == 0.0
+        assert len(subset) == 2
+
+    def test_num_classes_and_sample_shape(self):
+        dataset = ArrayDataset(np.zeros((4, 3, 8, 8)), np.array([0, 1, 2, 2]))
+        assert dataset.num_classes == 3
+        assert dataset.sample_shape == (3, 8, 8)
+
+    def test_num_classes_requires_integer_labels(self):
+        dataset = ArrayDataset(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(TypeError):
+            _ = dataset.num_classes
+
+    def test_train_test_split(self):
+        dataset = ArrayDataset(np.arange(40).reshape(20, 2), np.arange(20))
+        train, test = train_test_split(dataset, 0.25, np.random.default_rng(0))
+        assert len(train) == 15
+        assert len(test) == 5
+        combined = np.sort(np.concatenate([train.labels, test.labels]))
+        assert np.array_equal(combined, np.arange(20))
+
+    def test_train_test_split_validates_fraction(self):
+        dataset = ArrayDataset(np.zeros((4, 1)), np.arange(4))
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 0.0, np.random.default_rng(0))
+
+
+class TestSyntheticImages:
+    def test_shapes_and_label_range(self):
+        train, test = synthetic_cifar10(num_train=100, num_test=40, image_size=8)
+        assert train.inputs.shape == (100, 3, 8, 8)
+        assert test.inputs.shape == (40, 3, 8, 8)
+        assert train.labels.min() >= 0
+        assert train.labels.max() <= 9
+
+    def test_cifar100_stand_in_has_requested_classes(self):
+        train, _ = synthetic_cifar100(num_train=300, num_test=60, num_classes=20)
+        assert train.labels.max() <= 19
+
+    def test_generation_is_deterministic_per_seed(self):
+        first, _ = synthetic_cifar10(num_train=50, num_test=10, seed=3)
+        second, _ = synthetic_cifar10(num_train=50, num_test=10, seed=3)
+        third, _ = synthetic_cifar10(num_train=50, num_test=10, seed=4)
+        assert np.allclose(first.inputs, second.inputs)
+        assert not np.allclose(first.inputs, third.inputs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_train=5, num_classes=10)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(image_size=2)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(noise_scale=-1)
+
+    def test_classes_are_separable_by_prototype_matching(self):
+        """A nearest-prototype classifier should beat chance by a wide margin,
+        otherwise the datasets would be pure noise and useless for the
+        reproduction's convergence experiments."""
+        config = SyntheticImageConfig(
+            num_classes=4, num_train=400, num_test=100, image_size=8, noise_scale=0.5, seed=0
+        )
+        train, test = make_synthetic_image_dataset(config)
+        prototypes = np.stack(
+            [train.inputs[train.labels == c].mean(axis=0) for c in range(4)]
+        )
+        flat_test = test.inputs.reshape(len(test), -1)
+        flat_protos = prototypes.reshape(4, -1)
+        distances = ((flat_test[:, None, :] - flat_protos[None, :, :]) ** 2).sum(axis=2)
+        accuracy = float(np.mean(distances.argmin(axis=1) == test.labels))
+        assert accuracy > 0.6
+
+    def test_convex_regression_dataset(self):
+        dataset, true_weights = make_convex_regression_dataset(
+            num_samples=200, num_features=10, noise_scale=0.01, seed=1
+        )
+        estimated, *_ = np.linalg.lstsq(dataset.inputs, dataset.labels, rcond=None)
+        assert np.allclose(estimated, true_weights, atol=0.05)
+
+    def test_convex_regression_validation(self):
+        with pytest.raises(ValueError):
+            make_convex_regression_dataset(num_samples=1)
+
+
+class TestCifarLoader:
+    def test_returns_none_when_files_absent(self, tmp_path):
+        assert load_cifar_if_available("cifar10", data_root=tmp_path) is None
+        assert load_cifar_if_available("cifar100", data_root=tmp_path) is None
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_cifar_if_available("mnist", data_root=tmp_path)
+
+    def test_loads_cifar10_format_from_disk(self, tmp_path):
+        import pickle
+
+        root = tmp_path / "cifar-10-batches-py"
+        root.mkdir()
+        rng = np.random.default_rng(0)
+        for index in range(1, 6):
+            batch = {
+                b"data": rng.integers(0, 255, size=(4, 3 * 32 * 32), dtype=np.uint8),
+                b"labels": [0, 1, 2, 3],
+            }
+            with (root / f"data_batch_{index}").open("wb") as handle:
+                pickle.dump(batch, handle)
+        with (root / "test_batch").open("wb") as handle:
+            pickle.dump(
+                {
+                    b"data": rng.integers(0, 255, size=(2, 3072), dtype=np.uint8),
+                    b"labels": [5, 7],
+                },
+                handle,
+            )
+        loaded = load_cifar_if_available("cifar10", data_root=tmp_path)
+        assert loaded is not None
+        train, test = loaded
+        assert train.inputs.shape == (20, 3, 32, 32)
+        assert test.inputs.shape == (2, 3, 32, 32)
+        assert train.inputs.max() <= 1.0

@@ -1,0 +1,68 @@
+"""Numerical gradient checking shared by the layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["input_gradient_error", "parameter_gradient_error"]
+
+
+def _loss(output: np.ndarray, weights: np.ndarray) -> float:
+    """Deterministic scalar function of the layer output."""
+    return float(np.sum(output * weights))
+
+
+def input_gradient_error(
+    module: Module, inputs: np.ndarray, epsilon: float = 1e-5
+) -> float:
+    """Max absolute error between analytic and numerical input gradients."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    rng = np.random.default_rng(0)
+    output = module.forward(inputs)
+    weights = rng.normal(size=output.shape)
+    module.zero_grad()
+    analytic = module.backward(weights)
+
+    numerical = np.zeros_like(inputs)
+    flat = inputs.reshape(-1)
+    numerical_flat = numerical.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = _loss(module.forward(inputs), weights)
+        flat[index] = original - epsilon
+        minus = _loss(module.forward(inputs), weights)
+        flat[index] = original
+        numerical_flat[index] = (plus - minus) / (2 * epsilon)
+    return float(np.max(np.abs(analytic - numerical)))
+
+
+def parameter_gradient_error(
+    module: Module, inputs: np.ndarray, epsilon: float = 1e-5
+) -> float:
+    """Max absolute error between analytic and numerical parameter gradients."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    rng = np.random.default_rng(1)
+    output = module.forward(inputs)
+    weights = rng.normal(size=output.shape)
+    module.zero_grad()
+    module.backward(weights)
+
+    worst = 0.0
+    for _, parameter in module.named_parameters():
+        analytic = parameter.grad.copy()
+        numerical = np.zeros_like(parameter.data)
+        flat = parameter.data.reshape(-1)
+        numerical_flat = numerical.reshape(-1)
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + epsilon
+            plus = _loss(module.forward(inputs), weights)
+            flat[index] = original - epsilon
+            minus = _loss(module.forward(inputs), weights)
+            flat[index] = original
+            numerical_flat[index] = (plus - minus) / (2 * epsilon)
+        worst = max(worst, float(np.max(np.abs(analytic - numerical))))
+    return worst

@@ -1,0 +1,114 @@
+"""Tests for the stateless numeric primitives (im2col, softmax, one-hot)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_basic_geometry(self):
+        assert conv_output_size(32, kernel=3, stride=1, padding=1) == 32
+        assert conv_output_size(32, kernel=2, stride=2, padding=0) == 16
+        assert conv_output_size(8, kernel=3, stride=2, padding=1) == 4
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, kernel=5, stride=1, padding=0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        images = np.arange(2 * 3 * 4 * 4, dtype=np.float64).reshape(2, 3, 4, 4)
+        cols = im2col(images, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2 * 4 * 4, 3 * 3 * 3)
+
+    def test_identity_kernel_recovers_pixels(self):
+        images = np.arange(1 * 1 * 3 * 3, dtype=np.float64).reshape(1, 1, 3, 3)
+        cols = im2col(images, 1, 1, stride=1, padding=0)
+        assert np.allclose(cols.ravel(), images.ravel())
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(images, 3, 3, stride=2, padding=1)
+        other = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * other))
+        rhs = float(np.sum(images * col2im(other, images.shape, 3, 3, stride=2, padding=1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kernel=st.integers(min_value=1, max_value=3),
+        stride=st.integers(min_value=1, max_value=2),
+        padding=st.integers(min_value=0, max_value=2),
+        size=st.integers(min_value=4, max_value=7),
+    )
+    def test_adjoint_property_holds_generally(self, kernel, stride, padding, size):
+        rng = np.random.default_rng(42)
+        images = rng.normal(size=(1, 2, size, size))
+        cols = im2col(images, kernel, kernel, stride=stride, padding=padding)
+        other = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * other))
+        rhs = float(
+            np.sum(images * col2im(other, images.shape, kernel, kernel, stride, padding))
+        )
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        probabilities = softmax(logits)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_numerical_stability_with_large_logits(self):
+        logits = np.array([[1000.0, 1001.0]])
+        probabilities = softmax(logits)
+        assert np.all(np.isfinite(probabilities))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 7))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_probabilities_valid_for_arbitrary_logits(self, row):
+        probabilities = softmax(np.array([row]))
+        assert np.all(probabilities >= 0)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), num_classes=3)
+        assert np.allclose(encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]]))
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), num_classes=3)
+
+    def test_rejects_non_vector_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), num_classes=3)

@@ -1,0 +1,235 @@
+"""Forward/backward tests for the individual layers, with numerical
+gradient checks on small inputs."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from tests.nn.gradcheck import input_gradient_error, parameter_gradient_error
+
+TOLERANCE = 1e-6
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_output_shape_and_values(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        inputs = rng.normal(size=(5, 4))
+        outputs = layer.forward(inputs)
+        assert outputs.shape == (5, 3)
+        expected = inputs @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(outputs, expected)
+
+    def test_rejects_wrong_input_width(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(5, 7)))
+
+    def test_gradients_match_numerical(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        inputs = rng.normal(size=(3, 4))
+        assert input_gradient_error(layer, inputs) < TOLERANCE
+        assert parameter_gradient_error(layer, inputs) < TOLERANCE
+
+    def test_no_bias_variant(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert "bias" not in layer.parameters()
+
+    def test_backward_before_forward_fails(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 5, kernel_size=3, stride=1, padding=1, rng=rng)
+        outputs = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert outputs.shape == (2, 5, 8, 8)
+
+    def test_strided_output_shape(self, rng):
+        layer = Conv2d(2, 4, kernel_size=3, stride=2, padding=1, rng=rng)
+        outputs = layer.forward(rng.normal(size=(1, 2, 8, 8)))
+        assert outputs.shape == (1, 4, 4, 4)
+
+    def test_matches_direct_convolution(self, rng):
+        layer = Conv2d(1, 1, kernel_size=2, stride=1, padding=0, bias=False, rng=rng)
+        layer.weight.data[...] = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        image = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+        output = layer.forward(image)
+        # Manually computed 2x2 valid convolution (cross-correlation).
+        expected = np.array(
+            [[[[1 * 0 + 2 * 1 + 3 * 3 + 4 * 4, 1 * 1 + 2 * 2 + 3 * 4 + 4 * 5],
+               [1 * 3 + 2 * 4 + 3 * 6 + 4 * 7, 1 * 4 + 2 * 5 + 3 * 7 + 4 * 8]]]],
+            dtype=np.float64,
+        )
+        assert np.allclose(output, expected)
+
+    def test_gradients_match_numerical(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=rng)
+        inputs = rng.normal(size=(2, 2, 4, 4))
+        assert input_gradient_error(layer, inputs) < TOLERANCE
+        assert parameter_gradient_error(layer, inputs) < TOLERANCE
+
+    def test_rejects_wrong_channel_count(self, rng):
+        layer = Conv2d(3, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 2, 8, 8)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 3, stride=0)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        layer = MaxPool2d(kernel_size=2, stride=2)
+        image = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert layer.forward(image).item() == 4.0
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        layer = MaxPool2d(kernel_size=2, stride=2)
+        image = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(image)
+        grad = layer.backward(np.array([[[[1.0]]]]))
+        assert np.allclose(grad, np.array([[[[0.0, 0.0], [0.0, 1.0]]]]))
+
+    def test_max_pool_gradients_match_numerical(self, rng):
+        layer = MaxPool2d(kernel_size=2, stride=2)
+        inputs = rng.normal(size=(2, 2, 4, 4))
+        assert input_gradient_error(layer, inputs) < TOLERANCE
+
+    def test_avg_pool_values_and_gradients(self, rng):
+        layer = AvgPool2d(kernel_size=2, stride=2)
+        image = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert layer.forward(image).item() == pytest.approx(2.5)
+        inputs = rng.normal(size=(2, 2, 4, 4))
+        assert input_gradient_error(layer, inputs) < TOLERANCE
+
+    def test_global_avg_pool(self, rng):
+        layer = GlobalAvgPool2d()
+        inputs = rng.normal(size=(3, 4, 5, 5))
+        outputs = layer.forward(inputs)
+        assert outputs.shape == (3, 4)
+        assert np.allclose(outputs, inputs.mean(axis=(2, 3)))
+        assert input_gradient_error(layer, inputs) < TOLERANCE
+
+
+class TestActivations:
+    @pytest.mark.parametrize("activation_cls", [ReLU, LeakyReLU, Sigmoid, Tanh])
+    def test_gradients_match_numerical(self, activation_cls, rng):
+        layer = activation_cls()
+        # Keep inputs away from ReLU's kink at zero for a clean check.
+        inputs = rng.normal(size=(4, 6)) + 0.1 * np.sign(rng.normal(size=(4, 6)))
+        inputs[np.abs(inputs) < 0.05] = 0.5
+        assert input_gradient_error(layer, inputs) < 1e-5
+
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        assert np.allclose(layer.forward(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_leaky_relu_scales_negatives(self):
+        layer = LeakyReLU(negative_slope=0.1)
+        assert np.allclose(layer.forward(np.array([-1.0, 2.0])), [-0.1, 2.0])
+
+    def test_sigmoid_range(self, rng):
+        outputs = Sigmoid().forward(rng.normal(size=(10,)) * 5)
+        assert np.all((outputs > 0) & (outputs < 1))
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        layer = BatchNorm1d(4)
+        inputs = rng.normal(loc=3.0, scale=2.0, size=(64, 4))
+        outputs = layer.forward(inputs)
+        assert np.allclose(outputs.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(outputs.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_statistics_updated(self, rng):
+        layer = BatchNorm1d(2, momentum=0.5)
+        inputs = rng.normal(loc=5.0, size=(32, 2))
+        layer.forward(inputs)
+        running_mean = layer.buffers()["running_mean"]
+        assert np.all(running_mean > 1.0)
+
+    def test_eval_uses_running_statistics(self, rng):
+        layer = BatchNorm1d(2, momentum=1.0)
+        train_inputs = rng.normal(loc=5.0, size=(64, 2))
+        layer.forward(train_inputs)
+        layer.eval()
+        shifted = rng.normal(loc=-5.0, size=(8, 2))
+        outputs = layer.forward(shifted)
+        # With running stats centred near +5, inputs near -5 normalize to
+        # strongly negative values rather than to zero mean.
+        assert outputs.mean() < -1.0
+
+    def test_batchnorm2d_gradients_match_numerical(self, rng):
+        layer = BatchNorm2d(3)
+        inputs = rng.normal(size=(4, 3, 3, 3))
+        assert input_gradient_error(layer, inputs) < 1e-5
+        assert parameter_gradient_error(layer, inputs) < 1e-5
+
+    def test_batchnorm1d_gradients_match_numerical(self, rng):
+        layer = BatchNorm1d(5)
+        inputs = rng.normal(size=(8, 5))
+        assert input_gradient_error(layer, inputs) < 1e-5
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3).forward(rng.normal(size=(2, 4)))
+        with pytest.raises(ValueError):
+            BatchNorm2d(3).forward(rng.normal(size=(2, 4, 3, 3)))
+
+
+class TestDropoutAndFlatten:
+    def test_dropout_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        inputs = rng.normal(size=(5, 5))
+        assert np.allclose(layer.forward(inputs), inputs)
+
+    def test_dropout_preserves_expectation(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        inputs = np.ones((200, 200))
+        outputs = layer.forward(inputs)
+        assert outputs.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_dropout_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        inputs = np.ones((10, 10))
+        outputs = layer.forward(inputs)
+        grads = layer.backward(np.ones_like(inputs))
+        assert np.allclose(grads, outputs)
+
+    def test_flatten_round_trip(self, rng):
+        layer = Flatten()
+        inputs = rng.normal(size=(3, 2, 4, 4))
+        outputs = layer.forward(inputs)
+        assert outputs.shape == (3, 32)
+        restored = layer.backward(outputs)
+        assert np.allclose(restored, inputs)

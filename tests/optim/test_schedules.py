@@ -1,0 +1,85 @@
+"""Tests for the learning-rate schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.schedules import (
+    ConstantSchedule,
+    MultiStepSchedule,
+    PolynomialDecaySchedule,
+    StepDecaySchedule,
+    WarmupSchedule,
+)
+
+
+class TestConstant:
+    def test_always_base_rate(self):
+        schedule = ConstantSchedule(0.05)
+        assert schedule.learning_rate(0) == 0.05
+        assert schedule.learning_rate(1000) == 0.05
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestStepDecay:
+    def test_decays_every_step_size(self):
+        schedule = StepDecaySchedule(1.0, step_size=10, decay=0.5)
+        assert schedule.learning_rate(0) == 1.0
+        assert schedule.learning_rate(9.9) == 1.0
+        assert schedule.learning_rate(10) == 0.5
+        assert schedule.learning_rate(25) == 0.25
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(1.0, step_size=0, decay=0.5)
+        with pytest.raises(ValueError):
+            StepDecaySchedule(1.0, step_size=1, decay=0.0)
+
+
+class TestMultiStep:
+    def test_paper_schedule(self):
+        """The paper decays lr 0.05 by 0.1 at epochs 200 and 250 (of 300)."""
+        schedule = MultiStepSchedule(0.05, milestones=(200, 250), decay=0.1)
+        assert schedule.learning_rate(100) == pytest.approx(0.05)
+        assert schedule.learning_rate(200) == pytest.approx(0.005)
+        assert schedule.learning_rate(249) == pytest.approx(0.005)
+        assert schedule.learning_rate(250) == pytest.approx(0.0005)
+
+    def test_unsorted_milestones_are_sorted(self):
+        schedule = MultiStepSchedule(1.0, milestones=(30, 10), decay=0.1)
+        assert schedule.learning_rate(20) == pytest.approx(0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(progress=st.floats(min_value=0, max_value=500, allow_nan=False))
+    def test_rate_never_increases_with_progress(self, progress):
+        schedule = MultiStepSchedule(0.05, milestones=(200, 250), decay=0.1)
+        assert schedule.learning_rate(progress + 10) <= schedule.learning_rate(progress)
+
+
+class TestPolynomial:
+    def test_linear_decay_to_final(self):
+        schedule = PolynomialDecaySchedule(1.0, total=100, final_learning_rate=0.0)
+        assert schedule.learning_rate(0) == 1.0
+        assert schedule.learning_rate(50) == pytest.approx(0.5)
+        assert schedule.learning_rate(100) == pytest.approx(0.0)
+        assert schedule.learning_rate(200) == pytest.approx(0.0)
+
+    def test_invalid_final_rate(self):
+        with pytest.raises(ValueError):
+            PolynomialDecaySchedule(0.1, total=10, final_learning_rate=0.2)
+
+
+class TestWarmup:
+    def test_ramps_linearly_then_follows_wrapped(self):
+        schedule = WarmupSchedule(ConstantSchedule(0.1), warmup=10)
+        assert schedule.learning_rate(0) == pytest.approx(0.0)
+        assert schedule.learning_rate(5) == pytest.approx(0.05)
+        assert schedule.learning_rate(10) == pytest.approx(0.1)
+        assert schedule.learning_rate(50) == pytest.approx(0.1)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantSchedule(0.1), warmup=0)

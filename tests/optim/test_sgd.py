@@ -1,0 +1,131 @@
+"""Tests for the SGD optimizer family."""
+
+import numpy as np
+import pytest
+
+from repro.optim.sgd import SGD
+from repro.optim.staleness_aware import StalenessAwareSGD
+
+
+def make_weights():
+    return {"w": np.array([1.0, 2.0]), "b": np.array([0.5])}
+
+
+class TestPlainSgd:
+    def test_single_step(self):
+        weights = make_weights()
+        SGD(learning_rate=0.1).step(weights, {"w": np.array([1.0, 1.0])})
+        assert np.allclose(weights["w"], [0.9, 1.9])
+        assert np.allclose(weights["b"], [0.5])
+
+    def test_scale_factor_applied(self):
+        weights = make_weights()
+        SGD(learning_rate=0.1).step(weights, {"w": np.array([1.0, 1.0])}, scale=0.5)
+        assert np.allclose(weights["w"], [0.95, 1.95])
+
+    def test_weight_decay_adds_l2_pull(self):
+        weights = {"w": np.array([10.0])}
+        SGD(learning_rate=0.1, weight_decay=0.1).step(weights, {"w": np.array([0.0])})
+        assert np.allclose(weights["w"], [10.0 - 0.1 * 1.0])
+
+    def test_momentum_accumulates_velocity(self):
+        weights = {"w": np.array([0.0])}
+        optimizer = SGD(learning_rate=1.0, momentum=0.9)
+        optimizer.step(weights, {"w": np.array([1.0])})
+        assert np.allclose(weights["w"], [-1.0])
+        optimizer.step(weights, {"w": np.array([1.0])})
+        # velocity = 0.9 * 1 + 1 = 1.9
+        assert np.allclose(weights["w"], [-1.0 - 1.9])
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        heavy, nesterov = {"w": np.array([0.0])}, {"w": np.array([0.0])}
+        heavy_opt = SGD(learning_rate=1.0, momentum=0.9)
+        nesterov_opt = SGD(learning_rate=1.0, momentum=0.9, nesterov=True)
+        for _ in range(2):
+            heavy_opt.step(heavy, {"w": np.array([1.0])})
+            nesterov_opt.step(nesterov, {"w": np.array([1.0])})
+        assert not np.allclose(heavy["w"], nesterov["w"])
+
+    def test_step_count_and_lr_property(self):
+        optimizer = SGD(learning_rate=0.1)
+        weights = make_weights()
+        optimizer.step(weights, {"w": np.zeros(2)})
+        assert optimizer.step_count == 1
+        optimizer.learning_rate = 0.01
+        assert optimizer.learning_rate == 0.01
+        with pytest.raises(ValueError):
+            optimizer.learning_rate = 0.0
+
+    def test_unknown_gradient_key_rejected(self):
+        with pytest.raises(KeyError):
+            SGD(0.1).step(make_weights(), {"missing": np.zeros(1)})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(0.1).step(make_weights(), {"w": np.zeros(5)})
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        with pytest.raises(ValueError):
+            SGD(0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(0.1, weight_decay=-1)
+        with pytest.raises(ValueError):
+            SGD(0.1, nesterov=True)
+
+    def test_state_dict_round_trip(self):
+        weights = make_weights()
+        optimizer = SGD(learning_rate=0.5, momentum=0.9)
+        optimizer.step(weights, {"w": np.ones(2)})
+        restored = SGD(learning_rate=0.5, momentum=0.9)
+        restored.load_state_dict(optimizer.state_dict())
+        weights_a, weights_b = make_weights(), make_weights()
+        optimizer.step(weights_a, {"w": np.ones(2)})
+        restored.step(weights_b, {"w": np.ones(2)})
+        assert np.allclose(weights_a["w"], weights_b["w"])
+
+    def test_gradient_descent_converges_on_quadratic(self):
+        weights = {"x": np.array([5.0])}
+        optimizer = SGD(learning_rate=0.1)
+        for _ in range(200):
+            optimizer.step(weights, {"x": 2 * weights["x"]})
+        assert abs(weights["x"][0]) < 1e-6
+
+
+class TestStalenessAwareSgd:
+    def test_zero_alpha_matches_plain_sgd(self):
+        plain, aware = make_weights(), make_weights()
+        SGD(learning_rate=0.1).step(plain, {"w": np.ones(2)})
+        optimizer = StalenessAwareSGD(learning_rate=0.1, alpha=0.0)
+        optimizer.set_staleness(10)
+        optimizer.step(aware, {"w": np.ones(2)})
+        assert np.allclose(plain["w"], aware["w"])
+
+    def test_stale_updates_are_damped(self):
+        fresh, stale = make_weights(), make_weights()
+        optimizer = StalenessAwareSGD(learning_rate=0.1, alpha=1.0)
+        optimizer.set_staleness(0)
+        optimizer.step(fresh, {"w": np.ones(2)})
+        optimizer.set_staleness(4)
+        optimizer.step(stale, {"w": np.ones(2)})
+        fresh_step = 1.0 - fresh["w"][0]
+        stale_step = 1.0 - stale["w"][0]
+        assert stale_step == pytest.approx(fresh_step / 5)
+
+    def test_staleness_resets_after_step(self):
+        optimizer = StalenessAwareSGD(learning_rate=0.1, alpha=1.0)
+        optimizer.set_staleness(9)
+        weights = make_weights()
+        optimizer.step(weights, {"w": np.ones(2)})
+        assert optimizer.staleness_scale(0) == 1.0
+        before = weights["w"].copy()
+        optimizer.step(weights, {"w": np.ones(2)})
+        assert np.allclose(before - weights["w"], 0.1)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            StalenessAwareSGD(0.1, alpha=-1)
+        optimizer = StalenessAwareSGD(0.1)
+        with pytest.raises(ValueError):
+            optimizer.set_staleness(-1)

@@ -1,0 +1,97 @@
+"""Tests for the callback hooks and the plain-text report helpers."""
+
+import pytest
+
+from repro.experiments.report import _subsample_indices, format_figure_result
+from repro.experiments.figures import FigureResult, FigureSeries
+from repro.ps.callbacks import Callback, CallbackList, EvaluationRecorder
+
+import numpy as np
+
+
+class _Recorder(Callback):
+    """Callback that records which hooks fired, in order."""
+
+    def __init__(self) -> None:
+        self.events: list[str] = []
+
+    def on_training_start(self, context: dict) -> None:
+        self.events.append("start")
+
+    def on_push(self, context: dict) -> None:
+        self.events.append("push")
+
+    def on_evaluation(self, context: dict) -> None:
+        self.events.append("evaluation")
+
+    def on_training_end(self, context: dict) -> None:
+        self.events.append("end")
+
+
+class TestCallbackList:
+    def test_dispatches_to_all_callbacks_in_order(self):
+        first, second = _Recorder(), _Recorder()
+        callbacks = CallbackList([first, second])
+        callbacks.on_training_start({})
+        callbacks.on_push({})
+        callbacks.on_evaluation({})
+        callbacks.on_training_end({})
+        assert first.events == ["start", "push", "evaluation", "end"]
+        assert second.events == first.events
+
+    def test_append_adds_callback(self):
+        callbacks = CallbackList()
+        recorder = _Recorder()
+        callbacks.append(recorder)
+        callbacks.on_push({})
+        assert recorder.events == ["push"]
+
+    def test_base_callback_hooks_are_no_ops(self):
+        callback = Callback()
+        callback.on_training_start({})
+        callback.on_push({})
+        callback.on_evaluation({})
+        callback.on_training_end({})
+
+
+class TestEvaluationRecorder:
+    def test_records_series_and_best(self):
+        recorder = EvaluationRecorder()
+        assert recorder.best_accuracy == 0.0
+        recorder.on_evaluation({"time": 1.0, "accuracy": 0.2, "loss": 2.0})
+        recorder.on_evaluation({"time": 2.0, "accuracy": 0.5, "loss": 1.0})
+        assert recorder.times == [1.0, 2.0]
+        assert recorder.accuracies == [0.2, 0.5]
+        assert recorder.losses == [2.0, 1.0]
+        assert recorder.best_accuracy == 0.5
+
+
+class TestReportHelpers:
+    def test_subsample_indices_cover_ends(self):
+        indices = _subsample_indices(100, 8)
+        assert indices[0] == 0
+        assert indices[-1] == 99
+        assert len(indices) <= 8
+        assert _subsample_indices(3, 8) == [0, 1, 2]
+        assert _subsample_indices(0, 8) == []
+
+    def test_format_figure_result_lists_every_series(self):
+        figure = FigureResult(
+            figure_id="demo",
+            description="demo figure",
+            series=[
+                FigureSeries(label="one", x=np.array([0.0, 1.0]), y=np.array([0.1, 0.2])),
+                FigureSeries(label="two", x=np.array([0.0]), y=np.array([0.3])),
+            ],
+            metadata={"note": "x"},
+        )
+        text = format_figure_result(figure)
+        assert "demo figure" in text
+        assert "one" in text and "two" in text
+        assert "note" in text
+
+    def test_figure_result_lookup_errors(self):
+        figure = FigureResult(figure_id="demo", description="d")
+        assert figure.labels == []
+        with pytest.raises(KeyError):
+            figure.series_by_label("absent")

@@ -1,0 +1,78 @@
+"""Tests for server-state checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.optim.sgd import SGD
+from repro.ps.checkpoint import CheckpointMetadata, load_checkpoint, restore_into, save_checkpoint
+from repro.ps.kvstore import KeyValueStore
+from repro.utils.serialization import states_allclose
+
+
+def make_store_and_optimizer():
+    rng = np.random.default_rng(0)
+    store = KeyValueStore(
+        initial_weights={"layer.weight": rng.normal(size=(4, 3)), "layer.bias": rng.normal(size=3)},
+        initial_buffers={"bn.running_mean": rng.normal(size=3)},
+    )
+    optimizer = SGD(learning_rate=0.05, momentum=0.9)
+    # Apply a few updates so velocity and version are non-trivial.
+    for _ in range(3):
+        store.apply_gradients(
+            {"layer.weight": rng.normal(size=(4, 3)), "layer.bias": rng.normal(size=3)}, optimizer
+        )
+    return store, optimizer
+
+
+class TestSaveLoad:
+    def test_round_trip_restores_everything(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        path = save_checkpoint(
+            tmp_path / "ckpt", store, optimizer, paradigm="dssp", extra={"epoch": 7}
+        )
+        assert path.suffix == ".npz"
+
+        weights, buffers, velocity, metadata = load_checkpoint(path)
+        assert states_allclose(weights, store.weights_snapshot())
+        assert states_allclose(buffers, store.buffers_snapshot())
+        assert set(velocity) == {"layer.weight", "layer.bias"}
+        assert metadata.version == 3
+        assert metadata.paradigm == "dssp"
+        assert metadata.extra["epoch"] == 7
+
+    def test_restore_into_fresh_store_resumes_identically(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer, paradigm="ssp")
+
+        rng = np.random.default_rng(9)
+        fresh_store = KeyValueStore(
+            initial_weights={"layer.weight": np.zeros((4, 3)), "layer.bias": np.zeros(3)},
+            initial_buffers={"bn.running_mean": np.zeros(3)},
+        )
+        fresh_optimizer = SGD(learning_rate=0.05, momentum=0.9)
+        metadata = restore_into(path, fresh_store, fresh_optimizer)
+        assert metadata.paradigm == "ssp"
+        assert states_allclose(fresh_store.weights_snapshot(), store.weights_snapshot())
+
+        # Applying the same gradient to both must give identical results,
+        # which requires the momentum velocity to have been restored.
+        gradient = {"layer.weight": rng.normal(size=(4, 3)), "layer.bias": rng.normal(size=3)}
+        store.apply_gradients(dict(gradient), optimizer)
+        fresh_store.apply_gradients(dict(gradient), fresh_optimizer)
+        assert states_allclose(fresh_store.weights_snapshot(), store.weights_snapshot())
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nothing.npz")
+
+    def test_restore_rejects_mismatched_model(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+        other = KeyValueStore(initial_weights={"different": np.zeros(2)})
+        with pytest.raises(KeyError):
+            restore_into(path, other, SGD(0.05))
+
+    def test_metadata_json_round_trip(self):
+        metadata = CheckpointMetadata(version=12, paradigm="bsp", extra={"note": "x"})
+        restored = CheckpointMetadata.from_json(metadata.to_json())
+        assert restored == metadata

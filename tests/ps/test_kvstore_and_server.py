@@ -1,0 +1,180 @@
+"""Tests for the key-value store and the parameter server."""
+
+import numpy as np
+import pytest
+
+from repro.core.factory import make_policy
+from repro.optim.sgd import SGD
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.messages import PushRequest
+from repro.ps.server import ParameterServer
+
+
+def make_store():
+    return KeyValueStore(
+        initial_weights={"w": np.array([1.0, 1.0]), "b": np.array([0.0])},
+        initial_buffers={"running_mean": np.array([0.5])},
+    )
+
+
+def make_server(paradigm="asp", num_workers=2, **kwargs):
+    server = ParameterServer(
+        store=make_store(),
+        optimizer=SGD(learning_rate=0.1),
+        policy=make_policy(paradigm, **kwargs),
+    )
+    for index in range(num_workers):
+        server.register_worker(f"w{index}")
+    return server
+
+
+def push(server, worker_id, gradients=None, base_version=None, timestamp=0.0):
+    return server.handle_push(
+        PushRequest(
+            worker_id=worker_id,
+            gradients=gradients or {"w": np.array([1.0, 0.0])},
+            base_version=server.store.version if base_version is None else base_version,
+            timestamp=timestamp,
+        )
+    )
+
+
+class TestKeyValueStore:
+    def test_snapshot_is_a_copy(self):
+        store = make_store()
+        snapshot = store.weights_snapshot()
+        snapshot["w"][0] = 99.0
+        assert store.weights_snapshot()["w"][0] == 1.0
+
+    def test_apply_gradients_updates_and_versions(self):
+        store = make_store()
+        version = store.apply_gradients({"w": np.array([1.0, 0.0])}, SGD(0.1))
+        assert version == 1
+        assert np.allclose(store.weights_snapshot()["w"], [0.9, 1.0])
+
+    def test_unknown_gradient_rejected(self):
+        store = make_store()
+        with pytest.raises(KeyError):
+            store.apply_gradients({"unknown": np.zeros(1)}, SGD(0.1))
+
+    def test_buffers_updated_by_overwrite(self):
+        store = make_store()
+        store.update_buffers({"running_mean": np.array([2.0])})
+        assert store.buffers_snapshot()["running_mean"][0] == 2.0
+        with pytest.raises(ValueError):
+            store.update_buffers({"running_mean": np.zeros(3)})
+
+    def test_full_state_combines_weights_and_buffers(self):
+        store = make_store()
+        state = store.full_state()
+        assert set(state) == {"w", "b", "running_mean"}
+
+    def test_counts_and_bytes(self):
+        store = make_store()
+        assert store.num_parameters == 3
+        assert store.nbytes == 4 * 8
+        assert store.parameter_names == ["w", "b"]
+
+    def test_overwrite_weights_validation(self):
+        store = make_store()
+        store.overwrite_weights({"w": np.array([5.0, 5.0])})
+        assert np.allclose(store.weights_snapshot()["w"], 5.0)
+        with pytest.raises(KeyError):
+            store.overwrite_weights({"zzz": np.zeros(1)})
+        with pytest.raises(ValueError):
+            store.overwrite_weights({"w": np.zeros(3)})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            KeyValueStore(initial_weights={})
+
+
+class TestParameterServer:
+    def test_registration_validation(self):
+        server = make_server()
+        with pytest.raises(ValueError):
+            server.register_worker("w0")
+        with pytest.raises(KeyError):
+            push(server, "stranger")
+
+    def test_push_applies_scaled_gradient(self):
+        server = make_server(num_workers=2)
+        push(server, "w0")
+        # Default gradient scale is 1/num_workers = 0.5, learning rate 0.1.
+        assert np.allclose(server.store.weights_snapshot()["w"], [1.0 - 0.05, 1.0])
+
+    def test_explicit_gradient_scale(self):
+        server = ParameterServer(
+            store=make_store(),
+            optimizer=SGD(learning_rate=0.1),
+            policy=make_policy("asp"),
+            gradient_scale=1.0,
+        )
+        server.register_worker("w0")
+        push(server, "w0")
+        assert np.allclose(server.store.weights_snapshot()["w"], [0.9, 1.0])
+
+    def test_staleness_measured_against_base_version(self):
+        server = make_server(num_workers=2)
+        push(server, "w0", base_version=0)
+        response = push(server, "w1", base_version=0)
+        assert response.staleness == 1
+        summary = server.staleness_tracker.summary()
+        assert summary.maximum == 1
+
+    def test_future_base_version_rejected(self):
+        server = make_server()
+        with pytest.raises(ValueError):
+            push(server, "w0", base_version=5)
+
+    def test_pull_returns_current_version(self):
+        server = make_server()
+        reply = server.handle_pull()
+        assert reply.version == 0
+        push(server, "w0")
+        assert server.handle_pull().version == 1
+
+    def test_bsp_push_reports_released_workers(self):
+        server = make_server(paradigm="bsp", num_workers=2)
+        first = push(server, "w0", timestamp=1.0)
+        assert not first.release_now
+        second = push(server, "w1", timestamp=2.0)
+        assert second.release_now
+        assert second.released_workers == ("w0",)
+
+    def test_learning_rate_schedule_progress(self):
+        from repro.optim.schedules import MultiStepSchedule
+
+        server = ParameterServer(
+            store=make_store(),
+            optimizer=SGD(learning_rate=0.05),
+            policy=make_policy("asp"),
+            learning_rate_schedule=MultiStepSchedule(0.05, milestones=(10,), decay=0.1),
+        )
+        server.register_worker("w0")
+        server.set_progress(5)
+        assert server.optimizer.learning_rate == pytest.approx(0.05)
+        server.set_progress(15)
+        assert server.optimizer.learning_rate == pytest.approx(0.005)
+
+    def test_buffers_propagated_from_push(self):
+        server = make_server()
+        server.handle_push(
+            PushRequest(
+                worker_id="w0",
+                gradients={"w": np.zeros(2)},
+                base_version=0,
+                timestamp=0.0,
+                buffers={"running_mean": np.array([3.0])},
+            )
+        )
+        assert server.handle_pull().buffers["running_mean"][0] == 3.0
+
+    def test_statistics_contains_policy_and_staleness(self):
+        server = make_server(paradigm="ssp", staleness=2)
+        push(server, "w0")
+        stats = server.statistics()
+        assert stats["paradigm"] == "ssp"
+        assert stats["store_version"] == 1
+        assert stats["update_staleness"].count == 1
+        assert server.pushes_handled == 1

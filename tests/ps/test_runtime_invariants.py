@@ -1,0 +1,137 @@
+"""Concurrency invariants of the threaded runtime.
+
+The threaded runtime is a real concurrent system; these tests verify the
+synchronization guarantees hold under actual thread interleavings (not just
+in the deterministic simulator): SSP's staleness bound on applied updates,
+BSP's lockstep rounds, and DSSP's wait-reduction relative to SSP at its
+lower threshold when a worker is artificially slowed down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.factory import make_policy
+from repro.data.loader import MiniBatchLoader
+from repro.models import mlp
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.optim.sgd import SGD
+from repro.ps.callbacks import Callback
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.runtime import ThreadedTrainer
+from repro.ps.server import ParameterServer
+from repro.ps.worker import Worker
+
+
+class _StalenessCollector(Callback):
+    """Records the staleness reported by every push response."""
+
+    def __init__(self) -> None:
+        self.staleness: list[int] = []
+
+    def on_push(self, context: dict) -> None:
+        self.staleness.append(context["response"].staleness)
+
+
+def build_trainer(train, paradigm, num_workers=3, iterations=6, slowdowns=None, **policy_kwargs):
+    input_dim = train.inputs.shape[1]
+
+    def build_model(rng):
+        return mlp(input_dim=input_dim, hidden_dims=(8,), num_classes=4, rng=rng)
+
+    global_model = build_model(np.random.default_rng(0))
+    store = KeyValueStore(
+        initial_weights={name: p.data for name, p in global_model.named_parameters()},
+        initial_buffers=global_model.buffers(),
+    )
+    server = ParameterServer(
+        store=store,
+        optimizer=SGD(learning_rate=0.05),
+        policy=make_policy(paradigm, **policy_kwargs),
+    )
+    workers = []
+    for index in range(num_workers):
+        worker_id = f"w{index}"
+        server.register_worker(worker_id)
+        replica = build_model(np.random.default_rng(index + 1))
+        replica.load_state_dict(global_model.state_dict())
+        workers.append(
+            Worker(
+                worker_id=worker_id,
+                model=replica,
+                loader=MiniBatchLoader(train, batch_size=8, rng=np.random.default_rng(index + 10)),
+                loss_fn=SoftmaxCrossEntropy(),
+            )
+        )
+    collector = _StalenessCollector()
+    trainer = ThreadedTrainer(
+        server=server,
+        workers=workers,
+        iterations_per_worker=iterations,
+        slowdowns=slowdowns or {},
+        callbacks=[collector],
+        wait_timeout=30.0,
+    )
+    return trainer, collector
+
+
+class TestThreadedInvariants:
+    def test_total_pushes_always_equal_quota(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        for paradigm, kwargs in [
+            ("bsp", {}),
+            ("asp", {}),
+            ("ssp", {"staleness": 1}),
+            ("dssp", {"s_lower": 1, "s_upper": 3}),
+        ]:
+            trainer, _collector = build_trainer(train, paradigm, **kwargs)
+            result = trainer.run()
+            assert result.errors == []
+            assert trainer.server.pushes_handled == 3 * 6
+
+    def test_bsp_update_staleness_bounded_by_one_round(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        trainer, collector = build_trainer(train, "bsp", num_workers=3, iterations=8)
+        result = trainer.run()
+        assert result.errors == []
+        # Under BSP a gradient can at most miss the other workers' pushes of
+        # its own round: staleness < number of workers.
+        assert max(collector.staleness) <= 2
+
+    def test_ssp_update_staleness_bounded(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        staleness_bound = 2
+        trainer, collector = build_trainer(
+            train,
+            "ssp",
+            num_workers=3,
+            iterations=8,
+            staleness=staleness_bound,
+            slowdowns={"w2": 0.005},
+        )
+        result = trainer.run()
+        assert result.errors == []
+        # A gradient computed while leading by at most s iterations can miss
+        # at most s * (P - 1) + (P - 1) other updates.
+        assert max(collector.staleness) <= (staleness_bound + 1) * 2
+
+    def test_dssp_waits_no_more_than_ssp_lower_threshold_with_straggler(
+        self, tiny_flat_datasets
+    ):
+        train, _ = tiny_flat_datasets
+        slowdowns = {"w2": 0.01}
+        ssp_trainer, _unused = build_trainer(
+            train, "ssp", num_workers=3, iterations=6, staleness=1, slowdowns=slowdowns
+        )
+        ssp_result = ssp_trainer.run()
+        dssp_trainer, _unused = build_trainer(
+            train, "dssp", num_workers=3, iterations=6, s_lower=1, s_upper=6,
+            slowdowns=slowdowns,
+        )
+        dssp_result = dssp_trainer.run()
+        assert ssp_result.errors == [] and dssp_result.errors == []
+        ssp_wait = sum(report.total_wait_time for report in ssp_result.worker_reports)
+        dssp_wait = sum(report.total_wait_time for report in dssp_result.worker_reports)
+        # Thread-scheduling noise means this cannot be exact; allow 50% slack
+        # while still catching gross regressions (DSSP must not wait far more
+        # than SSP at its lower threshold).
+        assert dssp_wait <= ssp_wait * 1.5 + 0.05

@@ -1,0 +1,218 @@
+"""Tests for the worker logic, the threaded runtime and the coordinator."""
+
+import numpy as np
+import pytest
+
+from repro.core.factory import make_policy
+from repro.data.loader import MiniBatchLoader
+from repro.metrics.accuracy import evaluate_model
+from repro.models import mlp
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.optim.sgd import SGD
+from repro.ps.coordinator import DistributedTrainingConfig, train_distributed
+from repro.ps.kvstore import KeyValueStore
+from repro.ps.runtime import ThreadedTrainer
+from repro.ps.server import ParameterServer
+from repro.ps.worker import Worker
+
+
+def build_model(rng, input_dim=192, num_classes=4):
+    return mlp(input_dim=input_dim, hidden_dims=(16,), num_classes=num_classes, rng=rng)
+
+
+def make_worker(dataset, worker_id="w0", seed=0, micro_batches=1):
+    rng = np.random.default_rng(seed)
+    model = build_model(rng, input_dim=dataset.inputs.shape[1])
+    loader = MiniBatchLoader(dataset, batch_size=16, rng=np.random.default_rng(seed + 1))
+    return Worker(
+        worker_id=worker_id,
+        model=model,
+        loader=loader,
+        loss_fn=SoftmaxCrossEntropy(),
+        micro_batches=micro_batches,
+    )
+
+
+class TestWorker:
+    def test_compute_gradients_returns_all_parameters(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        worker = make_worker(train)
+        computation = worker.compute_gradients()
+        assert set(computation.gradients) == set(dict(worker.model.named_parameters()))
+        assert computation.samples == 16
+        assert np.isfinite(computation.loss)
+        assert worker.iterations == 1
+
+    def test_micro_batches_average_gradients(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        worker = make_worker(train, micro_batches=3)
+        computation = worker.compute_gradients()
+        assert computation.samples == 48
+        assert worker.samples_processed == 48
+
+    def test_load_weights_updates_version_and_values(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        worker = make_worker(train)
+        new_weights = {
+            name: np.zeros_like(parameter.data)
+            for name, parameter in worker.model.named_parameters()
+        }
+        worker.load_weights(new_weights, version=7)
+        assert worker.local_version == 7
+        assert all(np.all(p.data == 0) for _, p in worker.model.named_parameters())
+
+    def test_load_weights_rejects_unknown_names(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        worker = make_worker(train)
+        with pytest.raises(KeyError):
+            worker.load_weights({"nope": np.zeros(3)}, version=1)
+
+    def test_gradient_base_version_tracks_pull(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        worker = make_worker(train)
+        snapshot = {
+            name: parameter.data.copy()
+            for name, parameter in worker.model.named_parameters()
+        }
+        worker.load_weights(snapshot, version=3)
+        assert worker.compute_gradients().base_version == 3
+
+    def test_loss_history_statistics(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        worker = make_worker(train)
+        assert np.isnan(worker.mean_loss)
+        worker.compute_gradients()
+        worker.compute_gradients()
+        assert np.isfinite(worker.mean_loss)
+        assert np.isfinite(worker.recent_loss())
+
+    def test_invalid_micro_batches(self, tiny_flat_datasets):
+        train, _ = tiny_flat_datasets
+        with pytest.raises(ValueError):
+            make_worker(train, micro_batches=0)
+
+
+def build_threaded_trainer(train, test, paradigm="bsp", num_workers=2, iterations=4, **policy_kwargs):
+    seed_rng = np.random.default_rng(0)
+    global_model = build_model(seed_rng, input_dim=train.inputs.shape[1])
+    store = KeyValueStore(
+        initial_weights={name: p.data for name, p in global_model.named_parameters()},
+        initial_buffers=global_model.buffers(),
+    )
+    server = ParameterServer(
+        store=store, optimizer=SGD(learning_rate=0.05, momentum=0.9),
+        policy=make_policy(paradigm, **policy_kwargs),
+    )
+    workers = []
+    for index in range(num_workers):
+        worker = make_worker(train, worker_id=f"w{index}", seed=index + 1)
+        worker.model.load_state_dict(global_model.state_dict())
+        server.register_worker(f"w{index}")
+        workers.append(worker)
+
+    eval_model = build_model(np.random.default_rng(9), input_dim=train.inputs.shape[1])
+
+    def evaluate(state):
+        eval_model.load_state_dict(dict(state))
+        return evaluate_model(eval_model, test, batch_size=32)
+
+    return ThreadedTrainer(
+        server=server,
+        workers=workers,
+        iterations_per_worker=iterations,
+        evaluate_fn=evaluate,
+        evaluate_every_pushes=4,
+        wait_timeout=30.0,
+    )
+
+
+class TestThreadedTrainer:
+    @pytest.mark.parametrize(
+        "paradigm,kwargs",
+        [
+            ("bsp", {}),
+            ("asp", {}),
+            ("ssp", {"staleness": 2}),
+            ("dssp", {"s_lower": 1, "s_upper": 4}),
+        ],
+    )
+    def test_runs_to_completion_under_every_paradigm(
+        self, tiny_flat_datasets, paradigm, kwargs
+    ):
+        train, test = tiny_flat_datasets
+        trainer = build_threaded_trainer(train, test, paradigm=paradigm, **kwargs)
+        result = trainer.run()
+        assert result.errors == []
+        assert result.wall_time > 0
+        assert trainer.server.store.version == 2 * 4
+        assert all(report.iterations == 4 for report in result.worker_reports)
+
+    def test_evaluations_recorded(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        trainer = build_threaded_trainer(train, test, paradigm="asp", iterations=6)
+        result = trainer.run()
+        assert len(result.evaluation_accuracies) >= 1
+        assert 0.0 <= result.best_accuracy <= 1.0
+        assert result.final_accuracy == result.evaluation_accuracies[-1]
+
+    def test_slowdown_increases_waiting_of_fast_worker(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        trainer = build_threaded_trainer(train, test, paradigm="bsp", iterations=5)
+        trainer.slowdowns = {"w1": 0.03}
+        result = trainer.run()
+        waits = {report.worker_id: report.total_wait_time for report in result.worker_reports}
+        assert waits["w0"] > waits["w1"]
+
+    def test_training_reduces_loss(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        trainer = build_threaded_trainer(train, test, paradigm="bsp", iterations=20)
+        result = trainer.run()
+        assert result.errors == []
+        losses = [report.mean_loss for report in result.worker_reports]
+        assert all(np.isfinite(losses))
+        # The model should fit the tiny 4-class problem far better than chance.
+        assert result.best_accuracy > 0.4
+
+    def test_validation_of_arguments(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        trainer = build_threaded_trainer(train, test)
+        with pytest.raises(ValueError):
+            ThreadedTrainer(
+                server=trainer.server, workers=trainer.workers, iterations_per_worker=0
+            )
+        stranger = make_worker(train, worker_id="ghost")
+        with pytest.raises(ValueError):
+            ThreadedTrainer(
+                server=trainer.server, workers=[stranger], iterations_per_worker=1
+            )
+
+
+class TestCoordinator:
+    def test_train_distributed_end_to_end(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        config = DistributedTrainingConfig(
+            paradigm="dssp",
+            paradigm_kwargs={"s_lower": 1, "s_upper": 4},
+            num_workers=2,
+            iterations_per_worker=5,
+            batch_size=16,
+            learning_rate=0.05,
+            evaluate_every_pushes=5,
+        )
+        result = train_distributed(
+            config,
+            model_builder=lambda rng: build_model(rng, input_dim=train.inputs.shape[1]),
+            train_dataset=train,
+            test_dataset=test,
+        )
+        assert result.errors == []
+        assert len(result.worker_reports) == 2
+        assert len(result.evaluation_accuracies) >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DistributedTrainingConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            DistributedTrainingConfig(iterations_per_worker=0)
+        with pytest.raises(ValueError):
+            DistributedTrainingConfig(batch_size=0)

@@ -1,0 +1,213 @@
+"""Integration tests for the discrete-event training simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.models import mlp
+from repro.simulation.cluster import heterogeneous_cluster, homogeneous_cluster
+from repro.simulation.trainer import SimulationConfig, simulate_training
+
+
+@pytest.fixture
+def flat_problem(tiny_flat_datasets):
+    return tiny_flat_datasets
+
+
+def builder_for(train: ArrayDataset):
+    input_dim = train.inputs.shape[1]
+
+    def builder(rng: np.random.Generator):
+        return mlp(input_dim=input_dim, hidden_dims=(16,), num_classes=4, rng=rng)
+
+    return builder
+
+
+def compute_heavy_timing_cost():
+    """A timing cost dominated by computation, so device-speed differences
+    (and therefore the synchronization behaviour) actually matter."""
+    from repro.simulation.workload import ModelCost
+
+    return ModelCost(
+        flops_per_sample=5e8, num_parameters=100_000, parameter_bytes=400_000
+    )
+
+
+def run(train, test, paradigm, cluster=None, epochs=2.0, seed=0, **kwargs):
+    config = SimulationConfig(
+        cluster=cluster or homogeneous_cluster(num_workers=2, gpus_per_worker=1),
+        paradigm=paradigm,
+        paradigm_kwargs=kwargs.pop("paradigm_kwargs", _default_kwargs(paradigm)),
+        epochs=epochs,
+        batch_size=16,
+        learning_rate=0.05,
+        evaluate_every_updates=8,
+        seed=seed,
+        **kwargs,
+    )
+    return simulate_training(config, builder_for(train), train, test)
+
+
+def _default_kwargs(paradigm):
+    if paradigm == "ssp":
+        return {"staleness": 2}
+    if paradigm == "dssp":
+        return {"s_lower": 1, "s_upper": 4}
+    return {}
+
+
+class TestSimulatedTraining:
+    @pytest.mark.parametrize("paradigm", ["bsp", "asp", "ssp", "dssp"])
+    def test_runs_and_reports_for_every_paradigm(self, flat_problem, paradigm):
+        train, test = flat_problem
+        result = run(train, test, paradigm)
+        expected_updates = int(np.ceil(2.0 * len(train) / 16))
+        assert result.total_updates == expected_updates
+        assert result.total_virtual_time > 0
+        assert result.times.shape == result.accuracies.shape
+        assert np.all(np.diff(result.times) >= 0)
+        assert 0.0 <= result.best_accuracy <= 1.0
+        assert set(result.iterations_per_worker) == {"worker-0", "worker-1"}
+
+    def test_training_improves_accuracy(self, flat_problem):
+        train, test = flat_problem
+        result = run(train, test, "bsp", epochs=4.0)
+        assert result.accuracies[-1] > result.accuracies[0] + 0.2
+
+    def test_same_seed_is_deterministic(self, flat_problem):
+        train, test = flat_problem
+        first = run(train, test, "dssp", seed=3)
+        second = run(train, test, "dssp", seed=3)
+        assert np.allclose(first.times, second.times)
+        assert np.allclose(first.accuracies, second.accuracies)
+        assert first.total_virtual_time == pytest.approx(second.total_virtual_time)
+
+    def test_different_seeds_differ(self, flat_problem):
+        train, test = flat_problem
+        first = run(train, test, "asp", seed=1)
+        second = run(train, test, "asp", seed=2)
+        assert first.total_virtual_time != pytest.approx(second.total_virtual_time)
+
+    def test_asp_never_waits_and_bsp_waits(self, flat_problem):
+        train, test = flat_problem
+        cluster = heterogeneous_cluster()
+        asp = run(train, test, "asp", cluster=cluster)
+        bsp = run(train, test, "bsp", cluster=cluster)
+        assert asp.total_wait_time == 0.0
+        assert bsp.total_wait_time > 0.0
+
+    def test_heterogeneous_asp_lets_fast_worker_do_more_iterations(self, flat_problem):
+        train, test = flat_problem
+        result = run(
+            train,
+            test,
+            "asp",
+            cluster=heterogeneous_cluster(),
+            timing_cost=compute_heavy_timing_cost(),
+            timing_batch_size=128,
+        )
+        iterations = result.iterations_per_worker
+        assert iterations["worker-0"] > iterations["worker-1"]
+
+    def test_per_worker_accounting_balances_iterations(self, flat_problem):
+        train, test = flat_problem
+        result = run(
+            train,
+            test,
+            "asp",
+            cluster=heterogeneous_cluster(),
+            epoch_accounting="per_worker",
+            timing_cost=compute_heavy_timing_cost(),
+            timing_batch_size=128,
+        )
+        iterations = result.iterations_per_worker
+        assert iterations["worker-0"] == iterations["worker-1"]
+
+    def test_ssp_staleness_stays_bounded(self, flat_problem):
+        train, test = flat_problem
+        result = run(
+            train,
+            test,
+            "ssp",
+            cluster=heterogeneous_cluster(),
+            paradigm_kwargs={"staleness": 2},
+            epochs=3.0,
+        )
+        # Update staleness can exceed the clock bound only by the in-flight
+        # pushes of one round (at most num_workers - 1 extra).
+        assert result.staleness_summary.maximum <= (2 + 1) * 2
+
+    def test_dssp_records_controller_decisions_on_skewed_cluster(self, flat_problem):
+        train, test = flat_problem
+        result = run(
+            train,
+            test,
+            "dssp",
+            cluster=heterogeneous_cluster(),
+            paradigm_kwargs={"s_lower": 1, "s_upper": 6},
+            epochs=3.0,
+            timing_cost=compute_heavy_timing_cost(),
+            timing_batch_size=128,
+        )
+        assert result.controller_decisions > 0
+        assert result.paradigm_label == "DSSP s=1, r=5"
+
+    def test_max_updates_caps_run(self, flat_problem):
+        train, test = flat_problem
+        config = SimulationConfig(
+            cluster=homogeneous_cluster(num_workers=2, gpus_per_worker=1),
+            paradigm="asp",
+            paradigm_kwargs={},
+            epochs=10.0,
+            batch_size=16,
+            max_updates=7,
+            evaluate_every_updates=0,
+            seed=0,
+        )
+        result = simulate_training(config, builder_for(train), train, test)
+        assert result.total_updates == 7
+
+    def test_lr_schedule_reduces_learning_rate(self, flat_problem):
+        train, test = flat_problem
+        result = run(
+            train,
+            test,
+            "bsp",
+            epochs=3.0,
+            lr_milestones=(1.0, 2.0),
+            lr_decay=0.1,
+        )
+        assert result.server_statistics["learning_rate"] == pytest.approx(0.05 * 0.01)
+
+    def test_timing_cost_override_changes_virtual_time(self, flat_problem):
+        train, test = flat_problem
+        from repro.simulation.workload import ModelCost
+
+        heavy = ModelCost(flops_per_sample=1e9, num_parameters=10_000_000, parameter_bytes=4 * 10_000_000)
+        slow = run(train, test, "asp", timing_cost=heavy, timing_batch_size=128)
+        fast = run(train, test, "asp")
+        assert slow.total_virtual_time > fast.total_virtual_time
+
+    def test_config_validation(self):
+        cluster = homogeneous_cluster(num_workers=1)
+        with pytest.raises(ValueError):
+            SimulationConfig(cluster=cluster, epochs=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(cluster=cluster, batch_size=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(cluster=cluster, max_updates=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(cluster=cluster, epoch_accounting="sometimes")
+
+    def test_trace_contains_push_and_evaluation_events(self, flat_problem):
+        train, test = flat_problem
+        result = run(train, test, "bsp")
+        assert len(result.trace.of_kind("push")) == result.total_updates
+        assert len(result.trace.of_kind("evaluation")) == len(result.times)
+
+    def test_time_to_accuracy_helper(self, flat_problem):
+        train, test = flat_problem
+        result = run(train, test, "bsp", epochs=4.0)
+        reachable = result.time_to_accuracy(result.best_accuracy)
+        assert reachable is not None
+        assert result.time_to_accuracy(1.1) is None

@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on the core invariants of the system.
+
+These complement the example-based tests with randomized schedules and
+shapes, targeting the invariants the paper's correctness rests on:
+
+* clock bookkeeping never loses pushes;
+* SSP never lets a *released* worker exceed the staleness bound;
+* the strict DSSP variant keeps the lead within [s_L, s_U] while the
+  literal variant never blocks a worker that SSP at s_U would release;
+* the controller's choice is always at least as good as stopping now;
+* optimizer updates move weights opposite to the gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import SynchronizationController
+from repro.core.dssp import DynamicStaleSynchronousParallel
+from repro.core.ssp import StaleSynchronousParallel
+from repro.optim.sgd import SGD
+
+WORKER_IDS = ["w0", "w1", "w2"]
+
+
+def drive_policy(policy, schedule: list[int]) -> dict:
+    """Drive a policy with a schedule of worker indices.
+
+    Blocked workers are skipped until released (their scheduled turns are
+    dropped), which models the fact that a waiting worker cannot push.
+    Returns summary observables.
+    """
+    for worker_id in WORKER_IDS:
+        policy.register_worker(worker_id)
+    blocked: set[str] = set()
+    time = 0.0
+    max_released_lead = 0
+    for index in schedule:
+        worker_id = WORKER_IDS[index % len(WORKER_IDS)]
+        if worker_id in blocked:
+            continue
+        time += 1.0
+        outcome = policy.on_push(worker_id, time)
+        if outcome.blocked:
+            blocked.add(worker_id)
+        else:
+            clocks = policy.clock_table.clocks()
+            max_released_lead = max(
+                max_released_lead, clocks[worker_id] - min(clocks.values())
+            )
+        for released in policy.pop_releasable():
+            blocked.discard(released)
+    return {"max_released_lead": max_released_lead, "blocked": blocked}
+
+
+schedules = st.lists(st.integers(min_value=0, max_value=2), min_size=10, max_size=120)
+
+
+class TestPolicyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules, staleness=st.integers(min_value=0, max_value=4))
+    def test_ssp_released_lead_never_exceeds_threshold(self, schedule, staleness):
+        policy = StaleSynchronousParallel(staleness=staleness)
+        observed = drive_policy(policy, schedule)
+        assert observed["max_released_lead"] <= staleness
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        schedule=schedules,
+        s_lower=st.integers(min_value=0, max_value=3),
+        extra=st.integers(min_value=0, max_value=4),
+    )
+    def test_strict_dssp_lead_never_exceeds_upper_bound(self, schedule, s_lower, extra):
+        policy = DynamicStaleSynchronousParallel(
+            s_lower=s_lower, s_upper=s_lower + extra, enforce_upper_bound=True
+        )
+        observed = drive_policy(policy, schedule)
+        assert observed["max_released_lead"] <= s_lower + extra
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules, s_lower=st.integers(min_value=0, max_value=3))
+    def test_dssp_releases_whenever_ssp_at_lower_threshold_would(
+        self, schedule, s_lower
+    ):
+        """Pointwise relaxation: on the same push sequence (decisions compared
+        open-loop, so both policies see identical clock states), every push
+        SSP(s_L) releases is also released by DSSP — DSSP can only relax the
+        lower-threshold rule, never tighten it."""
+        ssp = StaleSynchronousParallel(staleness=s_lower)
+        dssp = DynamicStaleSynchronousParallel(s_lower=s_lower, s_upper=s_lower + 5)
+        for policy in (ssp, dssp):
+            for worker_id in WORKER_IDS:
+                policy.register_worker(worker_id)
+        time = 0.0
+        for index in schedule:
+            worker_id = WORKER_IDS[index % len(WORKER_IDS)]
+            time += 1.0
+            ssp_outcome = ssp.on_push(worker_id, time)
+            dssp_outcome = dssp.on_push(worker_id, time)
+            ssp.pop_releasable()
+            dssp.pop_releasable()
+            if ssp_outcome.release:
+                assert dssp_outcome.release
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules)
+    def test_clock_totals_match_processed_pushes(self, schedule):
+        policy = StaleSynchronousParallel(staleness=2)
+        drive_policy(policy, schedule)
+        assert sum(policy.clock_table.clocks().values()) == policy.statistics()["pushes"]
+
+
+class TestControllerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        fast=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+        slow=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+        r_max=st.integers(min_value=1, max_value=12),
+    )
+    def test_optimum_never_worse_than_stopping_now(self, fast, slow, r_max):
+        controller = SynchronizationController(max_extra_iterations=r_max)
+        waits = controller.predicted_waits(0.0, fast, 0.0, slow)
+        assert waits.shape == (r_max + 1,)
+        assert np.min(waits) <= waits[0] + 1e-12
+        assert np.all(waits >= 0)
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=8
+        ),
+        learning_rate=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+    )
+    def test_step_moves_against_gradient(self, values, learning_rate):
+        weights = {"w": np.array(values, dtype=np.float64)}
+        gradients = {"w": np.array(values, dtype=np.float64)}
+        before = weights["w"].copy()
+        SGD(learning_rate=learning_rate).step(weights, gradients)
+        assert np.allclose(weights["w"], before - learning_rate * before)
+
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(min_value=0.1, max_value=2.0, allow_nan=False))
+    def test_scale_is_linear(self, scale):
+        base = {"w": np.ones(4)}
+        scaled = {"w": np.ones(4)}
+        SGD(learning_rate=0.1).step(base, {"w": np.ones(4)})
+        SGD(learning_rate=0.1).step(scaled, {"w": np.ones(4)}, scale=scale)
+        base_step = 1.0 - base["w"][0]
+        scaled_step = 1.0 - scaled["w"][0]
+        assert np.isclose(scaled_step, base_step * scale, rtol=1e-12)

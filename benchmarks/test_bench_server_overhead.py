@@ -3,7 +3,9 @@
 The paper's DSSP adds work to the parameter server (clock bookkeeping and
 the synchronization controller); these benchmarks quantify that overhead per
 push for every paradigm and the cost of a full push (policy decision plus
-SGD weight update) on a realistically sized parameter set.
+SGD weight update) on a realistically sized parameter set — plus the pull
+path: the sharded store's copy-on-write delta pulls versus the monolithic
+store's full-model deep copies.
 """
 
 import numpy as np
@@ -14,6 +16,13 @@ from repro.optim.sgd import SGD
 from repro.ps.kvstore import KeyValueStore
 from repro.ps.messages import PushRequest
 from repro.ps.server import ParameterServer
+from repro.ps.sharding import ShardedKeyValueStore
+
+
+def resnet_scale_weights(layers=10):
+    """~1.7M parameters in equal-sized tensors (ResNet-110 sized payload)."""
+    rng = np.random.default_rng(0)
+    return {f"layer{i}.weight": rng.normal(size=(400, 430)) for i in range(layers)}
 
 PARADIGMS = [
     ("bsp", {}),
@@ -57,7 +66,7 @@ def test_policy_decision_overhead(benchmark, name, kwargs):
 def test_full_push_with_sgd_update(benchmark):
     """One push against a ~1.7M-parameter store (ResNet-110 sized payload)."""
     rng = np.random.default_rng(0)
-    weights = {f"layer{i}.weight": rng.normal(size=(400, 430)) for i in range(10)}
+    weights = resnet_scale_weights()
     store = KeyValueStore(initial_weights=weights)
     server = ParameterServer(
         store=store,
@@ -83,3 +92,55 @@ def test_full_push_with_sgd_update(benchmark):
 
     response = benchmark(push)
     assert response.new_version >= 1
+
+
+@pytest.mark.parametrize("layout", ["monolithic", "sharded"])
+def test_pull_latency(benchmark, layout):
+    """Time of one pull when only one of ten tensors is dirty per interval.
+
+    The monolithic store deep-copies the full ~13 MB model on every pull;
+    the sharded store hands out copy-on-write views and, given the puller's
+    known version, re-sends only the dirtied tensor.
+    """
+    weights = resnet_scale_weights()
+    if layout == "sharded":
+        store = ShardedKeyValueStore(initial_weights=weights, num_shards=8)
+    else:
+        store = KeyValueStore(initial_weights=weights)
+    optimizer = SGD(learning_rate=0.05)
+    name = next(iter(weights))
+    gradient = {name: np.ones(weights[name].shape)}
+    state = {"known": 0}
+
+    def pull():
+        store.apply_gradients(gradient, optimizer)
+        reply = store.pull(known_version=state["known"])
+        state["known"] = reply.version
+        return reply
+
+    reply = benchmark(pull)
+    assert reply.version >= 1
+
+
+def test_cow_delta_pull_copies_fewer_bytes():
+    """Acceptance check: with few dirty keys the sharded copy-on-write pull
+    moves >= 2x fewer bytes than the monolithic full-model deep copy."""
+    weights = resnet_scale_weights()
+    mono = KeyValueStore(initial_weights=weights)
+    sharded = ShardedKeyValueStore(initial_weights=weights, num_shards=8)
+    mono_opt, shard_opt = SGD(0.05), SGD(0.05)
+
+    # One of ten tensors dirtied since the worker's last pull.
+    name = next(iter(weights))
+    gradient = {name: np.ones(weights[name].shape)}
+    known = sharded.pull().version
+    mono.apply_gradients(gradient, mono_opt)
+    sharded.apply_gradients(gradient, shard_opt)
+
+    full_reply = mono.pull(known_version=known)   # monolithic ignores it
+    delta_reply = sharded.pull(known_version=known)
+    assert not full_reply.is_delta and delta_reply.is_delta
+    assert set(delta_reply.weights) == {name}
+    assert delta_reply.nbytes * 2 <= full_reply.nbytes
+    # With 1 of 10 equal tensors dirty the delta is a tenth of the payload.
+    assert delta_reply.nbytes == full_reply.nbytes // 10

@@ -6,6 +6,16 @@ moment its gradient reaches the server.  The policies bound the *iteration
 lead* between workers; this tracker records the realized update staleness so
 experiments can report distributions per paradigm (ASP unbounded, BSP zero,
 SSP/DSSP bounded by the threshold times the worker count).
+
+Sharding invariant: when the store is partitioned across server shards
+(:class:`repro.ps.sharding.ShardedKeyValueStore`), staleness is still
+defined against the **global** version — the cross-shard count of gradient
+applications — never against a per-shard counter.  Per-shard versions count
+how many pushes *touched* a shard and exist for dirty-tracking and
+checkpointing; using them for staleness would make the measure depend on
+which shards a worker's gradient happens to hit and break the paradigms'
+bounds.  The server therefore records ``global_version_at_apply - 1 -
+base_version`` for every push, exactly as in the monolithic layout.
 """
 
 from __future__ import annotations

@@ -51,7 +51,10 @@ class SGD(Optimizer):
     ) -> None:
         for name, grad in gradients.items():
             weight = weights[name]
-            grad = np.asarray(grad, dtype=np.float64) * scale
+            # Work in the weights' own dtype so a float32 store stays float32
+            # end to end (velocity included) instead of round-tripping
+            # through float64 temporaries.
+            grad = np.asarray(grad, dtype=weight.dtype) * scale
             if grad.shape != weight.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match weight shape "

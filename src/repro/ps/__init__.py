@@ -8,6 +8,10 @@ iterates *compute gradients -> push -> wait for OK -> pull -> continue*.
 This subpackage provides that framework built from scratch:
 
 * :class:`KeyValueStore` — versioned storage of the global weights.
+* :class:`ShardedKeyValueStore` / :class:`ShardRouter` — the same storage
+  partitioned across key-routed shards with per-shard version counters and
+  copy-on-write delta pulls (a drop-in replacement for the monolithic
+  store).
 * :class:`ParameterServer` — applies pushed gradients with an optimizer and
   consults a :class:`repro.core.SynchronizationPolicy` to decide when each
   worker receives the OK signal.
@@ -21,8 +25,9 @@ This subpackage provides that framework built from scratch:
 """
 
 from repro.ps.kvstore import KeyValueStore
-from repro.ps.messages import PushRequest, PullReply, OkSignal, WorkerReport
-from repro.ps.server import ParameterServer, PushResponse
+from repro.ps.sharding import ShardRouter, ShardedKeyValueStore, make_store
+from repro.ps.messages import PushRequest, PullRequest, PullReply, OkSignal, WorkerReport
+from repro.ps.server import AppliedPush, ParameterServer, PushResponse
 from repro.ps.worker import Worker, GradientComputation
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
 from repro.ps.coordinator import DistributedTrainingConfig, train_distributed
@@ -36,11 +41,16 @@ from repro.ps.checkpoint import (
 
 __all__ = [
     "KeyValueStore",
+    "ShardRouter",
+    "ShardedKeyValueStore",
+    "make_store",
     "PushRequest",
+    "PullRequest",
     "PullReply",
     "OkSignal",
     "WorkerReport",
     "ParameterServer",
+    "AppliedPush",
     "PushResponse",
     "Worker",
     "GradientComputation",

@@ -5,6 +5,12 @@ need to survive restarts.  A checkpoint captures everything the server owns:
 the global weights, the non-trainable buffers, the optimizer state (including
 momentum velocity) and the store version, serialized to a single ``.npz``
 file plus a small JSON header.
+
+Checkpoints are layout-agnostic: a checkpoint written from a sharded store
+additionally records the per-shard push counters, and restoring crosses
+layouts freely (monolithic → sharded, sharded → monolithic, different shard
+counts).  When the per-shard counters cannot be mapped onto the target
+layout they are reset to the global version, a safe upper bound.
 """
 
 from __future__ import annotations
@@ -71,10 +77,14 @@ def save_checkpoint(
     for name, value in dict(velocity).items():
         arrays[_VELOCITY_PREFIX + name] = np.asarray(value)
 
+    header_extra = {"optimizer": optimizer_state, **(extra or {})}
+    shard_versions = getattr(store, "shard_versions", None)
+    if shard_versions is not None:
+        header_extra["shard_versions"] = [int(v) for v in shard_versions]
     metadata = CheckpointMetadata(
         version=store.version,
         paradigm=paradigm,
-        extra={"optimizer": optimizer_state, **(extra or {})},
+        extra=header_extra,
     )
     arrays[_HEADER_KEY] = np.frombuffer(metadata.to_json().encode("utf-8"), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
@@ -119,6 +129,8 @@ def restore_into(
     store.overwrite_weights(weights)
     if buffers:
         store.update_buffers(buffers)
+    shard_versions = metadata.extra.get("shard_versions")
+    store.restore_version(metadata.version, shard_versions=shard_versions)
     optimizer_state = dict(metadata.extra.get("optimizer", {}))
     if optimizer_state:
         optimizer_state["velocity"] = velocity

@@ -22,8 +22,8 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
 from repro.optim.schedules import ConstantSchedule
 from repro.optim.sgd import SGD
-from repro.ps.kvstore import KeyValueStore
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
+from repro.ps.sharding import make_store
 from repro.ps.server import ParameterServer
 from repro.ps.worker import Worker
 from repro.utils.rng import RngStream
@@ -57,6 +57,18 @@ class DistributedTrainingConfig:
         keyed by worker id (``"worker-0"``, ...), to emulate heterogeneity.
     evaluate_every_pushes:
         Evaluate the global model every N pushes (0 disables evaluation).
+    num_shards:
+        Number of parameter-server shards.  1 (the default) uses the
+        monolithic :class:`KeyValueStore`; more builds a
+        :class:`repro.ps.sharding.ShardedKeyValueStore`, which lets pushes
+        to disjoint shards run concurrently and serves copy-on-write delta
+        pulls.
+    shard_strategy:
+        Key partitioning strategy, ``"size"`` (balanced) or ``"hash"``.
+    dtype:
+        Element dtype of the server-held weights, ``"float64"`` (default)
+        or ``"float32"`` (halves push/pull payloads; what the paper's MXNet
+        setup uses).
     seed:
         Master seed for data order and weight initialization.
     """
@@ -72,6 +84,9 @@ class DistributedTrainingConfig:
     weight_decay: float = 0.0
     slowdowns: Mapping[str, float] = field(default_factory=dict)
     evaluate_every_pushes: int = 0
+    num_shards: int = 1
+    shard_strategy: str = "size"
+    dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -81,6 +96,8 @@ class DistributedTrainingConfig:
             raise ValueError("iterations_per_worker must be positive")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
 
 
 def train_distributed(
@@ -99,9 +116,12 @@ def train_distributed(
     policy = make_policy(config.paradigm, **config.paradigm_kwargs)
 
     global_model = model_builder(streams.get("init"))
-    store = KeyValueStore(
+    store = make_store(
         initial_weights={name: p.data for name, p in global_model.named_parameters()},
         initial_buffers=global_model.buffers(),
+        num_shards=config.num_shards,
+        strategy=config.shard_strategy,
+        dtype=config.dtype,
     )
     optimizer = SGD(
         learning_rate=config.learning_rate,

@@ -8,8 +8,26 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.optim.optimizer import Optimizer
+from repro.ps.messages import PullReply
 
-__all__ = ["KeyValueStore"]
+__all__ = ["KeyValueStore", "normalize_store_dtype"]
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def normalize_store_dtype(dtype: np.dtype | str) -> np.dtype:
+    """Validate and normalize a store dtype (``float32`` or ``float64``).
+
+    The paper's MXNet setup keeps weights in float32 on the wire; float64 is
+    the historical default of this reproduction.  Restricting to the two
+    keeps checkpoints portable and the transfer-size accounting honest.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"store dtype must be float32 or float64, got {resolved.name!r}"
+        )
+    return resolved
 
 
 class KeyValueStore:
@@ -24,21 +42,33 @@ class KeyValueStore:
 
     ``version`` counts the number of gradient applications, which is the
     quantity used to measure update staleness.
+
+    This is the *monolithic* store: one partition, one version counter, and
+    pulls that deep-copy the full model.  The sharded variant
+    (:class:`repro.ps.sharding.ShardedKeyValueStore`) is a drop-in
+    replacement with key-partitioned shards and copy-on-write pulls.
     """
+
+    #: Pushes must be serialized by the caller (no internal locking).
+    supports_concurrent_apply = False
+    #: Pulls always carry the full model regardless of ``known_version``.
+    supports_delta_pull = False
 
     def __init__(
         self,
         initial_weights: Mapping[str, np.ndarray],
         initial_buffers: Mapping[str, np.ndarray] | None = None,
+        dtype: np.dtype | str = np.float64,
     ) -> None:
         if not initial_weights:
             raise ValueError("initial_weights must contain at least one parameter")
+        self._dtype = normalize_store_dtype(dtype)
         self._weights: "OrderedDict[str, np.ndarray]" = OrderedDict(
-            (name, np.array(value, dtype=np.float64, copy=True))
+            (name, np.array(value, dtype=self._dtype, copy=True))
             for name, value in initial_weights.items()
         )
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict(
-            (name, np.array(value, dtype=np.float64, copy=True))
+            (name, np.array(value, dtype=self._dtype, copy=True))
             for name, value in (initial_buffers or {}).items()
         )
         self._version = 0
@@ -46,6 +76,11 @@ class KeyValueStore:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of every stored array."""
+        return self._dtype
+
     @property
     def version(self) -> int:
         """Number of gradient updates applied so far."""
@@ -72,7 +107,7 @@ class KeyValueStore:
     # Reads
     # ------------------------------------------------------------------
     def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
-        """Deep copy of the current weights (what a pull returns)."""
+        """Deep copy of the current weights."""
         return OrderedDict((name, value.copy()) for name, value in self._weights.items())
 
     def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
@@ -84,6 +119,21 @@ class KeyValueStore:
         state = self.weights_snapshot()
         state.update(self.buffers_snapshot())
         return state
+
+    def pull(self, known_version: int | None = None) -> PullReply:
+        """Build the reply to a pull request.
+
+        The monolithic store always sends the complete model as deep copies;
+        ``known_version`` is accepted for interface compatibility with the
+        sharded store (which answers with a delta of the dirtied keys).
+        """
+        del known_version  # full pulls only
+        return PullReply(
+            weights=self.weights_snapshot(),
+            buffers=self.buffers_snapshot(),
+            version=self._version,
+            is_delta=False,
+        )
 
     # ------------------------------------------------------------------
     # Writes
@@ -106,10 +156,18 @@ class KeyValueStore:
         return self._version
 
     def update_buffers(self, buffers: Mapping[str, np.ndarray]) -> None:
-        """Overwrite buffer entries with fresher worker-side values."""
+        """Overwrite buffer entries with fresher worker-side values.
+
+        Buffer names must already exist in the store; unknown names raise
+        ``KeyError`` (like :meth:`apply_gradients` does for weights) so a
+        mis-keyed push fails loudly instead of growing the store silently.
+        """
+        unknown = set(buffers) - set(self._buffers)
+        if unknown:
+            raise KeyError(f"buffers refer to unknown entries: {sorted(unknown)[:5]}")
         for name, value in buffers.items():
-            value = np.asarray(value, dtype=np.float64)
-            if name in self._buffers and self._buffers[name].shape != value.shape:
+            value = np.asarray(value, dtype=self._dtype)
+            if self._buffers[name].shape != value.shape:
                 raise ValueError(
                     f"buffer shape mismatch for {name!r}: "
                     f"{self._buffers[name].shape} vs {value.shape}"
@@ -122,9 +180,22 @@ class KeyValueStore:
         if unknown:
             raise KeyError(f"unknown parameters: {sorted(unknown)[:5]}")
         for name, value in weights.items():
-            value = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=self._dtype)
             if value.shape != self._weights[name].shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: {self._weights[name].shape} vs {value.shape}"
                 )
             self._weights[name] = value.copy()
+
+    def restore_version(
+        self, version: int, shard_versions: list[int] | None = None
+    ) -> None:
+        """Reset the update counter (used by checkpoint restore).
+
+        ``shard_versions`` is accepted (and ignored) so a checkpoint written
+        from a sharded store restores cleanly into a monolithic one.
+        """
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
+        del shard_versions
+        self._version = int(version)

@@ -14,7 +14,7 @@ from typing import Mapping
 
 import numpy as np
 
-__all__ = ["PushRequest", "PullReply", "OkSignal", "WorkerReport"]
+__all__ = ["PushRequest", "PullRequest", "PullReply", "OkSignal", "WorkerReport"]
 
 
 @dataclass(frozen=True)
@@ -50,12 +50,44 @@ class PushRequest:
 
 
 @dataclass(frozen=True)
+class PullRequest:
+    """Pull request from a worker to the server.
+
+    Attributes
+    ----------
+    worker_id:
+        Identifier of the pulling worker.
+    known_version:
+        The store version the worker's replica currently holds.  A server
+        backed by a delta-capable store replies with only the entries that
+        changed after this version; ``None`` requests the full model (the
+        initial pull, or a worker recovering from scratch).
+    """
+
+    worker_id: str
+    known_version: int | None = None
+
+
+@dataclass(frozen=True)
 class PullReply:
-    """Snapshot of the global weights returned to a worker."""
+    """Snapshot of the global weights returned to a worker.
+
+    When ``is_delta`` is true the mappings contain only the entries updated
+    after the requesting worker's ``known_version``; loading them on top of
+    the worker's current replica reconstructs the state at ``version``.
+    """
 
     weights: Mapping[str, np.ndarray]
     buffers: Mapping[str, np.ndarray]
     version: int
+    is_delta: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of this reply (bytes moved over the pull path)."""
+        total = sum(np.asarray(value).nbytes for value in self.weights.values())
+        total += sum(np.asarray(value).nbytes for value in self.buffers.values())
+        return int(total)
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,13 @@ This runtime exercises the framework as a genuinely concurrent system on one
 machine (the GIL serializes NumPy-bound compute to a degree, but the
 synchronization behaviour — who waits for whom, and for how long — is real).
 
+Against a sharded store (``store.supports_concurrent_apply``) the gradient
+application runs *outside* the global server lock, under the store's own
+per-shard locks, so pushes whose gradients live on disjoint shards no longer
+serialize; only the policy decision still takes the global lock.  Pulls use
+delta requests against delta-capable stores: each worker reports the version
+it already holds and receives only the entries dirtied since.
+
 Per-worker artificial slowdowns emulate heterogeneous devices: a worker with
 ``slowdown=0.01`` sleeps ten milliseconds per iteration, so it behaves like
 the paper's GTX 1060 next to a faster GTX 1080 Ti.
@@ -21,7 +28,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.ps.callbacks import Callback, CallbackList
-from repro.ps.messages import PushRequest, WorkerReport
+from repro.ps.messages import PullRequest, PushRequest, WorkerReport
 from repro.ps.server import ParameterServer
 from repro.ps.worker import Worker
 from repro.utils.logging import get_logger
@@ -103,6 +110,10 @@ class ThreadedTrainer:
         self.wait_timeout = float(wait_timeout)
 
         self._lock = threading.Lock()
+        self._concurrent_apply = bool(
+            getattr(server.store, "supports_concurrent_apply", False)
+        )
+        self._delta_pulls = bool(getattr(server.store, "supports_delta_pull", False))
         self._ok_events: dict[str, threading.Event] = {
             worker.worker_id: threading.Event() for worker in workers
         }
@@ -177,9 +188,17 @@ class ThreadedTrainer:
                     buffers=computation.buffers,
                     local_loss=computation.loss,
                 )
+                applied = None
+                if self._concurrent_apply:
+                    # Per-shard locks inside the store make this safe without
+                    # the global lock; disjoint-shard pushes run in parallel.
+                    applied = self.server.apply_push(request)
                 with self._lock:
                     self._ok_events[worker_id].clear()
-                    response = self.server.handle_push(request)
+                    if applied is not None:
+                        response = self.server.finish_push(request, applied)
+                    else:
+                        response = self.server.handle_push(request)
                     for released in response.released_workers:
                         self._ok_events[released].set()
                     if response.release_now:
@@ -197,7 +216,7 @@ class ThreadedTrainer:
                 total_wait += time.monotonic() - wait_start
 
                 with self._lock:
-                    reply = self.server.handle_pull()
+                    reply = self.server.handle_pull(self._pull_request(worker))
                 worker.load_weights(reply.weights, reply.version)
         except Exception as error:  # noqa: BLE001 - worker failures must not hang the run
             _LOGGER.exception("worker %s failed", worker_id)
@@ -212,6 +231,12 @@ class ThreadedTrainer:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _pull_request(self, worker: Worker) -> PullRequest | None:
+        """Delta pull request for ``worker`` (None when the store is full-pull)."""
+        if not self._delta_pulls:
+            return None
+        return PullRequest(worker_id=worker.worker_id, known_version=worker.local_version)
+
     def _record_worker_times(self, worker_id: str, wait: float, compute: float) -> None:
         with self._lock:
             self.server.policy.clock_table.record_wait(worker_id, wait)

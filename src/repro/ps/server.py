@@ -14,12 +14,27 @@ from repro.core.policy import SynchronizationPolicy
 from repro.core.staleness import StalenessTracker
 from repro.optim.optimizer import Optimizer
 from repro.ps.kvstore import KeyValueStore
-from repro.ps.messages import PullReply, PushRequest
+from repro.ps.messages import PullReply, PullRequest, PushRequest
 from repro.utils.logging import get_logger
 
-__all__ = ["PushResponse", "ParameterServer"]
+__all__ = ["AppliedPush", "PushResponse", "ParameterServer"]
 
 _LOGGER = get_logger("ps.server")
+
+
+@dataclass(frozen=True)
+class AppliedPush:
+    """Outcome of the storage half of a push (gradient already applied).
+
+    Produced by :meth:`ParameterServer.apply_push` and consumed by
+    :meth:`ParameterServer.finish_push`.  Splitting the two lets a
+    concurrent runtime apply gradients under the store's own (per-shard)
+    locks while serializing only the policy decision.
+    """
+
+    worker_id: str
+    new_version: int
+    staleness: int
 
 
 @dataclass(frozen=True)
@@ -125,31 +140,49 @@ class ParameterServer:
 
     def handle_push(self, request: PushRequest) -> PushResponse:
         """Apply a pushed gradient and decide which workers to release."""
+        return self.finish_push(request, self.apply_push(request))
+
+    def apply_push(self, request: PushRequest) -> AppliedPush:
+        """Storage half of a push: apply the gradient, measure staleness.
+
+        Safe to call without external locking when the store applies
+        gradients under its own locks (``store.supports_concurrent_apply``);
+        pushes whose gradient keys live on disjoint shards then proceed in
+        parallel.  The matching :meth:`finish_push` call must still be
+        serialized with all other policy interactions.
+        """
         if request.worker_id not in self._registered_workers:
             raise KeyError(f"push from unregistered worker {request.worker_id!r}")
-
-        staleness = self.store.version - request.base_version
-        if staleness < 0:
+        if request.base_version > self.store.version:
             raise ValueError(
                 "push base_version is newer than the store version "
                 f"({request.base_version} > {self.store.version})"
             )
-        self.staleness_tracker.record(request.worker_id, staleness)
 
         new_version = self.store.apply_gradients(
             request.gradients, self.optimizer, scale=self.gradient_scale()
         )
         if request.buffers:
             self.store.update_buffers(request.buffers)
+        # Staleness is measured against the *global* version regardless of
+        # sharding: how many updates landed between the worker's pull and the
+        # version its own update produced.
+        staleness = new_version - 1 - request.base_version
+        return AppliedPush(
+            worker_id=request.worker_id, new_version=new_version, staleness=staleness
+        )
 
+    def finish_push(self, request: PushRequest, applied: AppliedPush) -> PushResponse:
+        """Synchronization half of a push: record staleness, consult policy."""
+        self.staleness_tracker.record(request.worker_id, applied.staleness)
         outcome = self.policy.on_push(request.worker_id, request.timestamp)
         released = tuple(self.policy.pop_releasable())
         self._pushes_handled += 1
         _LOGGER.debug(
             "push from %s: version=%d staleness=%d release=%s unblocked=%s",
             request.worker_id,
-            new_version,
-            staleness,
+            applied.new_version,
+            applied.staleness,
             outcome.release,
             released,
         )
@@ -157,18 +190,21 @@ class ParameterServer:
             worker_id=request.worker_id,
             release_now=outcome.release,
             released_workers=released,
-            new_version=new_version,
-            staleness=staleness,
+            new_version=applied.new_version,
+            staleness=applied.staleness,
             used_extra_credit=outcome.used_extra_credit,
         )
 
-    def handle_pull(self) -> PullReply:
-        """Return a snapshot of the global weights (the pull operation)."""
-        return PullReply(
-            weights=self.store.weights_snapshot(),
-            buffers=self.store.buffers_snapshot(),
-            version=self.store.version,
-        )
+    def handle_pull(self, request: PullRequest | None = None) -> PullReply:
+        """Return a snapshot of the global weights (the pull operation).
+
+        Without a request (or against a store that cannot delta-encode) the
+        reply carries the full model.  A :class:`PullRequest` with a
+        ``known_version`` against a delta-capable store receives only the
+        entries updated after that version.
+        """
+        known_version = request.known_version if request is not None else None
+        return self.store.pull(known_version)
 
     # ------------------------------------------------------------------
     # Reporting

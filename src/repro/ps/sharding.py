@@ -1,0 +1,559 @@
+"""Sharded parameter storage with copy-on-write pulls.
+
+The paper's experiments run on the standard parameter-server architecture in
+which the global model is *partitioned across server shards*: each shard owns
+a disjoint subset of the parameter keys, so pushes and pulls scale with the
+number of servers instead of funnelling through one process.  This module
+reproduces that shape in-process:
+
+* :class:`ShardRouter` — deterministic assignment of parameter keys to
+  shards, either by a stable hash of the key name or by greedy size
+  balancing (largest-tensor-first into the least-loaded shard);
+* :class:`ShardedKeyValueStore` — a drop-in replacement for
+  :class:`repro.ps.kvstore.KeyValueStore` that keeps per-shard version
+  counters (how many pushes touched each shard) next to the global update
+  counter, guards every shard with its own lock so pushes to disjoint
+  shards can be applied concurrently, and answers pulls with
+  **copy-on-write snapshots**.
+
+Copy-on-write pulls work as follows.  A pull hands out *read-only views* of
+the stored arrays instead of deep copies and marks those keys as leased.
+When a later gradient update is about to mutate a leased key, the store
+first re-materializes it (replaces the stored array with a fresh copy and
+clears the lease) so every view handed out earlier keeps observing exactly
+the snapshot it was given.  Copy cost is therefore paid per *updated* key —
+once per update interval — instead of per pulled key, and a pull request
+that carries the worker's ``known_version`` receives a delta holding only
+the keys dirtied after that version (tracked via per-key version stamps).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.ps.kvstore import KeyValueStore, normalize_store_dtype
+from repro.ps.messages import PullReply
+
+__all__ = ["ShardRouter", "ShardedKeyValueStore", "make_store"]
+
+_STRATEGIES = ("hash", "size")
+
+
+class ShardRouter:
+    """Deterministic mapping of parameter keys to server shards.
+
+    Two partitioning strategies are provided:
+
+    * ``"hash"`` — ``crc32(key) % num_shards``.  Stateless and stable across
+      processes (unlike Python's salted ``hash``), but blind to tensor sizes,
+      so a model with one dominant tensor can end up skewed.
+    * ``"size"`` — longest-processing-time greedy balancing: keys are sorted
+      by payload size (largest first, name as the tie-break) and each is
+      assigned to the currently least-loaded shard.  This is what parameter
+      servers that know their model do, and it keeps the per-shard payload
+      of a full pull nearly equal.
+    """
+
+    def __init__(
+        self,
+        sizes: Mapping[str, int],
+        num_shards: int,
+        strategy: str = "size",
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+        if not sizes:
+            raise ValueError("sizes must contain at least one key")
+        self._num_shards = int(num_shards)
+        self._strategy = strategy
+        self._assignments: dict[str, int] = {}
+        if strategy == "hash":
+            for key in sizes:
+                self._assignments[key] = self._hash_shard(key)
+        else:
+            loads = [0] * self._num_shards
+            ordered = sorted(sizes.items(), key=lambda item: (-int(item[1]), item[0]))
+            for key, size in ordered:
+                shard = min(range(self._num_shards), key=lambda i: (loads[i], i))
+                self._assignments[key] = shard
+                loads[shard] += int(size)
+        self._shard_sizes = [0] * self._num_shards
+        for key, size in sizes.items():
+            self._shard_sizes[self._assignments[key]] += int(size)
+
+    def _hash_shard(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self._num_shards
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shards keys are routed to."""
+        return self._num_shards
+
+    @property
+    def strategy(self) -> str:
+        """Partitioning strategy (``"hash"`` or ``"size"``)."""
+        return self._strategy
+
+    @property
+    def assignments(self) -> dict[str, int]:
+        """Copy of the key → shard mapping."""
+        return dict(self._assignments)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Total routed payload bytes per shard."""
+        return list(self._shard_sizes)
+
+    def shard_of(self, key: str) -> int:
+        """Shard index owning ``key``.
+
+        Keys the router was not built with are resolvable under the hash
+        strategy (the mapping is stateless) and a ``KeyError`` under size
+        balancing (assignment depends on the build-time key set).
+        """
+        try:
+            return self._assignments[key]
+        except KeyError:
+            if self._strategy == "hash":
+                return self._hash_shard(key)
+            raise KeyError(f"key {key!r} was not routed by this size-balanced router") from None
+
+    def shards_for(self, keys) -> list[int]:
+        """Sorted list of the distinct shards owning ``keys``."""
+        return sorted({self.shard_of(key) for key in keys})
+
+    def balance(self) -> float:
+        """Max shard load divided by the mean load (1.0 is a perfect split)."""
+        mean = sum(self._shard_sizes) / self._num_shards
+        if mean == 0:
+            return 1.0
+        return max(self._shard_sizes) / mean
+
+
+class _Shard:
+    """One partition: its entries, version counter, lock and COW leases."""
+
+    __slots__ = ("index", "weights", "buffers", "version", "lock", "leased")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.weights: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.version = 0
+        self.lock = threading.RLock()
+        self.leased: set[str] = set()
+
+
+class ShardedKeyValueStore:
+    """Key-partitioned, per-shard-versioned store with copy-on-write pulls.
+
+    Drop-in replacement for :class:`repro.ps.kvstore.KeyValueStore`: the
+    whole public surface (``version``, snapshots, ``apply_gradients``,
+    ``update_buffers``, ``overwrite_weights``, ``pull``) behaves
+    identically from the caller's perspective.  Internally:
+
+    * keys are partitioned across ``num_shards`` shards by a
+      :class:`ShardRouter`;
+    * each shard has its own lock, so :meth:`apply_gradients` calls whose
+      gradient keys live on disjoint shards run concurrently (the global
+      version counter is the only shared point, guarded by its own lock);
+    * each shard counts the pushes that touched it (``shard_versions``);
+      the global ``version`` still counts every gradient application, which
+      keeps staleness measurement identical to the monolithic store;
+    * pulls hand out read-only views and, given the puller's
+      ``known_version``, only the entries dirtied after it.
+    """
+
+    #: Internal per-shard locks make concurrent ``apply_gradients`` safe.
+    supports_concurrent_apply = True
+    #: Pulls with a ``known_version`` receive delta replies.
+    supports_delta_pull = True
+
+    def __init__(
+        self,
+        initial_weights: Mapping[str, np.ndarray],
+        initial_buffers: Mapping[str, np.ndarray] | None = None,
+        num_shards: int = 4,
+        strategy: str = "size",
+        dtype: np.dtype | str = np.float64,
+    ) -> None:
+        if not initial_weights:
+            raise ValueError("initial_weights must contain at least one parameter")
+        self._dtype = normalize_store_dtype(dtype)
+        initial_buffers = initial_buffers or {}
+        overlap = set(initial_weights) & set(initial_buffers)
+        if overlap:
+            raise ValueError(f"names used as both weight and buffer: {sorted(overlap)[:5]}")
+
+        sizes = {
+            name: np.asarray(value).size * self._dtype.itemsize
+            for name, value in {**dict(initial_weights), **dict(initial_buffers)}.items()
+        }
+        self._router = ShardRouter(sizes, num_shards=num_shards, strategy=strategy)
+        self._shards = [_Shard(index) for index in range(self._router.num_shards)]
+        self._weight_names = list(initial_weights)
+        self._buffer_names = list(initial_buffers)
+        for name, value in initial_weights.items():
+            shard = self._shards[self._router.shard_of(name)]
+            shard.weights[name] = np.array(value, dtype=self._dtype, copy=True)
+        for name, value in initial_buffers.items():
+            shard = self._shards[self._router.shard_of(name)]
+            shard.buffers[name] = np.array(value, dtype=self._dtype, copy=True)
+
+        self._version = 0
+        self._version_lock = threading.Lock()
+        # Global version at which each entry (weight or buffer) last changed;
+        # a pull with known_version v resends exactly the keys stamped > v.
+        self._last_update: dict[str, int] = {name: 0 for name in sizes}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of every stored array."""
+        return self._dtype
+
+    @property
+    def router(self) -> ShardRouter:
+        """The key → shard router."""
+        return self._router
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the keys are partitioned across."""
+        return len(self._shards)
+
+    @property
+    def version(self) -> int:
+        """Number of gradient updates applied so far (global, cross-shard)."""
+        return self._version
+
+    @property
+    def shard_versions(self) -> list[int]:
+        """Per-shard push counters (pushes whose gradient touched the shard)."""
+        return [shard.version for shard in self._shards]
+
+    @property
+    def parameter_names(self) -> list[str]:
+        """Names of the trainable parameters (original declaration order)."""
+        return list(self._weight_names)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar count of the trainable parameters."""
+        return int(
+            sum(
+                array.size
+                for shard in self._shards
+                for array in shard.weights.values()
+            )
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes transferred by one full pull (weights plus buffers)."""
+        total = 0
+        for shard in self._shards:
+            total += sum(array.nbytes for array in shard.weights.values())
+            total += sum(array.nbytes for array in shard.buffers.values())
+        return int(total)
+
+    @property
+    def shard_nbytes(self) -> list[int]:
+        """Full-pull payload bytes held by each shard."""
+        sizes = []
+        for shard in self._shards:
+            total = sum(array.nbytes for array in shard.weights.values())
+            total += sum(array.nbytes for array in shard.buffers.values())
+            sizes.append(int(total))
+        return sizes
+
+    def shard_of(self, key: str) -> int:
+        """Shard index owning ``key``."""
+        return self._router.shard_of(key)
+
+    # ------------------------------------------------------------------
+    # Locking helpers
+    # ------------------------------------------------------------------
+    def _acquire_all(self) -> list[_Shard]:
+        shards = list(self._shards)
+        for shard in shards:
+            shard.lock.acquire()
+        return shards
+
+    @staticmethod
+    def _release(shards: list[_Shard]) -> None:
+        for shard in reversed(shards):
+            shard.lock.release()
+
+    def _shard_for_weight(self, name: str) -> _Shard:
+        shard = self._shards[self._router.shard_of(name)]
+        if name not in shard.weights:
+            raise KeyError(f"unknown parameter {name!r}")
+        return shard
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current weights (original declaration order)."""
+        shards = self._acquire_all()
+        try:
+            return OrderedDict(
+                (name, self._shards[self._router.shard_of(name)].weights[name].copy())
+                for name in self._weight_names
+            )
+        finally:
+            self._release(shards)
+
+    def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current buffers."""
+        shards = self._acquire_all()
+        try:
+            return OrderedDict(
+                (name, self._shards[self._router.shard_of(name)].buffers[name].copy())
+                for name in self._buffer_names
+            )
+        finally:
+            self._release(shards)
+
+    def full_state(self) -> "OrderedDict[str, np.ndarray]":
+        """Weights and buffers combined (for loading into an evaluation model).
+
+        Taken under all shard locks in one acquisition, so the combined
+        snapshot is point-in-time consistent even while concurrent pushes
+        are in flight (calling the two snapshot methods separately would
+        allow a push to land between them).
+        """
+        shards = self._acquire_all()
+        try:
+            state: "OrderedDict[str, np.ndarray]" = OrderedDict(
+                (name, self._shards[self._router.shard_of(name)].weights[name].copy())
+                for name in self._weight_names
+            )
+            state.update(
+                (name, self._shards[self._router.shard_of(name)].buffers[name].copy())
+                for name in self._buffer_names
+            )
+            return state
+        finally:
+            self._release(shards)
+
+    @staticmethod
+    def _readonly_view(array: np.ndarray) -> np.ndarray:
+        view = array.view()
+        view.flags.writeable = False
+        return view
+
+    def pull(self, known_version: int | None = None) -> PullReply:
+        """Build a copy-on-write reply to a pull request.
+
+        Without ``known_version`` the reply covers the full model; with it,
+        only the entries dirtied after that version.  Either way the arrays
+        are read-only views of the live storage, not copies: the store
+        re-materializes an array before the next update that would touch it
+        (see the module docstring), so the view is a stable snapshot.
+        """
+        weights: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        shards = self._acquire_all()
+        try:
+            version = self._version
+            since = -1 if known_version is None else int(known_version)
+            for name in self._weight_names:
+                if self._last_update[name] <= since:
+                    continue
+                shard = self._shards[self._router.shard_of(name)]
+                weights[name] = self._readonly_view(shard.weights[name])
+                shard.leased.add(name)
+            for name in self._buffer_names:
+                # Inclusive comparison, unlike the weights: buffer writes do
+                # not bump the version, so a buffer stamped with the worker's
+                # known version may have been written *after* that worker's
+                # pull returned.  Resending at the boundary is a small
+                # overhead that keeps the delta contract exact.
+                if self._last_update[name] < since:
+                    continue
+                shard = self._shards[self._router.shard_of(name)]
+                # Buffer updates rebind the stored array rather than mutating
+                # it in place, so views need no lease to stay stable.
+                buffers[name] = self._readonly_view(shard.buffers[name])
+            return PullReply(
+                weights=weights,
+                buffers=buffers,
+                version=version,
+                is_delta=known_version is not None,
+            )
+        finally:
+            self._release(shards)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def apply_gradients(
+        self,
+        gradients: Mapping[str, np.ndarray],
+        optimizer: Optimizer,
+        scale: float = 1.0,
+    ) -> int:
+        """Apply one gradient dictionary and bump the touched shards.
+
+        Only the shards owning the gradient's keys are locked, so pushes to
+        disjoint shards proceed concurrently.  Returns the new global
+        version.
+        """
+        names = list(gradients)
+        touched: list[_Shard] = []
+        for index in self._router.shards_for(names):
+            touched.append(self._shards[index])
+        for name in names:
+            shard = self._shards[self._router.shard_of(name)]
+            if name not in shard.weights:
+                raise KeyError(f"gradients refer to unknown parameters: [{name!r}]")
+
+        for shard in touched:
+            shard.lock.acquire()
+        try:
+            live: dict[str, np.ndarray] = {}
+            for name in names:
+                shard = self._shards[self._router.shard_of(name)]
+                array = shard.weights[name]
+                if name in shard.leased:
+                    # Copy-on-write: holders of earlier pull views keep the
+                    # old array; the update mutates a fresh private copy.
+                    array = array.copy()
+                    shard.weights[name] = array
+                    shard.leased.discard(name)
+                live[name] = array
+            optimizer.step(live, gradients, scale=scale)
+            with self._version_lock:
+                self._version += 1
+                new_version = self._version
+            for shard in touched:
+                shard.version += 1
+            for name in names:
+                self._last_update[name] = new_version
+            return new_version
+        finally:
+            for shard in reversed(touched):
+                shard.lock.release()
+
+    def update_buffers(self, buffers: Mapping[str, np.ndarray]) -> None:
+        """Overwrite buffer entries with fresher worker-side values.
+
+        Unknown buffer names raise ``KeyError`` (matching
+        :meth:`apply_gradients`); shapes must match the stored arrays.
+        """
+        unknown = set(buffers) - set(self._buffer_names)
+        if unknown:
+            raise KeyError(f"buffers refer to unknown entries: {sorted(unknown)[:5]}")
+        for name, value in buffers.items():
+            shard = self._shards[self._router.shard_of(name)]
+            value = np.asarray(value, dtype=self._dtype)
+            with shard.lock:
+                if shard.buffers[name].shape != value.shape:
+                    raise ValueError(
+                        f"buffer shape mismatch for {name!r}: "
+                        f"{shard.buffers[name].shape} vs {value.shape}"
+                    )
+                shard.buffers[name] = value.copy()
+                # Stamp read under the shard lock: any pull that completed
+                # before this write saw a version <= this stamp, so the
+                # inclusive boundary comparison in pull() guarantees that
+                # worker receives the new value on its next delta pull.
+                self._last_update[name] = self._version
+
+    def overwrite_weights(self, weights: Mapping[str, np.ndarray]) -> None:
+        """Replace the stored weights (restore path only).
+
+        Checkpoint restore always follows with :meth:`restore_version`,
+        which resets every per-key stamp; outside that sequence, delta
+        pulls from workers already at the current version would not see
+        the overwrite.
+        """
+        unknown = set(weights) - set(self._weight_names)
+        if unknown:
+            raise KeyError(f"unknown parameters: {sorted(unknown)[:5]}")
+        stamp = self._version
+        for name, value in weights.items():
+            shard = self._shards[self._router.shard_of(name)]
+            value = np.asarray(value, dtype=self._dtype)
+            with shard.lock:
+                if value.shape != shard.weights[name].shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: "
+                        f"{shard.weights[name].shape} vs {value.shape}"
+                    )
+                # Rebinding (not in-place writing) keeps outstanding pull
+                # views stable without an explicit copy-on-write step.
+                shard.weights[name] = value.copy()
+                shard.leased.discard(name)
+                self._last_update[name] = stamp
+
+    def restore_version(
+        self, version: int, shard_versions: list[int] | None = None
+    ) -> None:
+        """Reset the global and per-shard counters (checkpoint restore).
+
+        ``shard_versions`` restores the per-shard counters exactly when the
+        checkpoint was written by a store with the same shard count;
+        otherwise (monolithic checkpoint, or a different shard layout) every
+        shard counter is set to the global version, a safe upper bound.
+        Every entry is stamped as dirty at ``version`` so the next delta
+        pull from any worker resends the restored state in full.
+        """
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
+        shards = self._acquire_all()
+        try:
+            with self._version_lock:
+                self._version = int(version)
+            if shard_versions is not None and len(shard_versions) == len(self._shards):
+                for shard, shard_version in zip(self._shards, shard_versions):
+                    shard.version = int(shard_version)
+            else:
+                for shard in self._shards:
+                    shard.version = int(version)
+            for name in self._last_update:
+                self._last_update[name] = int(version)
+        finally:
+            self._release(shards)
+
+
+def make_store(
+    initial_weights: Mapping[str, np.ndarray],
+    initial_buffers: Mapping[str, np.ndarray] | None = None,
+    *,
+    num_shards: int = 1,
+    strategy: str = "size",
+    dtype: np.dtype | str = np.float64,
+):
+    """Build the store for a given shard count.
+
+    ``num_shards == 1`` returns the monolithic :class:`KeyValueStore`
+    (globally locked pushes, full-copy pulls); more returns a
+    :class:`ShardedKeyValueStore`.  Every assembly path (coordinator,
+    simulator, tests) goes through this factory so the two layouts stay
+    constructed identically.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if num_shards == 1:
+        return KeyValueStore(initial_weights, initial_buffers, dtype=dtype)
+    return ShardedKeyValueStore(
+        initial_weights,
+        initial_buffers,
+        num_shards=num_shards,
+        strategy=strategy,
+        dtype=dtype,
+    )

@@ -71,13 +71,21 @@ class Worker:
         return self._local_version
 
     def load_weights(self, weights: Mapping[str, np.ndarray], version: int) -> None:
-        """Replace the replica's trainable weights with a pulled snapshot."""
+        """Replace the replica's trainable weights with a pulled snapshot.
+
+        ``weights`` may be a *delta* — a subset of the parameters holding
+        only the entries updated since this worker's last pull; untouched
+        parameters keep their current (still correct) values.  The arrays
+        may be read-only copy-on-write views; they are copied into the
+        replica's own storage here.
+        """
         parameters = dict(self.model.named_parameters())
         unknown = set(weights) - set(parameters)
         if unknown:
             raise KeyError(f"pulled weights contain unknown parameters: {sorted(unknown)[:5]}")
         for name, value in weights.items():
-            parameters[name].data[...] = np.asarray(value, dtype=np.float64)
+            data = parameters[name].data
+            data[...] = np.asarray(value, dtype=data.dtype)
         self._local_version = int(version)
 
     # ------------------------------------------------------------------

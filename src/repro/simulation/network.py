@@ -61,6 +61,31 @@ class NetworkModel:
         """Push + pull time for a payload of ``nbytes`` in each direction."""
         return self.transfer_time(nbytes, rng) + self.transfer_time(nbytes, rng)
 
+    def sharded_transfer_time(
+        self, shard_nbytes, rng: np.random.Generator | None = None
+    ) -> float:
+        """One-direction transfer time against a sharded parameter server.
+
+        Each shard lives on its own server node, so the per-shard transfers
+        proceed in parallel and the slowest shard gates the operation: the
+        result is the max of the per-shard transfer times.  Every shard
+        still pays the path latency, which is why sharding a tiny,
+        latency-dominated payload buys nothing while a bandwidth-dominated
+        payload speeds up by roughly the (balance-weighted) shard count.
+        """
+        times = [self.transfer_time(int(nbytes), rng) for nbytes in shard_nbytes]
+        if not times:
+            raise ValueError("shard_nbytes must not be empty")
+        return max(times)
+
+    def sharded_round_trip_time(
+        self, shard_nbytes, rng: np.random.Generator | None = None
+    ) -> float:
+        """Push + pull time when the payload is split across shards."""
+        return self.sharded_transfer_time(shard_nbytes, rng) + self.sharded_transfer_time(
+            shard_nbytes, rng
+        )
+
 
 #: Effective PS-path throughput on the paper's Infiniband EDR cluster.
 INFINIBAND_EDR = NetworkModel(

@@ -46,9 +46,9 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
 from repro.optim.schedules import ConstantSchedule, MultiStepSchedule
 from repro.optim.sgd import SGD
-from repro.ps.kvstore import KeyValueStore
-from repro.ps.messages import PushRequest
+from repro.ps.messages import PullRequest, PushRequest
 from repro.ps.server import ParameterServer
+from repro.ps.sharding import make_store
 from repro.ps.worker import Worker
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.clock import VirtualClock
@@ -122,6 +122,19 @@ class SimulationConfig:
         (fluctuating network, transient stragglers) — the scenario the paper
         lists as future work; see
         :func:`repro.experiments.ablations.fluctuating_environment_ablation`.
+    num_server_shards:
+        Number of parameter-server shards.  1 (the default) keeps the
+        monolithic store; more splits the model across a
+        :class:`repro.ps.sharding.ShardedKeyValueStore` — workers then pull
+        copy-on-write deltas, and the simulated push/pull time is gated by
+        the most-loaded shard instead of the full payload (parallel
+        per-shard transfers).
+    shard_strategy:
+        Key partitioning strategy for the sharded store (``"size"`` or
+        ``"hash"``).
+    dtype:
+        Element dtype of the server-held weights (``"float64"`` or
+        ``"float32"``).
     seed:
         Master seed controlling data order, initialization and jitter.
     """
@@ -144,11 +157,16 @@ class SimulationConfig:
     timing_cost: object | None = None
     timing_batch_size: int | None = None
     slowdown_schedule: Callable[[str, float], float] | None = None
+    num_server_shards: int = 1
+    shard_strategy: str = "size"
+    dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
+        if self.num_server_shards <= 0:
+            raise ValueError("num_server_shards must be positive")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if self.max_updates is not None and self.max_updates <= 0:
@@ -220,9 +238,12 @@ class SimulatedTraining:
     # ------------------------------------------------------------------
     def _build_server(self, global_model: Module) -> ParameterServer:
         config = self.config
-        store = KeyValueStore(
+        store = make_store(
             initial_weights={name: p.data for name, p in global_model.named_parameters()},
             initial_buffers=global_model.buffers(),
+            num_shards=config.num_server_shards,
+            strategy=config.shard_strategy,
+            dtype=config.dtype,
         )
         optimizer = SGD(
             learning_rate=config.learning_rate,
@@ -276,10 +297,22 @@ class SimulatedTraining:
 
         sample_shape = self.train_dataset.sample_shape
         cost = config.timing_cost or estimate_model_cost(global_model, sample_shape)
+        store = server.store
+        if getattr(store, "num_shards", 1) > 1:
+            # Per-shard transfer cost: the simulated push/pull is gated by
+            # the most-loaded shard, with the split taken from the router.
+            total_bytes = max(store.nbytes, 1)
+            # Empty shards transfer nothing and cannot gate the operation.
+            shard_fractions = tuple(
+                nbytes / total_bytes for nbytes in store.shard_nbytes if nbytes > 0
+            ) or (1.0,)
+        else:
+            shard_fractions = (1.0,)
         time_model = IterationTimeModel(
             cost,
             batch_size=config.timing_batch_size or config.batch_size,
             time_scale=config.time_scale,
+            shard_fractions=shard_fractions,
         )
         timing_rng = self._streams.get("timing") if config.timing_jitter else None
 
@@ -341,11 +374,21 @@ class SimulatedTraining:
                 )
             )
 
+        delta_pulls = bool(getattr(server.store, "supports_delta_pull", False))
+
+        def pull_into(worker_id: str) -> None:
+            """Refresh a worker's replica (delta pull when the store can)."""
+            worker = workers[worker_id]
+            request = None
+            if delta_pulls:
+                request = PullRequest(worker_id=worker_id, known_version=worker.local_version)
+            reply = server.handle_pull(request)
+            worker.load_weights(reply.weights, reply.version)
+
         def release_worker(worker_id: str, now: float, waited: float) -> None:
             wait_time[worker_id] += waited
             trace.record(now, "release", worker_id=worker_id, wait_time=waited)
-            reply = server.handle_pull()
-            workers[worker_id].load_weights(reply.weights, reply.version)
+            pull_into(worker_id)
             if iterations_done[worker_id] < quota[worker_id]:
                 schedule_push(worker_id, now)
 
@@ -395,8 +438,7 @@ class SimulatedTraining:
             )
 
             if response.release_now:
-                reply = server.handle_pull()
-                worker.load_weights(reply.weights, reply.version)
+                pull_into(worker_id)
                 if iterations_done[worker_id] < quota[worker_id]:
                     schedule_push(worker_id, now)
             else:

@@ -136,20 +136,40 @@ def estimate_model_cost(model: Module, input_shape: tuple[int, ...]) -> ModelCos
 class IterationTimeModel:
     """Combines a model cost with worker hardware into per-iteration times."""
 
-    def __init__(self, cost: ModelCost, batch_size: int, time_scale: float = 1.0) -> None:
+    def __init__(
+        self,
+        cost: ModelCost,
+        batch_size: int,
+        time_scale: float = 1.0,
+        shard_fractions: tuple[float, ...] = (1.0,),
+    ) -> None:
         """Create the time model.
 
         ``time_scale`` uniformly stretches all times; the experiment harness
         uses it to map the scaled-down models onto second-scale iteration
         times comparable to the paper's axes without affecting any ratio.
+
+        ``shard_fractions`` describes how the parameter payload is split
+        across server shards (each entry is one shard's fraction of the
+        total payload); the default ``(1.0,)`` models the monolithic single
+        server.  Per-shard transfers run in parallel, so communication time
+        is gated by the most-loaded shard — the fractions come straight
+        from the sharded store's router.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if not shard_fractions or any(f <= 0 for f in shard_fractions):
+            raise ValueError("shard_fractions must be non-empty and positive")
+        if not np.isclose(sum(shard_fractions), 1.0, atol=1e-6):
+            raise ValueError(
+                f"shard_fractions must sum to 1, got {sum(shard_fractions)}"
+            )
         self.cost = cost
         self.batch_size = int(batch_size)
         self.time_scale = float(time_scale)
+        self.shard_fractions = tuple(float(f) for f in shard_fractions)
 
     def compute_time(self, spec: WorkerSpec, rng: np.random.Generator | None = None) -> float:
         """Gradient-computation time of one iteration on ``spec``'s device.
@@ -164,7 +184,14 @@ class IterationTimeModel:
         self, spec: WorkerSpec, rng: np.random.Generator | None = None
     ) -> float:
         """Push + pull transfer time of one iteration over ``spec``'s link."""
-        return self.time_scale * spec.network.round_trip_time(self.cost.parameter_bytes, rng=rng)
+        if self.shard_fractions == (1.0,):
+            return self.time_scale * spec.network.round_trip_time(
+                self.cost.parameter_bytes, rng=rng
+            )
+        shard_bytes = [
+            self.cost.parameter_bytes * fraction for fraction in self.shard_fractions
+        ]
+        return self.time_scale * spec.network.sharded_round_trip_time(shard_bytes, rng=rng)
 
     def iteration_time(self, spec: WorkerSpec, rng: np.random.Generator | None = None) -> float:
         """Total busy time of one iteration (compute plus communication)."""

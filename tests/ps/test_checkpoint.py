@@ -6,15 +6,24 @@ import pytest
 from repro.optim.sgd import SGD
 from repro.ps.checkpoint import CheckpointMetadata, load_checkpoint, restore_into, save_checkpoint
 from repro.ps.kvstore import KeyValueStore
+from repro.ps.sharding import ShardedKeyValueStore
 from repro.utils.serialization import states_allclose
 
+INITIAL_SHAPES = {"layer.weight": (4, 3), "layer.bias": (3,)}
 
-def make_store_and_optimizer():
+
+def _initial_arrays(rng):
+    return {name: rng.normal(size=shape) for name, shape in INITIAL_SHAPES.items()}
+
+
+def make_store_and_optimizer(num_shards=1):
     rng = np.random.default_rng(0)
-    store = KeyValueStore(
-        initial_weights={"layer.weight": rng.normal(size=(4, 3)), "layer.bias": rng.normal(size=3)},
-        initial_buffers={"bn.running_mean": rng.normal(size=3)},
-    )
+    weights = _initial_arrays(rng)
+    buffers = {"bn.running_mean": rng.normal(size=3)}
+    if num_shards > 1:
+        store = ShardedKeyValueStore(weights, buffers, num_shards=num_shards)
+    else:
+        store = KeyValueStore(weights, buffers)
     optimizer = SGD(learning_rate=0.05, momentum=0.9)
     # Apply a few updates so velocity and version are non-trivial.
     for _ in range(3):
@@ -22,6 +31,14 @@ def make_store_and_optimizer():
             {"layer.weight": rng.normal(size=(4, 3)), "layer.bias": rng.normal(size=3)}, optimizer
         )
     return store, optimizer
+
+
+def make_fresh_store(num_shards=1):
+    weights = {name: np.zeros(shape) for name, shape in INITIAL_SHAPES.items()}
+    buffers = {"bn.running_mean": np.zeros(3)}
+    if num_shards > 1:
+        return ShardedKeyValueStore(weights, buffers, num_shards=num_shards)
+    return KeyValueStore(weights, buffers)
 
 
 class TestSaveLoad:
@@ -45,13 +62,11 @@ class TestSaveLoad:
         path = save_checkpoint(tmp_path / "ckpt", store, optimizer, paradigm="ssp")
 
         rng = np.random.default_rng(9)
-        fresh_store = KeyValueStore(
-            initial_weights={"layer.weight": np.zeros((4, 3)), "layer.bias": np.zeros(3)},
-            initial_buffers={"bn.running_mean": np.zeros(3)},
-        )
+        fresh_store = make_fresh_store()
         fresh_optimizer = SGD(learning_rate=0.05, momentum=0.9)
         metadata = restore_into(path, fresh_store, fresh_optimizer)
         assert metadata.paradigm == "ssp"
+        assert fresh_store.version == store.version == 3
         assert states_allclose(fresh_store.weights_snapshot(), store.weights_snapshot())
 
         # Applying the same gradient to both must give identical results,
@@ -76,3 +91,70 @@ class TestSaveLoad:
         metadata = CheckpointMetadata(version=12, paradigm="bsp", extra={"note": "x"})
         restored = CheckpointMetadata.from_json(metadata.to_json())
         assert restored == metadata
+
+
+class TestShardedCheckpoints:
+    """Checkpoints round-trip across store layouts (satellite task)."""
+
+    def test_sharded_round_trip_preserves_shard_versions(self, tmp_path):
+        store, optimizer = make_store_and_optimizer(num_shards=2)
+        assert store.version == 3
+        saved_shard_versions = store.shard_versions
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer, paradigm="dssp")
+
+        fresh_store = make_fresh_store(num_shards=2)
+        fresh_optimizer = SGD(learning_rate=0.05, momentum=0.9)
+        metadata = restore_into(path, fresh_store, fresh_optimizer)
+        assert metadata.version == 3
+        assert fresh_store.version == 3
+        assert fresh_store.shard_versions == saved_shard_versions
+        assert states_allclose(fresh_store.weights_snapshot(), store.weights_snapshot())
+        assert states_allclose(fresh_store.buffers_snapshot(), store.buffers_snapshot())
+
+    def test_sharded_restore_resumes_identically(self, tmp_path):
+        store, optimizer = make_store_and_optimizer(num_shards=2)
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+        fresh_store = make_fresh_store(num_shards=2)
+        fresh_optimizer = SGD(learning_rate=0.05, momentum=0.9)
+        restore_into(path, fresh_store, fresh_optimizer)
+
+        rng = np.random.default_rng(9)
+        gradient = {"layer.weight": rng.normal(size=(4, 3)), "layer.bias": rng.normal(size=3)}
+        store.apply_gradients(dict(gradient), optimizer)
+        fresh_store.apply_gradients(dict(gradient), fresh_optimizer)
+        assert states_allclose(fresh_store.weights_snapshot(), store.weights_snapshot())
+        assert fresh_store.version == store.version
+
+    def test_monolithic_checkpoint_loads_into_sharded_store(self, tmp_path):
+        store, optimizer = make_store_and_optimizer(num_shards=1)
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+
+        sharded = make_fresh_store(num_shards=2)
+        metadata = restore_into(path, sharded, SGD(learning_rate=0.05, momentum=0.9))
+        assert metadata.version == 3
+        assert sharded.version == 3
+        # No per-shard counters in a monolithic checkpoint: every shard falls
+        # back to the global version, a safe upper bound.
+        assert sharded.shard_versions == [3, 3]
+        assert states_allclose(sharded.weights_snapshot(), store.weights_snapshot())
+        # The restored state must be resent in full on the next delta pull.
+        delta = sharded.pull(known_version=0)
+        assert set(delta.weights) == set(sharded.parameter_names)
+
+    def test_sharded_checkpoint_loads_into_monolithic_store(self, tmp_path):
+        store, optimizer = make_store_and_optimizer(num_shards=4)
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+        mono = make_fresh_store(num_shards=1)
+        metadata = restore_into(path, mono, SGD(learning_rate=0.05, momentum=0.9))
+        assert metadata.extra["shard_versions"] == store.shard_versions
+        assert mono.version == 3
+        assert states_allclose(mono.weights_snapshot(), store.weights_snapshot())
+
+    def test_sharded_checkpoint_into_different_shard_count(self, tmp_path):
+        store, optimizer = make_store_and_optimizer(num_shards=4)
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+        other = make_fresh_store(num_shards=2)
+        restore_into(path, other, SGD(learning_rate=0.05, momentum=0.9))
+        assert other.version == 3
+        assert other.shard_versions == [3, 3]
+        assert states_allclose(other.weights_snapshot(), store.weights_snapshot())

@@ -1,4 +1,10 @@
-"""Tests for the key-value store and the parameter server."""
+"""Tests for the key-value store and the parameter server.
+
+Every test runs against both store layouts — the monolithic
+``KeyValueStore`` and the ``ShardedKeyValueStore`` — via the parametrized
+``store_factory`` fixture, verifying that the sharded store is a drop-in
+replacement on the whole server surface.
+"""
 
 import numpy as np
 import pytest
@@ -8,24 +14,39 @@ from repro.optim.sgd import SGD
 from repro.ps.kvstore import KeyValueStore
 from repro.ps.messages import PushRequest
 from repro.ps.server import ParameterServer
+from repro.ps.sharding import ShardedKeyValueStore
 
 
-def make_store():
-    return KeyValueStore(
-        initial_weights={"w": np.array([1.0, 1.0]), "b": np.array([0.0])},
-        initial_buffers={"running_mean": np.array([0.5])},
-    )
+@pytest.fixture(params=["monolithic", "sharded"])
+def store_factory(request):
+    def factory(initial_weights=None, initial_buffers="default", **kwargs):
+        if initial_weights is None:
+            initial_weights = {"w": np.array([1.0, 1.0]), "b": np.array([0.0])}
+        if initial_buffers == "default":
+            initial_buffers = {"running_mean": np.array([0.5])}
+        if request.param == "sharded":
+            return ShardedKeyValueStore(
+                initial_weights, initial_buffers, num_shards=2, **kwargs
+            )
+        return KeyValueStore(initial_weights, initial_buffers, **kwargs)
+
+    factory.layout = request.param
+    return factory
 
 
-def make_server(paradigm="asp", num_workers=2, **kwargs):
-    server = ParameterServer(
-        store=make_store(),
-        optimizer=SGD(learning_rate=0.1),
-        policy=make_policy(paradigm, **kwargs),
-    )
-    for index in range(num_workers):
-        server.register_worker(f"w{index}")
-    return server
+@pytest.fixture
+def make_server(store_factory):
+    def factory(paradigm="asp", num_workers=2, **kwargs):
+        server = ParameterServer(
+            store=store_factory(),
+            optimizer=SGD(learning_rate=0.1),
+            policy=make_policy(paradigm, **kwargs),
+        )
+        for index in range(num_workers):
+            server.register_worker(f"w{index}")
+        return server
+
+    return factory
 
 
 def push(server, worker_id, gradients=None, base_version=None, timestamp=0.0):
@@ -40,43 +61,60 @@ def push(server, worker_id, gradients=None, base_version=None, timestamp=0.0):
 
 
 class TestKeyValueStore:
-    def test_snapshot_is_a_copy(self):
-        store = make_store()
+    def test_snapshot_is_a_copy(self, store_factory):
+        store = store_factory()
         snapshot = store.weights_snapshot()
         snapshot["w"][0] = 99.0
         assert store.weights_snapshot()["w"][0] == 1.0
 
-    def test_apply_gradients_updates_and_versions(self):
-        store = make_store()
+    def test_apply_gradients_updates_and_versions(self, store_factory):
+        store = store_factory()
         version = store.apply_gradients({"w": np.array([1.0, 0.0])}, SGD(0.1))
         assert version == 1
         assert np.allclose(store.weights_snapshot()["w"], [0.9, 1.0])
 
-    def test_unknown_gradient_rejected(self):
-        store = make_store()
+    def test_unknown_gradient_rejected(self, store_factory):
+        store = store_factory()
         with pytest.raises(KeyError):
             store.apply_gradients({"unknown": np.zeros(1)}, SGD(0.1))
 
-    def test_buffers_updated_by_overwrite(self):
-        store = make_store()
+    def test_buffers_updated_by_overwrite(self, store_factory):
+        store = store_factory()
         store.update_buffers({"running_mean": np.array([2.0])})
         assert store.buffers_snapshot()["running_mean"][0] == 2.0
         with pytest.raises(ValueError):
             store.update_buffers({"running_mean": np.zeros(3)})
 
-    def test_full_state_combines_weights_and_buffers(self):
-        store = make_store()
+    def test_unknown_buffer_rejected(self, store_factory):
+        store = store_factory()
+        with pytest.raises(KeyError):
+            store.update_buffers({"brand_new": np.zeros(1)})
+
+    def test_full_state_combines_weights_and_buffers(self, store_factory):
+        store = store_factory()
         state = store.full_state()
         assert set(state) == {"w", "b", "running_mean"}
 
-    def test_counts_and_bytes(self):
-        store = make_store()
+    def test_counts_and_bytes(self, store_factory):
+        store = store_factory()
         assert store.num_parameters == 3
         assert store.nbytes == 4 * 8
         assert store.parameter_names == ["w", "b"]
 
-    def test_overwrite_weights_validation(self):
-        store = make_store()
+    def test_float32_dtype_halves_payload(self, store_factory):
+        store = store_factory(dtype="float32")
+        assert store.dtype == np.float32
+        assert store.nbytes == 4 * 4
+        store.apply_gradients({"w": np.array([1.0, 0.0])}, SGD(0.1))
+        assert store.weights_snapshot()["w"].dtype == np.float32
+        assert store.pull().weights["w"].dtype == np.float32
+
+    def test_invalid_dtype_rejected(self, store_factory):
+        with pytest.raises(ValueError):
+            store_factory(dtype="int32")
+
+    def test_overwrite_weights_validation(self, store_factory):
+        store = store_factory()
         store.overwrite_weights({"w": np.array([5.0, 5.0])})
         assert np.allclose(store.weights_snapshot()["w"], 5.0)
         with pytest.raises(KeyError):
@@ -84,28 +122,46 @@ class TestKeyValueStore:
         with pytest.raises(ValueError):
             store.overwrite_weights({"w": np.zeros(3)})
 
-    def test_empty_weights_rejected(self):
+    def test_pull_carries_full_model_by_default(self, store_factory):
+        store = store_factory()
+        reply = store.pull()
+        assert not reply.is_delta
+        assert set(reply.weights) == {"w", "b"}
+        assert set(reply.buffers) == {"running_mean"}
+        assert reply.version == 0
+        assert reply.nbytes == store.nbytes
+
+    def test_restore_version(self, store_factory):
+        store = store_factory()
+        store.restore_version(41)
+        assert store.version == 41
+        store.apply_gradients({"w": np.array([1.0, 0.0])}, SGD(0.1))
+        assert store.version == 42
         with pytest.raises(ValueError):
-            KeyValueStore(initial_weights={})
+            store.restore_version(-1)
+
+    def test_empty_weights_rejected(self, store_factory):
+        with pytest.raises(ValueError):
+            store_factory(initial_weights={})
 
 
 class TestParameterServer:
-    def test_registration_validation(self):
+    def test_registration_validation(self, make_server):
         server = make_server()
         with pytest.raises(ValueError):
             server.register_worker("w0")
         with pytest.raises(KeyError):
             push(server, "stranger")
 
-    def test_push_applies_scaled_gradient(self):
+    def test_push_applies_scaled_gradient(self, make_server):
         server = make_server(num_workers=2)
         push(server, "w0")
         # Default gradient scale is 1/num_workers = 0.5, learning rate 0.1.
         assert np.allclose(server.store.weights_snapshot()["w"], [1.0 - 0.05, 1.0])
 
-    def test_explicit_gradient_scale(self):
+    def test_explicit_gradient_scale(self, store_factory):
         server = ParameterServer(
-            store=make_store(),
+            store=store_factory(),
             optimizer=SGD(learning_rate=0.1),
             policy=make_policy("asp"),
             gradient_scale=1.0,
@@ -114,7 +170,7 @@ class TestParameterServer:
         push(server, "w0")
         assert np.allclose(server.store.weights_snapshot()["w"], [0.9, 1.0])
 
-    def test_staleness_measured_against_base_version(self):
+    def test_staleness_measured_against_base_version(self, make_server):
         server = make_server(num_workers=2)
         push(server, "w0", base_version=0)
         response = push(server, "w1", base_version=0)
@@ -122,19 +178,19 @@ class TestParameterServer:
         summary = server.staleness_tracker.summary()
         assert summary.maximum == 1
 
-    def test_future_base_version_rejected(self):
+    def test_future_base_version_rejected(self, make_server):
         server = make_server()
         with pytest.raises(ValueError):
             push(server, "w0", base_version=5)
 
-    def test_pull_returns_current_version(self):
+    def test_pull_returns_current_version(self, make_server):
         server = make_server()
         reply = server.handle_pull()
         assert reply.version == 0
         push(server, "w0")
         assert server.handle_pull().version == 1
 
-    def test_bsp_push_reports_released_workers(self):
+    def test_bsp_push_reports_released_workers(self, make_server):
         server = make_server(paradigm="bsp", num_workers=2)
         first = push(server, "w0", timestamp=1.0)
         assert not first.release_now
@@ -142,11 +198,11 @@ class TestParameterServer:
         assert second.release_now
         assert second.released_workers == ("w0",)
 
-    def test_learning_rate_schedule_progress(self):
+    def test_learning_rate_schedule_progress(self, store_factory):
         from repro.optim.schedules import MultiStepSchedule
 
         server = ParameterServer(
-            store=make_store(),
+            store=store_factory(),
             optimizer=SGD(learning_rate=0.05),
             policy=make_policy("asp"),
             learning_rate_schedule=MultiStepSchedule(0.05, milestones=(10,), decay=0.1),
@@ -157,7 +213,7 @@ class TestParameterServer:
         server.set_progress(15)
         assert server.optimizer.learning_rate == pytest.approx(0.005)
 
-    def test_buffers_propagated_from_push(self):
+    def test_buffers_propagated_from_push(self, make_server):
         server = make_server()
         server.handle_push(
             PushRequest(
@@ -170,7 +226,7 @@ class TestParameterServer:
         )
         assert server.handle_pull().buffers["running_mean"][0] == 3.0
 
-    def test_statistics_contains_policy_and_staleness(self):
+    def test_statistics_contains_policy_and_staleness(self, make_server):
         server = make_server(paradigm="ssp", staleness=2)
         push(server, "w0")
         stats = server.statistics()
@@ -178,3 +234,17 @@ class TestParameterServer:
         assert stats["store_version"] == 1
         assert stats["update_staleness"].count == 1
         assert server.pushes_handled == 1
+
+    def test_delta_pull_through_server(self, make_server, store_factory):
+        server = make_server(num_workers=2)
+        push(server, "w0")
+        from repro.ps.messages import PullRequest
+
+        reply = server.handle_pull(PullRequest(worker_id="w1", known_version=0))
+        assert reply.version == 1
+        if store_factory.layout == "sharded":
+            assert reply.is_delta
+            assert set(reply.weights) == {"w"}  # only the updated parameter
+        else:
+            assert not reply.is_delta
+            assert set(reply.weights) == {"w", "b"}

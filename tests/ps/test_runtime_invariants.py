@@ -16,10 +16,18 @@ from repro.models import mlp
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.optim.sgd import SGD
 from repro.ps.callbacks import Callback
-from repro.ps.kvstore import KeyValueStore
 from repro.ps.runtime import ThreadedTrainer
 from repro.ps.server import ParameterServer
+from repro.ps.sharding import make_store
 from repro.ps.worker import Worker
+
+
+@pytest.fixture(params=["monolithic", "sharded"])
+def store_layout(request):
+    """Run every invariant against both store layouts: the sharded store's
+    concurrent (per-shard-locked) push path must uphold the same guarantees
+    as the globally locked monolithic path."""
+    return request.param
 
 
 class _StalenessCollector(Callback):
@@ -32,16 +40,20 @@ class _StalenessCollector(Callback):
         self.staleness.append(context["response"].staleness)
 
 
-def build_trainer(train, paradigm, num_workers=3, iterations=6, slowdowns=None, **policy_kwargs):
+def build_trainer(
+    train, paradigm, num_workers=3, iterations=6, slowdowns=None,
+    store_layout="monolithic", **policy_kwargs,
+):
     input_dim = train.inputs.shape[1]
 
     def build_model(rng):
         return mlp(input_dim=input_dim, hidden_dims=(8,), num_classes=4, rng=rng)
 
     global_model = build_model(np.random.default_rng(0))
-    store = KeyValueStore(
+    store = make_store(
         initial_weights={name: p.data for name, p in global_model.named_parameters()},
         initial_buffers=global_model.buffers(),
+        num_shards=3 if store_layout == "sharded" else 1,
     )
     server = ParameterServer(
         store=store,
@@ -75,7 +87,7 @@ def build_trainer(train, paradigm, num_workers=3, iterations=6, slowdowns=None, 
 
 
 class TestThreadedInvariants:
-    def test_total_pushes_always_equal_quota(self, tiny_flat_datasets):
+    def test_total_pushes_always_equal_quota(self, tiny_flat_datasets, store_layout):
         train, _ = tiny_flat_datasets
         for paradigm, kwargs in [
             ("bsp", {}),
@@ -83,26 +95,31 @@ class TestThreadedInvariants:
             ("ssp", {"staleness": 1}),
             ("dssp", {"s_lower": 1, "s_upper": 3}),
         ]:
-            trainer, _collector = build_trainer(train, paradigm, **kwargs)
+            trainer, _collector = build_trainer(
+                train, paradigm, store_layout=store_layout, **kwargs
+            )
             result = trainer.run()
             assert result.errors == []
             assert trainer.server.pushes_handled == 3 * 6
 
-    def test_bsp_update_staleness_bounded_by_one_round(self, tiny_flat_datasets):
+    def test_bsp_update_staleness_bounded_by_one_round(self, tiny_flat_datasets, store_layout):
         train, _ = tiny_flat_datasets
-        trainer, collector = build_trainer(train, "bsp", num_workers=3, iterations=8)
+        trainer, collector = build_trainer(
+            train, "bsp", num_workers=3, iterations=8, store_layout=store_layout
+        )
         result = trainer.run()
         assert result.errors == []
         # Under BSP a gradient can at most miss the other workers' pushes of
         # its own round: staleness < number of workers.
         assert max(collector.staleness) <= 2
 
-    def test_ssp_update_staleness_bounded(self, tiny_flat_datasets):
+    def test_ssp_update_staleness_bounded(self, tiny_flat_datasets, store_layout):
         train, _ = tiny_flat_datasets
         staleness_bound = 2
         trainer, collector = build_trainer(
             train,
             "ssp",
+            store_layout=store_layout,
             num_workers=3,
             iterations=8,
             staleness=staleness_bound,

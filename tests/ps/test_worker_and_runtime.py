@@ -10,9 +10,9 @@ from repro.models import mlp
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.optim.sgd import SGD
 from repro.ps.coordinator import DistributedTrainingConfig, train_distributed
-from repro.ps.kvstore import KeyValueStore
 from repro.ps.runtime import ThreadedTrainer
 from repro.ps.server import ParameterServer
+from repro.ps.sharding import make_store
 from repro.ps.worker import Worker
 
 
@@ -92,12 +92,16 @@ class TestWorker:
             make_worker(train, micro_batches=0)
 
 
-def build_threaded_trainer(train, test, paradigm="bsp", num_workers=2, iterations=4, **policy_kwargs):
+def build_threaded_trainer(
+    train, test, paradigm="bsp", num_workers=2, iterations=4,
+    store_layout="monolithic", **policy_kwargs,
+):
     seed_rng = np.random.default_rng(0)
     global_model = build_model(seed_rng, input_dim=train.inputs.shape[1])
-    store = KeyValueStore(
+    store = make_store(
         initial_weights={name: p.data for name, p in global_model.named_parameters()},
         initial_buffers=global_model.buffers(),
+        num_shards=2 if store_layout == "sharded" else 1,
     )
     server = ParameterServer(
         store=store, optimizer=SGD(learning_rate=0.05, momentum=0.9),
@@ -136,11 +140,14 @@ class TestThreadedTrainer:
             ("dssp", {"s_lower": 1, "s_upper": 4}),
         ],
     )
+    @pytest.mark.parametrize("store_layout", ["monolithic", "sharded"])
     def test_runs_to_completion_under_every_paradigm(
-        self, tiny_flat_datasets, paradigm, kwargs
+        self, tiny_flat_datasets, paradigm, kwargs, store_layout
     ):
         train, test = tiny_flat_datasets
-        trainer = build_threaded_trainer(train, test, paradigm=paradigm, **kwargs)
+        trainer = build_threaded_trainer(
+            train, test, paradigm=paradigm, store_layout=store_layout, **kwargs
+        )
         result = trainer.run()
         assert result.errors == []
         assert result.wall_time > 0
@@ -209,6 +216,29 @@ class TestCoordinator:
         assert len(result.worker_reports) == 2
         assert len(result.evaluation_accuracies) >= 1
 
+    def test_train_distributed_with_sharded_float32_store(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        config = DistributedTrainingConfig(
+            paradigm="ssp",
+            paradigm_kwargs={"staleness": 2},
+            num_workers=2,
+            iterations_per_worker=5,
+            batch_size=16,
+            learning_rate=0.05,
+            evaluate_every_pushes=5,
+            num_shards=4,
+            dtype="float32",
+        )
+        result = train_distributed(
+            config,
+            model_builder=lambda rng: build_model(rng, input_dim=train.inputs.shape[1]),
+            train_dataset=train,
+            test_dataset=test,
+        )
+        assert result.errors == []
+        assert result.server_statistics["store_version"] == 2 * 5
+        assert len(result.evaluation_accuracies) >= 1
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             DistributedTrainingConfig(num_workers=0)
@@ -216,3 +246,5 @@ class TestCoordinator:
             DistributedTrainingConfig(iterations_per_worker=0)
         with pytest.raises(ValueError):
             DistributedTrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            DistributedTrainingConfig(num_shards=0)

@@ -211,3 +211,86 @@ class TestSimulatedTraining:
         reachable = result.time_to_accuracy(result.best_accuracy)
         assert reachable is not None
         assert result.time_to_accuracy(1.1) is None
+
+
+class TestShardedSimulation:
+    """Simulated training against the sharded parameter server."""
+
+    def test_sharded_run_completes_for_every_paradigm(self, flat_problem):
+        train, test = flat_problem
+        for paradigm in ("bsp", "asp", "dssp"):
+            result = run(train, test, paradigm, num_server_shards=4)
+            expected_updates = int(np.ceil(2.0 * len(train) / 16))
+            assert result.total_updates == expected_updates
+            assert 0.0 <= result.best_accuracy <= 1.0
+
+    def test_sharding_reduces_communication_bound_time(self, flat_problem):
+        """On a communication-bound workload, parallel per-shard transfers
+        shorten the iteration and therefore the total virtual time.
+
+        The model needs several similar-sized tensors: per-key sharding
+        cannot split one dominant tensor, so a model that is one big matrix
+        gains nothing (which is itself worth knowing and asserted below).
+        """
+        from repro.simulation.workload import ModelCost
+
+        train, test = flat_problem
+        input_dim = train.inputs.shape[1]
+
+        def wide_builder(rng):
+            return mlp(
+                input_dim=input_dim,
+                hidden_dims=(input_dim, input_dim, input_dim),
+                num_classes=4,
+                rng=rng,
+            )
+
+        comm_heavy = ModelCost(
+            flops_per_sample=1e6, num_parameters=10_000_000,
+            parameter_bytes=4 * 10_000_000,
+        )
+
+        def run_wide(num_server_shards):
+            config = SimulationConfig(
+                cluster=homogeneous_cluster(num_workers=2, gpus_per_worker=1),
+                paradigm="asp",
+                paradigm_kwargs={},
+                epochs=2.0,
+                batch_size=16,
+                evaluate_every_updates=0,
+                timing_cost=comm_heavy,
+                timing_batch_size=128,
+                timing_jitter=False,
+                num_server_shards=num_server_shards,
+                seed=0,
+            )
+            return simulate_training(config, wide_builder, train, test)
+
+        mono = run_wide(1)
+        sharded = run_wide(4)
+        assert sharded.total_virtual_time < mono.total_virtual_time
+        # Four near-equal weight matrices over four shards: the gating shard
+        # carries about a third of the payload, so the bandwidth-dominated
+        # round trip (and with it the total time) drops well below half.
+        assert sharded.total_virtual_time < mono.total_virtual_time * 0.5
+
+    def test_sharded_run_is_deterministic(self, flat_problem):
+        train, test = flat_problem
+        first = run(train, test, "dssp", seed=3, num_server_shards=4)
+        second = run(train, test, "dssp", seed=3, num_server_shards=4)
+        assert np.allclose(first.accuracies, second.accuracies)
+        assert first.total_virtual_time == second.total_virtual_time
+
+    def test_sharded_matches_monolithic_accuracy_with_same_event_order(self, flat_problem):
+        """With timing jitter off and a homogeneous cluster the event order is
+        identical, so delta pulls must reproduce the monolithic weights."""
+        train, test = flat_problem
+        kwargs = dict(timing_jitter=False, epochs=1.0)
+        mono = run(train, test, "bsp", **kwargs)
+        sharded = run(train, test, "bsp", num_server_shards=2, **kwargs)
+        assert np.allclose(mono.accuracies, sharded.accuracies)
+
+    def test_invalid_shard_count_rejected(self):
+        cluster = homogeneous_cluster(num_workers=1)
+        with pytest.raises(ValueError):
+            SimulationConfig(cluster=cluster, num_server_shards=0)

@@ -1,0 +1,114 @@
+"""Dispatch overhead of the unified API facade.
+
+The :mod:`repro.api` front door must be free: declaring a run as an
+:class:`ExperimentSpec` and executing it through ``run_experiment`` may not
+cost more than calling the simulation engine directly.  This benchmark runs
+the *same* training workload both ways — identical seed, identical work —
+interleaved to cancel machine drift, and asserts the facade's *minimum*
+wall time over the rounds is within 2% of the direct path's (the minimum is
+the standard noise-robust timing estimator: one clean round per path
+suffices, so a transient scheduler spike on a shared CI runner cannot fail
+the comparison).  The measurement is recorded in
+``BENCH_api_overhead.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.api import ClusterConfig, ExperimentSpec, run_experiment
+from repro.experiments.workloads import build_workload
+from repro.simulation.trainer import SimulationConfig, simulate_training
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_api_overhead.json"
+
+#: Enough simulated updates that the run takes O(seconds), so fixed
+#: per-call costs (spec validation, provenance, result adaptation) are
+#: measured against a realistic denominator.
+SPEC = ExperimentSpec(
+    name="api-overhead",
+    workload="mlp",
+    scale="tiny",
+    cluster=ClusterConfig(kind="homogeneous", num_workers=2, gpus_per_worker=1),
+    paradigm="asp",
+    paradigm_kwargs={},
+    epochs=80.0,
+    batch_size=16,
+    evaluate_every_updates=0,
+    seed=0,
+)
+ROUNDS = 5
+
+
+def run_direct() -> None:
+    """The pre-facade path: build everything by hand, call the engine."""
+    scale = SPEC.resolved_scale()
+    workload = build_workload(SPEC.workload, scale)
+    config = SimulationConfig(
+        cluster=SPEC.cluster.build(),
+        paradigm=SPEC.paradigm,
+        paradigm_kwargs=dict(SPEC.paradigm_kwargs),
+        epochs=SPEC.resolved_epochs(),
+        batch_size=SPEC.resolved_batch_size(),
+        evaluate_every_updates=0,
+        timing_cost=workload.timing_cost,
+        timing_batch_size=workload.paper_batch_size,
+        seed=SPEC.seed,
+    )
+    simulate_training(
+        config, workload.model_builder, workload.train_dataset, workload.test_dataset
+    )
+
+
+def run_facade() -> None:
+    """The unified path: one spec through run_experiment."""
+    run_experiment(SPEC, "simulated")
+
+
+def measure() -> dict:
+    # Warm-up both paths once (imports, git-describe cache, numpy set-up).
+    run_direct()
+    run_facade()
+
+    direct_times: list[float] = []
+    facade_times: list[float] = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_direct()
+        direct_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        run_facade()
+        facade_times.append(time.perf_counter() - start)
+
+    direct_best = min(direct_times)
+    facade_best = min(facade_times)
+    return {
+        "rounds": ROUNDS,
+        "direct_seconds": direct_times,
+        "facade_seconds": facade_times,
+        "direct_best": direct_best,
+        "facade_best": facade_best,
+        "direct_median": statistics.median(direct_times),
+        "facade_median": statistics.median(facade_times),
+        "overhead_fraction": facade_best / direct_best - 1.0,
+    }
+
+
+def test_api_dispatch_overhead(benchmark):
+    payload = run_once(benchmark, measure)
+    print()
+    print(
+        f"direct best {payload['direct_best']:.3f}s, "
+        f"facade best {payload['facade_best']:.3f}s, "
+        f"overhead {payload['overhead_fraction'] * 100:+.2f}%"
+    )
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # The facade adds spec validation, provenance and result adaptation —
+    # all O(model size), none O(training length).  <2% is the budget.
+    assert payload["overhead_fraction"] < 0.02

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import DynamicStaleSynchronousParallel
+from repro.core import make_policy
 from repro.experiments.figures import figure2_waiting_time_prediction
 
 
@@ -56,7 +56,8 @@ def main() -> None:
     # ~2.6x more often than worker 'slow' and print each decision.
     print()
     print("Live DSSP decisions on a skewed push schedule (s_L=1, s_U=9):")
-    policy = DynamicStaleSynchronousParallel(s_lower=1, s_upper=9)
+    # Built through the same registry the ExperimentSpec front door uses.
+    policy = make_policy("dssp", s_lower=1, s_upper=9)
     policy.register_worker("fast")
     policy.register_worker("slow")
     fast_time, slow_time = 0.0, 0.0

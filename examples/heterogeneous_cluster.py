@@ -3,7 +3,14 @@
 Simulates the paper's mixed-GPU environment — one GTX 1080 Ti worker and one
 GTX 1060 worker on gigabit Ethernet — training ResNet-110 on a synthetic
 CIFAR-100 stand-in, and reports the time each paradigm needs to reach target
-accuracies (the regenerated Table I).
+accuracies (the regenerated Table I).  Each table row is one
+:class:`repro.api.ExperimentSpec` run by the simulated backend; the
+equivalent standalone run of the DSSP row is::
+
+    python -m repro run <(echo '{"workload": "resnet110", "scale": "small",
+        "cluster": {"kind": "heterogeneous",
+                    "devices": ["gtx1080ti", "gtx1060"],
+                    "network": "ethernet"}}')
 
 Run with:
 
@@ -46,6 +53,13 @@ def main() -> None:
         marker = "<-- DSSP" if row.paradigm.startswith("DSSP") else ""
         reached = "reached" if row.time_to_low_target is not None else "never reached"
         print(f"  {row.paradigm:<18} low target {reached:<14} {marker}")
+
+    dssp = table.comparison.result("DSSP s=3, r=12")
+    print()
+    print(
+        f"(rows are ExperimentSpecs on the {dssp.backend!r} backend; "
+        f"devices {dssp.provenance.spec['cluster']['devices']})"
+    )
 
 
 if __name__ == "__main__":

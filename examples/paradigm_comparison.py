@@ -5,6 +5,10 @@ simulated 4-worker x 4-GPU P100 cluster and prints the accuracy-versus-time
 curves plus the summary table (best accuracy, total time, throughput,
 waiting time, time to target accuracy).
 
+Every run underneath is one :class:`repro.api.ExperimentSpec` executed by
+the simulated backend — the comparison differs between runs only in the
+spec's ``paradigm`` section, which is the paper's claim stated as code.
+
 Run with:
 
     python examples/paradigm_comparison.py            # small scale (~1 min)
@@ -44,6 +48,12 @@ def main() -> None:
     print()
     best = max(figure.comparison.best_accuracies().values())
     print(format_comparison_summary(figure.comparison, targets=[0.5 * best, 0.8 * best]))
+    first = next(iter(figure.comparison.results.values()))
+    print()
+    print(
+        f"(each run is one ExperimentSpec on the {first.backend!r} backend; "
+        f"revision {first.provenance.git_revision})"
+    )
     print()
     print(
         "Expected shape (paper Figure 3): ASP/SSP/DSSP finish the epoch budget "

@@ -1,66 +1,86 @@
-"""Quickstart: distributed training with a real (threaded) parameter server.
+"""Quickstart: one declarative spec, two real backends.
 
-This example trains a small MLP on a synthetic CIFAR-10-like dataset with
-four worker threads coordinated by the DSSP paradigm — the same code path a
-real deployment of the library would use, just on one machine.
+This example describes a small DSSP training run as an
+:class:`repro.api.ExperimentSpec` — four worker threads, one artificially
+slowed so the dynamic threshold has something to adapt to — and executes it
+with the *threaded* backend (a real concurrent parameter server on this
+machine).  Flip ``--backend simulated`` to run the identical spec in the
+discrete-event simulator instead; the result schema is the same either way.
 
 Run with:
 
     python examples/quickstart.py
+    python examples/quickstart.py --backend simulated
+
+The spec is also written next to the script, so the equivalent command-line
+run is:
+
+    python -m repro run examples/quickstart_spec.json --backend threaded
 """
 
 from __future__ import annotations
 
-import numpy as np
+import argparse
+from pathlib import Path
 
-from repro.data import ArrayDataset, synthetic_cifar10
-from repro.models import mlp
-from repro.ps import DistributedTrainingConfig, train_distributed
+from repro.api import ClusterConfig, ExperimentSpec, available_backends, run_experiment
 from repro.utils.logging import enable_console_logging
 from repro.utils.timing import format_seconds
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=available_backends(), default="threaded")
+    arguments = parser.parse_args()
+
     enable_console_logging()
 
-    # 1. Data: a synthetic 10-class image problem (stands in for CIFAR-10),
-    #    flattened because the quickstart model is a small MLP.
-    train_images, test_images = synthetic_cifar10(num_train=1200, num_test=300, image_size=8)
-    train = ArrayDataset(train_images.inputs.reshape(len(train_images), -1), train_images.labels)
-    test = ArrayDataset(test_images.inputs.reshape(len(test_images), -1), test_images.labels)
-    input_dim = train.inputs.shape[1]
-
-    # 2. Model builder: every worker gets a replica; the server holds the
-    #    global weights.
-    def build_model(rng: np.random.Generator):
-        return mlp(input_dim=input_dim, hidden_dims=(64,), num_classes=10, rng=rng)
-
-    # 3. Configuration: DSSP with the paper's threshold range [3, 15],
-    #    four workers, and an artificial slowdown on one worker so the
-    #    dynamic threshold actually has something to adapt to.
-    config = DistributedTrainingConfig(
+    # 1. The experiment, as plain data: DSSP with the paper's threshold
+    #    range [3, 15], four workers, and a 10 ms slowdown on worker-3 so
+    #    the dynamic threshold has something to adapt to.
+    spec = ExperimentSpec(
+        name="quickstart-dssp",
+        workload="mlp",
+        scale="tiny",
+        cluster=ClusterConfig(kind="homogeneous", num_workers=4, gpus_per_worker=1),
         paradigm="dssp",
         paradigm_kwargs={"s_lower": 3, "s_upper": 15},
-        num_workers=4,
-        iterations_per_worker=40,
+        epochs=16.0,
         batch_size=32,
         learning_rate=0.05,
         momentum=0.9,
+        evaluate_every_updates=20,
         slowdowns={"worker-3": 0.01},
-        evaluate_every_pushes=20,
         seed=0,
     )
+    # The saved file always carries the threaded-backend semantics the
+    # module docstring advertises (slowdowns are seconds of sleep there).
+    spec_path = spec.save(Path(__file__).resolve().parent / "quickstart_spec.json")
 
-    # 4. Train.
-    result = train_distributed(config, build_model, train, test)
+    # 2. Run it.  Swapping the backend string is the whole migration between
+    #    the simulator and the real threaded parameter server.  The one
+    #    backend-interpreted field is `slowdowns` — the simulator reads the
+    #    value as an iteration-time *multiplier*, so swap in an equivalent
+    #    1.5x factor there (in memory only, the spec file is untouched).
+    run_spec = (
+        spec
+        if arguments.backend == "threaded"
+        else spec.replace(slowdowns={"worker-3": 1.5})
+    )
+    result = run_experiment(run_spec, arguments.backend)
 
-    # 5. Report.
+    # 3. Report (every field below exists identically for both backends).
     print()
-    print(f"wall time               : {format_seconds(result.wall_time)}")
+    print(f"spec file               : {spec_path}")
+    print(f"backend                 : {result.backend}")
+    print(f"paradigm                : {result.paradigm_label}")
+    print(f"total time              : {format_seconds(result.total_time)}")
     print(f"final test accuracy     : {result.final_accuracy:.3f}")
     print(f"best test accuracy      : {result.best_accuracy:.3f}")
-    print(f"server updates applied  : {result.server_statistics['store_version']}")
-    print(f"mean update staleness   : {result.server_statistics['update_staleness'].mean:.2f}")
+    print(f"server updates applied  : {result.total_updates}")
+    print(f"mean update staleness   : {result.staleness.mean:.2f}")
+    print(f"provenance              : repro {result.provenance.repro_version}, "
+          f"rev {result.provenance.git_revision}")
     print()
     print(f"{'worker':<10} {'iterations':>10} {'samples':>9} {'wait (s)':>9} {'mean loss':>10}")
     for report in result.worker_reports:

@@ -20,8 +20,24 @@ It contains, built from scratch:
   accuracy-vs-time results without GPU hardware.
 * ``repro.metrics`` / ``repro.experiments`` — measurement and the harness
   that regenerates every table and figure of the paper's evaluation.
+* ``repro.api`` — the unified front door: a declarative
+  :class:`~repro.api.ExperimentSpec` executed by pluggable backends
+  (simulated or threaded) into one :class:`~repro.api.RunResult` schema;
+  also the ``python -m repro`` command line.
 """
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "ExperimentSpec", "RunResult", "run_experiment"]
+
+_API_EXPORTS = {"ExperimentSpec", "RunResult", "run_experiment"}
+
+
+def __getattr__(name: str):
+    # Lazy: `import repro` stays lightweight; the api package (which pulls
+    # in the experiment harness) loads only when one of its names is used.
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,336 @@
+"""Pluggable execution backends for :class:`~repro.api.ExperimentSpec`.
+
+A backend turns one spec into one :class:`~repro.api.RunResult`.  Two ship
+with the reproduction:
+
+* :class:`SimulatedBackend` — the discrete-event simulator: virtual time,
+  real gradients, device/network models (regenerates the paper's figures
+  deterministically on a laptop).
+* :class:`ThreadedBackend` — the real concurrent parameter-server runtime:
+  one thread per worker, wall-clock time, genuine lock contention.
+
+Both adapt the existing engines (:mod:`repro.simulation.trainer` and
+:mod:`repro.ps`) rather than reimplementing them, and both produce
+schema-identical results, so the same spec JSON answers "what does the
+paradigm do in a modelled cluster?" and "what does it do on real threads?"
+with a one-flag switch.  New backends register by name::
+
+    @register_backend("ray")
+    class RayBackend: ...
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.result import Provenance, RunResult, git_revision
+from repro.api.spec import ExperimentSpec
+from repro.experiments.workloads import Workload, build_workload
+from repro.metrics.throughput import iteration_throughput
+from repro.ps.coordinator import DistributedTrainingConfig, assemble_training
+from repro.ps.messages import WorkerReport
+from repro.simulation.cluster import ClusterSpec
+from repro.simulation.trainer import SimulatedTraining, SimulationConfig
+from repro.version import __version__
+
+__all__ = [
+    "Backend",
+    "SimulatedBackend",
+    "ThreadedBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "run_experiment",
+]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every execution backend provides."""
+
+    name: str
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        workload: Workload | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> RunResult:
+        """Execute ``spec`` and return the unified result.
+
+        ``workload`` and ``cluster`` allow callers that already hold built
+        objects (e.g. the paradigm-comparison runner reusing one dataset
+        across runs) to inject them; the provenance block records the
+        injection.
+        """
+        ...
+
+
+_BACKENDS: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Decorator registering a backend class under ``name``."""
+
+    key = name.strip().lower()
+
+    def decorator(backend_cls: type) -> type:
+        if key in _BACKENDS:
+            raise ValueError(f"backend {key!r} is already registered")
+        backend_cls.name = key
+        _BACKENDS[key] = backend_cls
+        return backend_cls
+
+    return decorator
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a registered backend by name."""
+    key = name.strip().lower()
+    if key not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; available backends: {available_backends()}"
+        )
+    return _BACKENDS[key]()
+
+
+def available_backends() -> list[str]:
+    """Backend names in registration order."""
+    return list(_BACKENDS)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    backend: str | Backend = "simulated",
+    *,
+    workload: Workload | None = None,
+    cluster: ClusterSpec | None = None,
+) -> RunResult:
+    """Run ``spec`` on ``backend`` (a name or a backend instance)."""
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    return backend.run(spec, workload=workload, cluster=cluster)
+
+
+def _provenance(
+    spec: ExperimentSpec,
+    backend_name: str,
+    workload: Workload | None,
+    cluster: ClusterSpec | None,
+) -> Provenance:
+    injected = []
+    if workload is not None:
+        injected.append(f"workload:{workload.name}")
+    if cluster is not None:
+        injected.append(f"cluster:{cluster.num_workers}w")
+    return Provenance(
+        spec=spec.to_dict(),
+        backend=backend_name,
+        seed=spec.seed,
+        repro_version=__version__,
+        git_revision=git_revision(),
+        injected=tuple(injected),
+    )
+
+
+def _build_workload(spec: ExperimentSpec) -> Workload:
+    return build_workload(
+        spec.workload, spec.resolved_scale(), **spec.workload_kwargs
+    )
+
+
+@register_backend("simulated")
+class SimulatedBackend:
+    """Discrete-event simulation backend (virtual time, real gradients)."""
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        workload: Workload | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> RunResult:
+        """Execute ``spec`` in the simulator."""
+        provenance = _provenance(spec, self.name, workload, cluster)
+        workload = workload or _build_workload(spec)
+        cluster = cluster or spec.cluster.build()
+
+        slowdown_schedule = None
+        if spec.slowdowns:
+            factors = {key: float(value) for key, value in spec.slowdowns.items()}
+
+            def slowdown_schedule(worker_id: str, now: float) -> float:
+                return factors.get(worker_id, 1.0)
+
+        config = SimulationConfig(
+            cluster=cluster,
+            paradigm=spec.paradigm,
+            paradigm_kwargs=dict(spec.paradigm_kwargs),
+            epochs=spec.resolved_epochs(),
+            epoch_accounting=spec.epoch_accounting,
+            batch_size=spec.resolved_batch_size(),
+            learning_rate=spec.learning_rate,
+            momentum=spec.momentum,
+            weight_decay=spec.weight_decay,
+            lr_milestones=spec.lr_milestones,
+            lr_decay=spec.lr_decay,
+            evaluate_every_updates=spec.resolved_evaluate_every_updates(),
+            max_updates=spec.max_updates,
+            timing_cost=workload.timing_cost,
+            timing_batch_size=workload.paper_batch_size,
+            slowdown_schedule=slowdown_schedule,
+            num_server_shards=spec.num_shards,
+            shard_strategy=spec.shard_strategy,
+            dtype=spec.dtype,
+            seed=spec.seed,
+        )
+        sim = SimulatedTraining(
+            config, workload.model_builder, workload.train_dataset, workload.test_dataset
+        ).run()
+
+        reports = [
+            WorkerReport(
+                worker_id=worker_id,
+                iterations=sim.iterations_per_worker[worker_id],
+                samples_processed=sim.iterations_per_worker[worker_id]
+                * config.batch_size,
+                total_wait_time=sim.wait_time_per_worker[worker_id],
+                # The simulator does not decompose per-worker busy time, so
+                # "compute" here is everything that was not synchronization
+                # waiting (iteration compute plus communication).
+                total_compute_time=max(
+                    sim.total_virtual_time - sim.wait_time_per_worker[worker_id], 0.0
+                ),
+                mean_loss=sim.mean_loss_per_worker[worker_id],
+            )
+            for worker_id in sim.iterations_per_worker
+        ]
+        return RunResult(
+            backend=self.name,
+            paradigm=sim.paradigm,
+            paradigm_label=sim.paradigm_label,
+            times=sim.times,
+            accuracies=sim.accuracies,
+            losses=sim.losses,
+            total_time=sim.total_virtual_time,
+            total_updates=sim.total_updates,
+            throughput=sim.throughput,
+            staleness=sim.staleness_summary,
+            wait_time_per_worker=dict(sim.wait_time_per_worker),
+            worker_reports=reports,
+            server_statistics=sim.server_statistics,
+            provenance=provenance,
+            errors=[],
+        )
+
+
+@register_backend("threaded")
+class ThreadedBackend:
+    """Thread-per-worker parameter-server backend (wall-clock time)."""
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        workload: Workload | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> RunResult:
+        """Execute ``spec`` on the threaded runtime."""
+        # Fields the threaded runtime cannot honour are rejected, never
+        # silently dropped — one spec must not train differently per
+        # backend without saying so.
+        if spec.lr_milestones:
+            raise ValueError(
+                "the threaded backend does not support lr_milestones; "
+                "remove them from the spec or use the simulated backend"
+            )
+        if spec.max_updates is not None:
+            raise ValueError(
+                "the threaded backend does not support max_updates; "
+                "remove it from the spec or use the simulated backend"
+            )
+        provenance = _provenance(spec, self.name, workload, cluster)
+        workload = workload or _build_workload(spec)
+        num_workers = cluster.num_workers if cluster is not None else (
+            len(spec.cluster.worker_ids)
+        )
+
+        batch_size = spec.resolved_batch_size()
+        partition_size = max(len(workload.train_dataset) // num_workers, 1)
+        iterations_per_worker = max(
+            1, math.ceil(spec.resolved_epochs() * partition_size / batch_size)
+        )
+        config = DistributedTrainingConfig(
+            paradigm=spec.paradigm,
+            paradigm_kwargs=dict(spec.paradigm_kwargs),
+            num_workers=num_workers,
+            iterations_per_worker=iterations_per_worker,
+            batch_size=batch_size,
+            learning_rate=spec.learning_rate,
+            momentum=spec.momentum,
+            weight_decay=spec.weight_decay,
+            slowdowns={key: float(value) for key, value in spec.slowdowns.items()},
+            evaluate_every_pushes=spec.resolved_evaluate_every_updates(),
+            num_shards=spec.num_shards,
+            shard_strategy=spec.shard_strategy,
+            dtype=spec.dtype,
+            seed=spec.seed,
+        )
+        trainer = assemble_training(
+            config,
+            workload.model_builder,
+            workload.train_dataset,
+            workload.test_dataset,
+        )
+
+        # Evaluate the initial model so the curve starts at t=0, exactly
+        # like the simulated backend's first evaluation.
+        times: list[float] = []
+        accuracies: list[float] = []
+        losses: list[float] = []
+        if trainer.evaluate_fn is not None:
+            accuracy, loss = trainer.evaluate_fn(trainer.server.store.full_state())
+            times.append(0.0)
+            accuracies.append(accuracy)
+            losses.append(loss)
+
+        result = trainer.run()
+        times.extend(result.evaluation_times)
+        accuracies.extend(result.evaluation_accuracies)
+        losses.extend(result.evaluation_losses)
+        if trainer.evaluate_fn is not None:
+            accuracy, loss = trainer.evaluate_fn(trainer.server.store.full_state())
+            times.append(result.wall_time)
+            accuracies.append(accuracy)
+            losses.append(loss)
+
+        total_updates = int(result.server_statistics["store_version"])
+        throughput = iteration_throughput(
+            total_updates=total_updates,
+            total_time=max(result.wall_time, 1e-12),
+            samples_per_update=batch_size,
+        )
+        return RunResult(
+            backend=self.name,
+            paradigm=spec.paradigm,
+            paradigm_label=spec.label,
+            times=np.asarray(times, dtype=np.float64),
+            accuracies=np.asarray(accuracies, dtype=np.float64),
+            losses=np.asarray(losses, dtype=np.float64),
+            total_time=result.wall_time,
+            total_updates=total_updates,
+            throughput=throughput,
+            staleness=result.server_statistics["update_staleness"],
+            wait_time_per_worker={
+                report.worker_id: report.total_wait_time
+                for report in result.worker_reports
+            },
+            worker_reports=list(result.worker_reports),
+            server_statistics=result.server_statistics,
+            provenance=provenance,
+            errors=list(result.errors),
+        )

@@ -1,0 +1,160 @@
+"""Command-line front end: ``python -m repro``.
+
+Subcommands:
+
+* ``run SPEC.json [--backend simulated|threaded] [--output OUT.json]`` —
+  execute one experiment spec and print its summary (optionally an ASCII
+  accuracy curve and a JSON result file).
+* ``validate SPEC.json`` — parse and validate a spec without running it.
+* ``registry`` — list the registered workloads, models, paradigms, backends,
+  scales, devices and networks a spec may refer to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.api.backends import available_backends, get_backend, run_experiment
+from repro.api.spec import NAMED_SCALES, NETWORKS, ExperimentSpec
+from repro.core.factory import policy_registry
+from repro.experiments.workloads import available_workloads
+from repro.metrics.plotting import ascii_curves
+from repro.models.registry import available_models
+from repro.simulation.profiles import GPU_CATALOGUE
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified experiment runner for the DSSP reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one experiment spec")
+    run.add_argument("spec", type=Path, help="path to an ExperimentSpec JSON file")
+    run.add_argument(
+        "--backend",
+        default="simulated",
+        choices=available_backends(),
+        help="execution backend (default: simulated)",
+    )
+    run.add_argument(
+        "--output", type=Path, default=None, help="write the full RunResult JSON here"
+    )
+    run.add_argument(
+        "--curve", action="store_true", help="render the accuracy curve as ASCII"
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+
+    validate = commands.add_parser("validate", help="validate a spec without running")
+    validate.add_argument("spec", type=Path)
+
+    commands.add_parser("registry", help="list registered components")
+    return parser
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(arguments.spec)
+    if arguments.seed is not None:
+        spec = spec.replace(seed=arguments.seed)
+    backend = get_backend(arguments.backend)
+    result = run_experiment(spec, backend)
+
+    print(f"spec      : {spec.name} ({arguments.spec})")
+    print(f"backend   : {result.backend}")
+    print(f"paradigm  : {result.paradigm_label}")
+    print(f"workload  : {spec.workload} @ scale "
+          f"{spec.scale if isinstance(spec.scale, str) else 'inline'}")
+    print(f"revision  : {result.provenance.git_revision} "
+          f"(repro {result.provenance.repro_version})")
+    print()
+    print(f"total time        : {result.total_time:.2f} s")
+    print(f"server updates    : {result.total_updates}")
+    print(f"updates/second    : {result.throughput.updates_per_second:.2f}")
+    print(f"final accuracy    : {result.final_accuracy:.3f}")
+    print(f"best accuracy     : {result.best_accuracy:.3f}")
+    print(f"total wait time   : {result.total_wait_time:.2f} s")
+    print(f"mean staleness    : {result.staleness.mean:.2f} "
+          f"(max {result.staleness.maximum})")
+    if result.errors:
+        print(f"errors            : {result.errors}")
+    print()
+    print(f"{'worker':<10} {'iterations':>10} {'samples':>9} {'wait (s)':>9} {'mean loss':>10}")
+    for report in result.worker_reports:
+        print(
+            f"{report.worker_id:<10} {report.iterations:>10d} "
+            f"{report.samples_processed:>9d} {report.total_wait_time:>9.2f} "
+            f"{report.mean_loss:>10.3f}"
+        )
+
+    if arguments.curve and result.times.size >= 2:
+        print()
+        print(ascii_curves({result.paradigm_label: result.curve()}))
+
+    if arguments.output is not None:
+        arguments.output.parent.mkdir(parents=True, exist_ok=True)
+        arguments.output.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+        print()
+        print(f"result written to {arguments.output}")
+    return 1 if result.errors else 0
+
+
+def _command_validate(arguments: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(arguments.spec)
+    scale = spec.resolved_scale()
+    spec.cluster.build()  # materializes device and network profiles
+    # Spec construction cannot check the workload (backends accept injected
+    # pre-built workloads under unregistered names), but a spec *file* must
+    # name a registered one — the most likely typo this subcommand exists
+    # to catch.
+    if spec.workload not in available_workloads():
+        raise ValueError(
+            f"unknown workload {spec.workload!r}; "
+            f"known workloads: {sorted(available_workloads())}"
+        )
+    print(f"{arguments.spec}: OK")
+    print(f"  name={spec.name!r} workload={spec.workload!r} paradigm={spec.label!r}")
+    print(f"  scale={scale.name!r} epochs={spec.resolved_epochs()} "
+          f"batch_size={spec.resolved_batch_size()} "
+          f"workers={len(spec.cluster.worker_ids)}")
+    return 0
+
+
+def _command_registry() -> int:
+    print("backends:")
+    for name in available_backends():
+        print(f"  {name}")
+    print("paradigms:")
+    for name, spec in policy_registry().items():
+        parameters = ", ".join(sorted(spec.required)) or "-"
+        print(f"  {name:<12} required: {parameters:<24} {spec.description}")
+    print("workloads:")
+    for name, workload in sorted(available_workloads().items()):
+        print(f"  {name:<12} {workload.description}")
+    print("models:")
+    for name, model in sorted(available_models().items()):
+        print(f"  {name:<20} {model.description}")
+    print(f"scales:    {', '.join(sorted(NAMED_SCALES))}")
+    print(f"devices:   {', '.join(sorted(GPU_CATALOGUE))}")
+    print(f"networks:  {', '.join(sorted(NETWORKS))}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "run":
+            return _command_run(arguments)
+        if arguments.command == "validate":
+            return _command_validate(arguments)
+        return _command_registry()
+    except (ValueError, KeyError, FileNotFoundError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,179 @@
+"""The unified run result.
+
+Every backend returns the same :class:`RunResult`: accuracy/loss curves on a
+common time axis (virtual seconds in the simulator, wall-clock seconds in
+the threaded runtime — both measured from the start of training), per-worker
+reports, throughput, a staleness summary and a provenance block recording
+the spec that produced the run.  ``metrics/``, ``experiments/`` and the
+ASCII plotting consume this one schema for both substrates; results
+serialize to JSON for archival and cross-machine diffing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.staleness import StalenessSummary
+from repro.metrics.convergence import time_to_accuracy
+from repro.metrics.throughput import ThroughputSummary
+from repro.ps.messages import WorkerReport
+from repro.version import __version__
+
+__all__ = ["Provenance", "RunResult"]
+
+_GIT_REVISION: str | None = None
+
+
+def git_revision() -> str:
+    """``git describe`` of the working tree (cached; ``"unknown"`` offline)."""
+    global _GIT_REVISION
+    if _GIT_REVISION is None:
+        try:
+            _GIT_REVISION = subprocess.run(
+                ["git", "describe", "--always", "--dirty", "--tags"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5.0,
+                check=False,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REVISION = "unknown"
+    return _GIT_REVISION
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result came from.
+
+    When ``injected`` is empty the ``spec`` dict is enough to re-run the
+    experiment exactly (``ExperimentSpec.from_dict`` + ``run_experiment``).
+    A non-empty ``injected`` means the caller passed pre-built objects
+    (e.g. the paradigm-comparison runner sharing one workload across runs);
+    those are recorded by name only — such a spec is a description, not a
+    replayable recipe, and attempting to replay it fails loudly on the
+    unregistered workload name rather than silently running something else.
+    """
+
+    spec: dict
+    backend: str
+    seed: int
+    repro_version: str
+    git_revision: str
+    injected: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-data form."""
+        data = dataclasses.asdict(self)
+        data["injected"] = list(self.injected)
+        return data
+
+
+@dataclass
+class RunResult:
+    """Everything one experiment run reports, backend-independently.
+
+    ``times``/``accuracies``/``losses`` are the evaluation curve; the time
+    axis starts at 0.0 (training start) and is virtual seconds for the
+    simulated backend and wall-clock seconds for the threaded backend.
+    """
+
+    backend: str
+    paradigm: str
+    paradigm_label: str
+    times: np.ndarray
+    accuracies: np.ndarray
+    losses: np.ndarray
+    total_time: float
+    total_updates: int
+    throughput: ThroughputSummary
+    staleness: StalenessSummary
+    wait_time_per_worker: dict[str, float]
+    worker_reports: list[WorkerReport]
+    server_statistics: dict
+    provenance: Provenance
+    errors: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.accuracies = np.asarray(self.accuracies, dtype=np.float64)
+        self.losses = np.asarray(self.losses, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy of the last evaluation (0.0 when none ran)."""
+        return float(self.accuracies[-1]) if self.accuracies.size else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy over the run (0.0 when none ran)."""
+        return float(self.accuracies.max()) if self.accuracies.size else 0.0
+
+    @property
+    def total_wait_time(self) -> float:
+        """Sum of all workers' synchronization waiting time."""
+        return float(sum(self.wait_time_per_worker.values()))
+
+    @property
+    def iterations_per_worker(self) -> dict[str, int]:
+        """Push iterations each worker performed."""
+        return {report.worker_id: report.iterations for report in self.worker_reports}
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Training time needed to reach ``target`` accuracy (None if never)."""
+        return time_to_accuracy(self.times, self.accuracies, target)
+
+    def curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(times, accuracies)`` pair, ready for plotting helpers."""
+        return self.times, self.accuracies
+
+    # ------------------------------------------------------------------
+    # Transitional aliases (pre-unification names)
+    # ------------------------------------------------------------------
+    @property
+    def total_virtual_time(self) -> float:
+        """Alias of :attr:`total_time` (the simulator's historical name)."""
+        return self.total_time
+
+    @property
+    def staleness_summary(self) -> StalenessSummary:
+        """Alias of :attr:`staleness` (the simulator's historical name)."""
+        return self.staleness
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible rendering of the full result."""
+        return {
+            "backend": self.backend,
+            "paradigm": self.paradigm,
+            "paradigm_label": self.paradigm_label,
+            "times": [float(value) for value in self.times],
+            "accuracies": [float(value) for value in self.accuracies],
+            "losses": [float(value) for value in self.losses],
+            "total_time": float(self.total_time),
+            "total_updates": int(self.total_updates),
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "throughput": dataclasses.asdict(self.throughput),
+            "staleness": dataclasses.asdict(self.staleness),
+            "wait_time_per_worker": {
+                worker: float(value)
+                for worker, value in self.wait_time_per_worker.items()
+            },
+            "total_wait_time": self.total_wait_time,
+            "worker_reports": [
+                dataclasses.asdict(report) for report in self.worker_reports
+            ],
+            "provenance": self.provenance.to_dict(),
+            "errors": list(self.errors),
+        }

@@ -1,0 +1,390 @@
+"""The declarative experiment specification.
+
+An :class:`ExperimentSpec` is the single front door to the reproduction:
+one plain-data description of *what* to run — workload, model scale,
+cluster, synchronization paradigm, training budget, evaluation cadence and
+parameter-store layout — that every backend (the discrete-event simulator,
+the threaded parameter-server runtime, and whatever comes next) executes
+identically.  Specs serialize losslessly to dicts and JSON, so experiments
+can live in version-controlled files and be replayed byte-for-byte::
+
+    spec = ExperimentSpec(workload="alexnet", scale="small", paradigm="ssp",
+                          paradigm_kwargs={"staleness": 3})
+    spec.save("experiment.json")
+    # later, or on another machine:
+    result = run_experiment(ExperimentSpec.load("experiment.json"))
+
+Validation happens at construction: unknown paradigms, malformed
+``paradigm_kwargs``, bad cluster shapes and slowdowns naming nonexistent
+workers are all rejected before any training work starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.factory import paradigm_label, validate_paradigm
+from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale
+from repro.simulation.cluster import ClusterSpec, WorkerSpec
+from repro.simulation.network import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_EDR,
+    LOCAL_PCIE,
+    NetworkModel,
+)
+from repro.simulation.profiles import get_device_profile
+
+__all__ = ["ClusterConfig", "ExperimentSpec", "NAMED_SCALES", "NETWORKS"]
+
+#: Named experiment scales a spec may refer to.
+NAMED_SCALES: dict[str, ExperimentScale] = {"tiny": TINY, "small": SMALL, "default": DEFAULT}
+
+#: Named network models a cluster config may refer to.
+NETWORKS: dict[str, NetworkModel] = {
+    "infiniband": INFINIBAND_EDR,
+    "ethernet": GIGABIT_ETHERNET,
+    "local": LOCAL_PCIE,
+}
+
+
+def _reject_unknown_keys(data: dict, allowed: set[str], context: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {context} key(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Serializable description of the worker cluster.
+
+    ``kind="homogeneous"`` replicates ``device`` across ``num_workers``
+    machines (the paper's SOSCIP setup); ``kind="heterogeneous"`` gives each
+    entry of ``devices`` its own machine (the paper's mixed-GPU Docker
+    setup).  ``network`` names a profile from :data:`NETWORKS`.  The
+    threaded backend uses only the worker *count* (its heterogeneity comes
+    from :attr:`ExperimentSpec.slowdowns`); the simulated backend uses the
+    full device and network models.
+    """
+
+    kind: str = "homogeneous"
+    num_workers: int = 4
+    device: str = "p100"
+    devices: tuple[str, ...] = ()
+    network: str = "infiniband"
+    gpus_per_worker: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("homogeneous", "heterogeneous"):
+            raise ValueError(
+                f"cluster kind must be 'homogeneous' or 'heterogeneous', got {self.kind!r}"
+            )
+        if self.kind == "homogeneous" and self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.kind == "heterogeneous" and not self.devices:
+            raise ValueError("a heterogeneous cluster needs a non-empty 'devices' list")
+        if self.gpus_per_worker <= 0:
+            raise ValueError("gpus_per_worker must be positive")
+        object.__setattr__(self, "devices", tuple(self.devices))
+
+    @property
+    def worker_ids(self) -> list[str]:
+        """Worker identifiers this cluster will create."""
+        count = self.num_workers if self.kind == "homogeneous" else len(self.devices)
+        return [f"worker-{index}" for index in range(count)]
+
+    def build(self) -> ClusterSpec:
+        """Materialize the simulated :class:`ClusterSpec`."""
+        if self.network not in NETWORKS:
+            raise ValueError(
+                f"unknown network {self.network!r}; known networks: {sorted(NETWORKS)}"
+            )
+        network = NETWORKS[self.network]
+        if self.kind == "homogeneous":
+            names = [self.device] * self.num_workers
+        else:
+            names = list(self.devices)
+        workers = tuple(
+            WorkerSpec(
+                worker_id=f"worker-{index}",
+                device=get_device_profile(name),
+                network=network,
+                gpus_per_worker=self.gpus_per_worker,
+            )
+            for index, name in enumerate(names)
+        )
+        return ClusterSpec(workers=workers)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-compatible)."""
+        return {
+            "kind": self.kind,
+            "num_workers": self.num_workers,
+            "device": self.device,
+            "devices": list(self.devices),
+            "network": self.network,
+            "gpus_per_worker": self.gpus_per_worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        allowed = {entry.name for entry in dataclasses.fields(cls)}
+        _reject_unknown_keys(dict(data), allowed, "cluster")
+        kwargs = dict(data)
+        if "devices" in kwargs:
+            kwargs["devices"] = tuple(kwargs["devices"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_cluster_spec(cls, cluster: ClusterSpec) -> "ClusterConfig":
+        """Best-effort serializable description of an existing cluster.
+
+        Used for provenance when a pre-built :class:`ClusterSpec` is injected
+        into a backend; custom device or network objects are recorded by
+        their names even when those names are not in the catalogues.
+        """
+        device_names = [spec.device.name for spec in cluster.workers]
+        network_names = {spec.network.name for spec in cluster.workers}
+        by_model_name = {model.name: key for key, model in NETWORKS.items()}
+        network = by_model_name.get(
+            next(iter(network_names)), next(iter(network_names))
+        )
+        gpus = cluster.workers[0].gpus_per_worker
+        if len(set(device_names)) == 1:
+            return cls(
+                kind="homogeneous",
+                num_workers=cluster.num_workers,
+                device=device_names[0],
+                network=network,
+                gpus_per_worker=gpus,
+            )
+        return cls(
+            kind="heterogeneous",
+            num_workers=cluster.num_workers,
+            devices=tuple(device_names),
+            network=network,
+            gpus_per_worker=gpus,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment: workload + cluster + paradigm + budget.
+
+    Attributes
+    ----------
+    name:
+        Free-form label recorded in results and file names.
+    workload, workload_kwargs:
+        Name in the workload registry
+        (:func:`repro.experiments.workloads.available_workloads`) plus extra
+        builder arguments (e.g. ``{"seed": 3}``).
+    scale:
+        The name of a preset (``"tiny"``/``"small"``/``"default"``), an
+        inline dict of :class:`ExperimentScale` fields, or an
+        :class:`ExperimentScale` instance (canonicalized to a dict at
+        construction so specs stay plain data).
+    cluster:
+        The worker cluster (see :class:`ClusterConfig`).
+    paradigm, paradigm_kwargs:
+        Synchronization paradigm name (policy registry) and parameters;
+        validated at construction.
+    epochs, epoch_accounting, max_updates:
+        Training budget.  ``epochs=None`` uses the scale's budget.  The
+        threaded backend always converts epochs into an equal per-worker
+        iteration count (the same *total* budget as the simulator's
+        ``"global"`` accounting, distributed evenly); ``epoch_accounting``
+        selects how the simulator distributes the budget, and
+        ``max_updates`` is simulator-only (the threaded backend rejects
+        specs that set it rather than silently ignoring the cap).
+    batch_size, learning_rate, momentum, weight_decay, lr_milestones, lr_decay:
+        Optimization hyper-parameters (``batch_size=None`` uses the scale's).
+        ``lr_milestones``/``lr_decay`` are currently simulator-only: the
+        threaded backend rejects specs that set them rather than silently
+        training with a different schedule.
+    evaluate_every_updates:
+        Evaluate the global model every N server updates (``None`` uses the
+        scale's cadence; ``0`` disables periodic evaluation).
+    num_shards, shard_strategy, dtype:
+        Parameter-store layout, identical semantics on both backends.
+    slowdowns:
+        Per-worker heterogeneity knob keyed by worker id.  The threaded
+        backend sleeps that many *seconds* per iteration; the simulated
+        backend multiplies the worker's iteration time by the value.  Keys
+        must name workers that exist in ``cluster``.
+    seed:
+        Master seed for data order, initialization and timing jitter.
+    """
+
+    name: str = "experiment"
+    workload: str = "mlp"
+    workload_kwargs: dict = field(default_factory=dict)
+    scale: str | dict = "tiny"
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    paradigm: str = "dssp"
+    paradigm_kwargs: dict = field(default_factory=lambda: {"s_lower": 3, "s_upper": 15})
+    epochs: float | None = None
+    epoch_accounting: str = "global"
+    max_updates: int | None = None
+    batch_size: int | None = None
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    lr_milestones: tuple[float, ...] = ()
+    lr_decay: float = 0.1
+    evaluate_every_updates: int | None = None
+    num_shards: int = 1
+    shard_strategy: str = "size"
+    dtype: str = "float64"
+    slowdowns: dict = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lr_milestones", tuple(self.lr_milestones))
+        if isinstance(self.scale, ExperimentScale):
+            object.__setattr__(self, "scale", dataclasses.asdict(self.scale))
+        validate_paradigm(self.paradigm, self.paradigm_kwargs)
+        self.resolved_scale()  # raises on unknown preset / bad inline scale
+        if self.epochs is not None and self.epochs <= 0:
+            raise ValueError("epochs must be positive when given")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError("batch_size must be positive when given")
+        if self.max_updates is not None and self.max_updates <= 0:
+            raise ValueError("max_updates must be positive when given")
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.epoch_accounting not in ("global", "per_worker"):
+            raise ValueError(
+                "epoch_accounting must be 'global' or 'per_worker', "
+                f"got {self.epoch_accounting!r}"
+            )
+        valid_ids = set(self.cluster.worker_ids)
+        unknown = sorted(set(self.slowdowns) - valid_ids)
+        if unknown:
+            raise ValueError(
+                f"slowdowns name nonexistent workers {unknown}; "
+                f"valid ids: {sorted(valid_ids)}"
+            )
+        for worker_id, value in self.slowdowns.items():
+            if float(value) <= 0:
+                raise ValueError(
+                    f"slowdown for {worker_id!r} must be positive, got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Resolution helpers
+    # ------------------------------------------------------------------
+    def resolved_scale(self) -> ExperimentScale:
+        """The :class:`ExperimentScale` this spec runs at."""
+        if isinstance(self.scale, str):
+            if self.scale not in NAMED_SCALES:
+                raise ValueError(
+                    f"unknown scale {self.scale!r}; known scales: {sorted(NAMED_SCALES)}"
+                )
+            return NAMED_SCALES[self.scale]
+        if not isinstance(self.scale, dict):
+            raise ValueError(
+                "scale must be a preset name, a dict of ExperimentScale "
+                f"fields, or an ExperimentScale, got {type(self.scale).__name__}"
+            )
+        return ExperimentScale(**self.scale)
+
+    def resolved_epochs(self) -> float:
+        """Epoch budget (spec override or the scale's default)."""
+        return self.epochs if self.epochs is not None else self.resolved_scale().epochs
+
+    def resolved_batch_size(self) -> int:
+        """Mini-batch size (spec override or the scale's default)."""
+        if self.batch_size is not None:
+            return self.batch_size
+        return self.resolved_scale().batch_size
+
+    def resolved_evaluate_every_updates(self) -> int:
+        """Evaluation cadence (spec override or the scale's default)."""
+        if self.evaluate_every_updates is not None:
+            return self.evaluate_every_updates
+        return self.resolved_scale().evaluate_every_updates
+
+    @property
+    def label(self) -> str:
+        """Readable paradigm label, e.g. ``"DSSP s=3, r=12"``."""
+        return paradigm_label(self.paradigm, self.paradigm_kwargs)
+
+    def replace(self, **overrides) -> "ExperimentSpec":
+        """A copy of this spec with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form: nested dicts/lists/scalars only (JSON-safe)."""
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "workload_kwargs": dict(self.workload_kwargs),
+            "scale": self.scale if isinstance(self.scale, str) else dict(self.scale),
+            "cluster": self.cluster.to_dict(),
+            "paradigm": self.paradigm,
+            "paradigm_kwargs": dict(self.paradigm_kwargs),
+            "epochs": self.epochs,
+            "epoch_accounting": self.epoch_accounting,
+            "max_updates": self.max_updates,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "lr_milestones": list(self.lr_milestones),
+            "lr_decay": self.lr_decay,
+            "evaluate_every_updates": self.evaluate_every_updates,
+            "num_shards": self.num_shards,
+            "shard_strategy": self.shard_strategy,
+            "dtype": self.dtype,
+            "slowdowns": dict(self.slowdowns),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys raise :class:`ValueError` (a typo in a spec file must
+        not be silently ignored); all construction-time validation applies.
+        """
+        allowed = {entry.name for entry in dataclasses.fields(cls)}
+        _reject_unknown_keys(dict(data), allowed, "spec")
+        kwargs = dict(data)
+        if "cluster" in kwargs and not isinstance(kwargs["cluster"], ClusterConfig):
+            kwargs["cluster"] = ClusterConfig.from_dict(kwargs["cluster"])
+        if "lr_milestones" in kwargs:
+            kwargs["lr_milestones"] = tuple(kwargs["lr_milestones"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from its JSON rendering."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        """Read a spec from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no experiment spec at {path}")
+        return cls.from_json(path.read_text())

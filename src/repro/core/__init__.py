@@ -32,7 +32,15 @@ from repro.core.regret import (
     empirical_regret,
     regret_is_sublinear,
 )
-from repro.core.factory import make_policy, available_policies
+from repro.core.factory import (
+    PolicySpec,
+    available_policies,
+    make_policy,
+    paradigm_label,
+    policy_registry,
+    register_policy,
+    validate_paradigm,
+)
 
 __all__ = [
     "ClockTable",
@@ -53,4 +61,9 @@ __all__ = [
     "regret_is_sublinear",
     "make_policy",
     "available_policies",
+    "PolicySpec",
+    "register_policy",
+    "policy_registry",
+    "validate_paradigm",
+    "paradigm_label",
 ]

@@ -1,11 +1,24 @@
-"""Factory for constructing synchronization policies from plain configuration.
+"""Registry-backed factory for synchronization policies.
 
 Experiment configurations refer to paradigms by name (``"bsp"``, ``"asp"``,
-``"ssp"``, ``"dssp"``) with keyword parameters; this factory turns those into
-policy objects so configs remain serializable data.
+``"ssp"``, ``"dssp"``) with keyword parameters; the registry turns those into
+policy objects so configs remain serializable data.  New paradigms register
+themselves with :func:`register_policy` — nothing in this module needs
+editing to add one:
+
+    @register_policy("gossip", required={"fanout"}, description="...")
+    def _build_gossip(fanout):
+        return GossipParallel(fanout=int(fanout))
+
+:func:`make_policy` and :func:`available_policies` read from the registry,
+so every front end (the unified :mod:`repro.api`, the simulator, the
+threaded coordinator) picks the new paradigm up by name immediately.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 from repro.core.asp import AsynchronousParallel
 from repro.core.bsp import BulkSynchronousParallel
@@ -13,12 +26,100 @@ from repro.core.dssp import DynamicStaleSynchronousParallel
 from repro.core.policy import SynchronizationPolicy
 from repro.core.ssp import StaleSynchronousParallel
 
-__all__ = ["make_policy", "available_policies"]
+__all__ = [
+    "PolicySpec",
+    "register_policy",
+    "make_policy",
+    "available_policies",
+    "policy_registry",
+    "validate_paradigm",
+    "paradigm_label",
+]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Description of one registered synchronization paradigm."""
+
+    name: str
+    builder: Callable[..., SynchronizationPolicy]
+    required: frozenset[str] = field(default_factory=frozenset)
+    optional: frozenset[str] = field(default_factory=frozenset)
+    description: str = ""
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        """All parameter names this paradigm accepts."""
+        return self.required | self.optional
+
+    def build(self, **kwargs) -> SynchronizationPolicy:
+        """Validate ``kwargs`` against the spec and construct the policy."""
+        self.validate(kwargs)
+        return self.builder(**kwargs)
+
+    def validate(self, kwargs: Mapping) -> None:
+        """Raise if ``kwargs`` does not match this paradigm's parameters.
+
+        Unknown parameters raise :class:`TypeError` (mirroring a bad call
+        signature); missing required ones raise :class:`ValueError`.
+        """
+        unknown = set(kwargs) - self.allowed
+        if unknown:
+            raise TypeError(
+                f"unexpected parameters {sorted(unknown)}; allowed: {sorted(self.allowed)}"
+            )
+        missing = self.required - set(kwargs)
+        if missing:
+            raise ValueError(
+                f"{self.name} requires {sorted(missing)!r} parameter(s)"
+            )
+
+
+_POLICIES: dict[str, PolicySpec] = {}
+
+
+def register_policy(
+    name: str,
+    *,
+    required: set[str] | frozenset[str] = frozenset(),
+    optional: set[str] | frozenset[str] = frozenset(),
+    description: str = "",
+) -> Callable[[Callable[..., SynchronizationPolicy]], Callable[..., SynchronizationPolicy]]:
+    """Decorator registering a policy builder under ``name``."""
+    normalized = name.strip().lower()
+
+    def decorator(builder: Callable[..., SynchronizationPolicy]):
+        if normalized in _POLICIES:
+            raise ValueError(f"paradigm {normalized!r} is already registered")
+        _POLICIES[normalized] = PolicySpec(
+            name=normalized,
+            builder=builder,
+            required=frozenset(required),
+            optional=frozenset(optional),
+            description=description,
+        )
+        return builder
+
+    return decorator
+
+
+def policy_registry() -> dict[str, PolicySpec]:
+    """Copy of the registry keyed by paradigm name (registration order)."""
+    return dict(_POLICIES)
 
 
 def available_policies() -> list[str]:
-    """Names accepted by :func:`make_policy`."""
-    return ["bsp", "asp", "ssp", "dssp"]
+    """Names accepted by :func:`make_policy`, in registration order."""
+    return list(_POLICIES)
+
+
+def _policy_spec(name: str) -> PolicySpec:
+    normalized = name.strip().lower()
+    if normalized not in _POLICIES:
+        raise ValueError(
+            f"unknown paradigm {name!r}; expected one of {available_policies()}"
+        )
+    return _POLICIES[normalized]
 
 
 def make_policy(name: str, **kwargs) -> SynchronizationPolicy:
@@ -29,31 +130,61 @@ def make_policy(name: str, **kwargs) -> SynchronizationPolicy:
     * ``make_policy("ssp", staleness=3)``
     * ``make_policy("dssp", s_lower=3, s_upper=15)``
     """
+    return _policy_spec(name).build(**kwargs)
+
+
+def validate_paradigm(name: str, kwargs: Mapping) -> None:
+    """Fail fast on a bad paradigm configuration.
+
+    Configs call this at construction time so a typo in ``paradigm_kwargs``
+    (or an unknown paradigm) is rejected before any training work starts,
+    instead of erroring minutes into a run.  Raises exactly what
+    :func:`make_policy` would.
+    """
+    _policy_spec(name).validate(kwargs)
+
+
+def paradigm_label(name: str, kwargs: Mapping) -> str:
+    """Readable run label like ``"SSP s=3"`` or ``"DSSP s=3, r=12"``."""
     normalized = name.strip().lower()
-    if normalized == "bsp":
-        _reject_unknown(kwargs, allowed=set())
-        return BulkSynchronousParallel()
-    if normalized == "asp":
-        _reject_unknown(kwargs, allowed=set())
-        return AsynchronousParallel()
+    label = normalized.upper()
     if normalized == "ssp":
-        _reject_unknown(kwargs, allowed={"staleness"})
-        if "staleness" not in kwargs:
-            raise ValueError("ssp requires a 'staleness' parameter")
-        return StaleSynchronousParallel(staleness=int(kwargs["staleness"]))
+        return f"{label} s={kwargs.get('staleness')}"
     if normalized == "dssp":
-        _reject_unknown(kwargs, allowed={"s_lower", "s_upper", "enforce_upper_bound"})
-        if "s_lower" not in kwargs or "s_upper" not in kwargs:
-            raise ValueError("dssp requires 's_lower' and 's_upper' parameters")
-        return DynamicStaleSynchronousParallel(
-            s_lower=int(kwargs["s_lower"]),
-            s_upper=int(kwargs["s_upper"]),
-            enforce_upper_bound=bool(kwargs.get("enforce_upper_bound", False)),
-        )
-    raise ValueError(f"unknown paradigm {name!r}; expected one of {available_policies()}")
+        s_lower = kwargs.get("s_lower")
+        s_upper = kwargs.get("s_upper", s_lower)
+        return f"{label} s={s_lower}, r={int(s_upper) - int(s_lower)}"
+    return label
 
 
-def _reject_unknown(kwargs: dict, allowed: set[str]) -> None:
-    unknown = set(kwargs) - allowed
-    if unknown:
-        raise TypeError(f"unexpected parameters {sorted(unknown)}; allowed: {sorted(allowed)}")
+@register_policy("bsp", description="Bulk Synchronous Parallel: all workers barrier every iteration")
+def _build_bsp() -> BulkSynchronousParallel:
+    return BulkSynchronousParallel()
+
+
+@register_policy("asp", description="Asynchronous Parallel: no synchronization at all")
+def _build_asp() -> AsynchronousParallel:
+    return AsynchronousParallel()
+
+
+@register_policy(
+    "ssp",
+    required={"staleness"},
+    description="Stale Synchronous Parallel with a fixed iteration-lead threshold",
+)
+def _build_ssp(staleness) -> StaleSynchronousParallel:
+    return StaleSynchronousParallel(staleness=int(staleness))
+
+
+@register_policy(
+    "dssp",
+    required={"s_lower", "s_upper"},
+    optional={"enforce_upper_bound"},
+    description="Dynamic SSP: controller picks the threshold within [s_lower, s_upper]",
+)
+def _build_dssp(s_lower, s_upper, enforce_upper_bound=False) -> DynamicStaleSynchronousParallel:
+    return DynamicStaleSynchronousParallel(
+        s_lower=int(s_lower),
+        s_upper=int(s_upper),
+        enforce_upper_bound=bool(enforce_upper_bound),
+    )

@@ -22,7 +22,16 @@ overnight run.
 """
 
 from repro.experiments.config import ExperimentScale, TINY, SMALL, DEFAULT, paper_ssp_thresholds
-from repro.experiments.workloads import Workload, alexnet_workload, resnet_workload, mlp_workload
+from repro.experiments.workloads import (
+    Workload,
+    WorkloadSpec,
+    register_workload,
+    build_workload,
+    available_workloads,
+    alexnet_workload,
+    resnet_workload,
+    mlp_workload,
+)
 from repro.experiments.runner import ParadigmComparison, run_paradigm_comparison, average_curves
 from repro.experiments.figures import (
     FigureSeries,
@@ -53,6 +62,10 @@ __all__ = [
     "DEFAULT",
     "paper_ssp_thresholds",
     "Workload",
+    "WorkloadSpec",
+    "register_workload",
+    "build_workload",
+    "available_workloads",
     "alexnet_workload",
     "resnet_workload",
     "mlp_workload",

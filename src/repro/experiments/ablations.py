@@ -83,6 +83,7 @@ def throughput_ablation(
             batch_size=scale.batch_size,
             evaluate_every_updates=0,
             seed=seed,
+            scale=scale,
         )
         return comparison.throughputs()
 
@@ -189,8 +190,9 @@ def staleness_distribution_ablation(
         batch_size=scale.batch_size,
         evaluate_every_updates=0,
         seed=seed,
+        scale=scale,
     )
-    return {label: result.staleness_summary for label, result in comparison.results.items()}
+    return {label: result.staleness for label, result in comparison.results.items()}
 
 
 # ----------------------------------------------------------------------

@@ -45,14 +45,15 @@ def export_comparison_json(
     for label, result in comparison.results.items():
         entry = {
             "paradigm": result.paradigm,
+            "backend": result.backend,
             "best_accuracy": result.best_accuracy,
             "final_accuracy": result.final_accuracy,
-            "total_virtual_time": result.total_virtual_time,
+            "total_time": result.total_time,
             "total_updates": result.total_updates,
             "updates_per_second": result.throughput.updates_per_second,
             "total_wait_time": result.total_wait_time,
-            "mean_staleness": result.staleness_summary.mean,
-            "max_staleness": result.staleness_summary.maximum,
+            "mean_staleness": result.staleness.mean,
+            "max_staleness": result.staleness.maximum,
             "times": [float(value) for value in result.times],
             "accuracies": [float(value) for value in result.accuracies],
         }

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.controller import SynchronizationController
 from repro.experiments.config import DEFAULT, ExperimentScale, paper_ssp_thresholds
 from repro.experiments.runner import ParadigmComparison, average_curves, run_paradigm_comparison
-from repro.experiments.workloads import Workload, alexnet_workload, resnet_workload
+from repro.experiments.workloads import Workload, build_workload, resnet_workload
 from repro.simulation.cluster import ClusterSpec, heterogeneous_cluster, homogeneous_cluster
 
 __all__ = [
@@ -111,15 +111,12 @@ def figure2_waiting_time_prediction(
 # Figure 3 — homogeneous cluster, three models
 # ----------------------------------------------------------------------
 def _figure3_workload(model: str, scale: ExperimentScale) -> Workload:
-    if model == "alexnet":
-        return alexnet_workload(scale)
-    if model == "resnet50":
-        return resnet_workload(scale, paper_depth=50)
-    if model == "resnet110":
-        return resnet_workload(scale, paper_depth=110)
-    raise ValueError(
-        f"unknown model {model!r}; expected 'alexnet', 'resnet50' or 'resnet110'"
-    )
+    # Registry-driven: any workload registered with @register_workload can
+    # be swept through the Figure 3 harness without editing this module.
+    try:
+        return build_workload(model, scale)
+    except KeyError as error:
+        raise ValueError(str(error)) from error
 
 
 def figure3(
@@ -167,6 +164,7 @@ def figure3(
         lr_milestones=lr_milestones,
         evaluate_every_updates=scale.evaluate_every_updates,
         seed=seed,
+        scale=scale,
     )
 
     series: list[FigureSeries] = []
@@ -232,6 +230,7 @@ def figure4_heterogeneous(
         lr_milestones=lr_milestones,
         evaluate_every_updates=scale.evaluate_every_updates,
         seed=seed,
+        scale=scale,
     )
     series = [
         FigureSeries(label=label, x=result.times, y=result.accuracies)

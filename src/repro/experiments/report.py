@@ -27,7 +27,7 @@ def format_comparison_summary(comparison: ParadigmComparison, targets: list[floa
     lines = [f"Workload: {comparison.workload_name}", header]
     for label, result in comparison.results.items():
         line = (
-            f"{label:<22} {result.best_accuracy:9.3f} {result.total_virtual_time:10.1f} "
+            f"{label:<22} {result.best_accuracy:9.3f} {result.total_time:10.1f} "
             f"{result.throughput.updates_per_second:8.2f} {result.total_wait_time:9.1f}"
         )
         for target in targets:

@@ -3,20 +3,26 @@
 The paper's figures all have the same shape: run the *same* workload under
 several synchronization paradigms on the *same* cluster and compare the
 accuracy-versus-training-time curves.  :func:`run_paradigm_comparison` does
-exactly that and returns a :class:`ParadigmComparison` whose helpers compute
-the derived quantities the paper reports (average-SSP curve, time to target
-accuracy, throughput ordering).
+exactly that — each run is described by one :class:`repro.api.ExperimentSpec`
+differing only in its paradigm and executed through a pluggable backend —
+and returns a :class:`ParadigmComparison` whose helpers compute the derived
+quantities the paper reports (average-SSP curve, time to target accuracy,
+throughput ordering).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.experiments.workloads import Workload
 from repro.simulation.cluster import ClusterSpec
-from repro.simulation.trainer import SimulationConfig, SimulationResult, simulate_training
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.api imports this package
+    from repro.api.backends import Backend
+    from repro.api.result import RunResult
 
 __all__ = ["ParadigmComparison", "run_paradigm_comparison", "average_curves"]
 
@@ -27,14 +33,14 @@ class ParadigmComparison:
 
     workload_name: str
     cluster: ClusterSpec
-    results: dict[str, SimulationResult] = field(default_factory=dict)
+    results: dict[str, RunResult] = field(default_factory=dict)
 
     @property
     def labels(self) -> list[str]:
         """Labels of the runs, in insertion order."""
         return list(self.results)
 
-    def result(self, label: str) -> SimulationResult:
+    def result(self, label: str) -> RunResult:
         """Result of one run by label."""
         if label not in self.results:
             raise KeyError(f"unknown run {label!r}; available: {self.labels}")
@@ -45,18 +51,18 @@ class ParadigmComparison:
         return {label: result.best_accuracy for label, result in self.results.items()}
 
     def final_times(self) -> dict[str, float]:
-        """Total virtual training time per run."""
-        return {label: result.total_virtual_time for label, result in self.results.items()}
+        """Total training time per run."""
+        return {label: result.total_time for label, result in self.results.items()}
 
     def throughputs(self) -> dict[str, float]:
-        """Server updates per virtual second per run."""
+        """Server updates per second per run."""
         return {
             label: result.throughput.updates_per_second
             for label, result in self.results.items()
         }
 
     def times_to_accuracy(self, target: float) -> dict[str, float | None]:
-        """Virtual time each run needs to reach ``target`` accuracy."""
+        """Training time each run needs to reach ``target`` accuracy."""
         return {label: result.time_to_accuracy(target) for label, result in self.results.items()}
 
     def wait_times(self) -> dict[str, float]:
@@ -76,44 +82,60 @@ def run_paradigm_comparison(
     evaluate_every_updates: int = 20,
     seed: int = 0,
     labels: list[str] | None = None,
+    backend: str | Backend = "simulated",
+    scale: object | None = None,
 ) -> ParadigmComparison:
     """Run ``workload`` under every paradigm in ``paradigms`` on ``cluster``.
 
     ``paradigms`` is a list of ``(name, kwargs)`` pairs, e.g.
     ``[("bsp", {}), ("ssp", {"staleness": 3})]``.  Every run uses the same
-    seed so the runs differ only in their synchronization behaviour.
+    seed so the runs differ only in their synchronization behaviour.  Each
+    run is one :class:`ExperimentSpec` executed by ``backend`` (name or
+    instance; default the simulator), with the pre-built workload and
+    cluster injected so the dataset is shared across runs.  The injection
+    is recorded in each result's provenance; since the workload object
+    carries its own data, the spec's ``workload`` field there is
+    descriptive, not replayable (see :class:`repro.api.Provenance`).
+    Pass ``scale`` (a preset name, dict or :class:`ExperimentScale`) so the
+    provenance records the scale the workload was actually built at.
     """
+    from repro.api.backends import get_backend
+    from repro.api.spec import ClusterConfig, ExperimentSpec
+
     if not paradigms:
         raise ValueError("paradigms must not be empty")
     if labels is not None and len(labels) != len(paradigms):
         raise ValueError("labels must match paradigms in length")
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+
+    base_spec = ExperimentSpec(
+        name=f"compare/{workload.name}",
+        workload=workload.name,
+        scale="tiny" if scale is None else scale,
+        cluster=ClusterConfig.from_cluster_spec(cluster),
+        paradigm=paradigms[0][0],
+        paradigm_kwargs=dict(paradigms[0][1]),
+        epochs=epochs,
+        batch_size=batch_size,
+        learning_rate=learning_rate,
+        momentum=momentum,
+        lr_milestones=lr_milestones,
+        evaluate_every_updates=evaluate_every_updates,
+        seed=seed,
+    )
 
     comparison = ParadigmComparison(workload_name=workload.name, cluster=cluster)
     for index, (name, kwargs) in enumerate(paradigms):
-        config = SimulationConfig(
-            cluster=cluster,
-            paradigm=name,
-            paradigm_kwargs=dict(kwargs),
-            epochs=epochs,
-            batch_size=batch_size,
-            learning_rate=learning_rate,
-            momentum=momentum,
-            lr_milestones=lr_milestones,
-            evaluate_every_updates=evaluate_every_updates,
-            timing_cost=workload.timing_cost,
-            timing_batch_size=workload.paper_batch_size,
-            seed=seed,
-        )
-        result = simulate_training(
-            config, workload.model_builder, workload.train_dataset, workload.test_dataset
-        )
+        spec = base_spec.replace(paradigm=name, paradigm_kwargs=dict(kwargs))
+        result = backend.run(spec, workload=workload, cluster=cluster)
         label = labels[index] if labels is not None else result.paradigm_label
         comparison.results[label] = result
     return comparison
 
 
 def average_curves(
-    results: list[SimulationResult], num_points: int = 50
+    results: list[RunResult], num_points: int = 50
 ) -> tuple[np.ndarray, np.ndarray]:
     """Average several accuracy-versus-time curves onto a common time grid.
 

@@ -86,6 +86,7 @@ def table1_time_to_accuracy(
         lr_milestones=lr_milestones,
         evaluate_every_updates=scale.evaluate_every_updates,
         seed=seed,
+        scale=scale,
     )
 
     best_overall = max(result.best_accuracy for result in comparison.results.values())
@@ -100,7 +101,7 @@ def table1_time_to_accuracy(
             time_to_low_target=result.time_to_accuracy(low_target),
             time_to_high_target=result.time_to_accuracy(high_target),
             best_accuracy=result.best_accuracy,
-            total_time=result.total_virtual_time,
+            total_time=result.total_time,
         )
         for label, result in comparison.results.items()
     ]

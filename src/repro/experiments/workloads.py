@@ -9,6 +9,15 @@ A :class:`Workload` packages everything a paradigm-comparison run needs:
   architecture, used for the simulated timing so the compute-to-
   communication ratio matches the hardware environment the paper measured
   (see DESIGN.md, substitution table).
+
+Workloads are addressable by name through a registry, so an
+:class:`repro.api.ExperimentSpec` can refer to ``"alexnet"`` or
+``"resnet110"`` as plain data and new workloads plug in without editing any
+factory:
+
+    @register_workload("imagenet64", description="...")
+    def imagenet64_workload(scale, seed=0):
+        return Workload(...)
 """
 
 from __future__ import annotations
@@ -27,7 +36,16 @@ from repro.models.resnet import cifar_resnet, resnet50
 from repro.nn.module import Module
 from repro.simulation.workload import ModelCost, estimate_model_cost
 
-__all__ = ["Workload", "alexnet_workload", "resnet_workload", "mlp_workload"]
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "register_workload",
+    "build_workload",
+    "available_workloads",
+    "alexnet_workload",
+    "resnet_workload",
+    "mlp_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -50,11 +68,61 @@ class Workload:
         return self.train_dataset.sample_shape
 
 
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of a registered workload builder."""
+
+    name: str
+    builder: Callable[..., Workload]
+    description: str = ""
+
+    def build(self, scale: ExperimentScale, **kwargs) -> Workload:
+        """Instantiate the workload at ``scale``."""
+        return self.builder(scale, **kwargs)
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(name: str, *, description: str = ""):
+    """Decorator registering a workload builder under ``name``.
+
+    The builder's signature is ``builder(scale, **kwargs) -> Workload``.
+    """
+
+    def decorator(builder: Callable[..., Workload]) -> Callable[..., Workload]:
+        if name in _REGISTRY:
+            raise ValueError(f"workload {name!r} is already registered")
+        _REGISTRY[name] = WorkloadSpec(
+            name=name, builder=builder, description=description
+        )
+        return builder
+
+    return decorator
+
+
+def build_workload(name: str, scale: ExperimentScale, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; known workloads: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name].build(scale, **kwargs)
+
+
+def available_workloads() -> dict[str, WorkloadSpec]:
+    """Copy of the registry keyed by workload name."""
+    return dict(_REGISTRY)
+
+
 def _paper_scale_cost(model: Module, image_size: int = 32) -> ModelCost:
     """Cost of a paper-scale architecture on CIFAR-sized (32x32 RGB) inputs."""
     return estimate_model_cost(model, (3, image_size, image_size))
 
 
+@register_workload(
+    "alexnet", description="Downsized AlexNet on synthetic CIFAR-10 (Figures 3a/3b)"
+)
 def alexnet_workload(scale: ExperimentScale, seed: int = 0) -> Workload:
     """The paper's downsized AlexNet on (synthetic) CIFAR-10.
 
@@ -138,6 +206,9 @@ def resnet_workload(
     )
 
 
+@register_workload(
+    "mlp", description="Small fully connected workload (tests and quickstart)"
+)
 def mlp_workload(scale: ExperimentScale, seed: int = 2) -> Workload:
     """A small fully connected workload used by tests and the quickstart."""
     train, test = synthetic_cifar10(
@@ -164,3 +235,17 @@ def mlp_workload(scale: ExperimentScale, seed: int = 2) -> Workload:
         num_classes=10,
         has_fully_connected_hidden=True,
     )
+
+
+@register_workload(
+    "resnet50", description="ResNet-50 timing on synthetic CIFAR-100 (Figures 3c/3d)"
+)
+def _resnet50_workload(scale: ExperimentScale, seed: int = 1) -> Workload:
+    return resnet_workload(scale, paper_depth=50, seed=seed)
+
+
+@register_workload(
+    "resnet110", description="ResNet-110 timing on synthetic CIFAR-100 (Figures 3e/3f, 4)"
+)
+def _resnet110_workload(scale: ExperimentScale, seed: int = 1) -> Workload:
+    return resnet_workload(scale, paper_depth=110, seed=seed)

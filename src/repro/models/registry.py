@@ -41,12 +41,45 @@ class ModelSpec:
 _REGISTRY: dict[str, ModelSpec] = {}
 
 
-def register_model(spec: ModelSpec) -> ModelSpec:
-    """Add a model spec to the registry (name must be unique)."""
-    if spec.name in _REGISTRY:
-        raise ValueError(f"model {spec.name!r} is already registered")
-    _REGISTRY[spec.name] = spec
-    return spec
+def register_model(
+    spec: ModelSpec | None = None,
+    *,
+    name: str | None = None,
+    description: str = "",
+    default_kwargs: dict | None = None,
+    has_fully_connected_hidden: bool = False,
+):
+    """Register a model, either from a :class:`ModelSpec` or as a decorator.
+
+    Two forms are supported::
+
+        register_model(ModelSpec(name="resnet20", builder=resnet20, ...))
+
+        @register_model(name="my_model", description="...")
+        def my_model(rng=None, **kwargs) -> Module: ...
+
+    In the decorator form the builder's ``__name__`` is used when ``name``
+    is omitted.  Names must be unique.
+    """
+    if spec is not None:
+        if spec.name in _REGISTRY:
+            raise ValueError(f"model {spec.name!r} is already registered")
+        _REGISTRY[spec.name] = spec
+        return spec
+
+    def decorator(builder: Callable[..., Module]) -> Callable[..., Module]:
+        register_model(
+            ModelSpec(
+                name=name or builder.__name__,
+                builder=builder,
+                description=description,
+                default_kwargs=dict(default_kwargs or {}),
+                has_fully_connected_hidden=has_fully_connected_hidden,
+            )
+        )
+        return builder
+
+    return decorator
 
 
 def build_model(name: str, rng: np.random.Generator | None = None, **overrides) -> Module:

@@ -30,7 +30,7 @@ from repro.ps.messages import PushRequest, PullRequest, PullReply, OkSignal, Wor
 from repro.ps.server import AppliedPush, ParameterServer, PushResponse
 from repro.ps.worker import Worker, GradientComputation
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
-from repro.ps.coordinator import DistributedTrainingConfig, train_distributed
+from repro.ps.coordinator import DistributedTrainingConfig, assemble_training, train_distributed
 from repro.ps.callbacks import Callback, CallbackList, EvaluationRecorder
 from repro.ps.checkpoint import (
     CheckpointMetadata,
@@ -57,6 +57,7 @@ __all__ = [
     "ThreadedTrainer",
     "ThreadedTrainingResult",
     "DistributedTrainingConfig",
+    "assemble_training",
     "train_distributed",
     "Callback",
     "CallbackList",

@@ -1,19 +1,26 @@
 """Convenience coordinator assembling a full threaded training run.
 
-:func:`train_distributed` wires together dataset partitioning, model
+:func:`assemble_training` wires together dataset partitioning, model
 replicas, the parameter server with a chosen synchronization paradigm and
-the threaded runtime.  It is the "five lines to a distributed run" entry
-point used by the quickstart example and the integration tests.
+the threaded runtime; :func:`train_distributed` is the legacy one-call
+wrapper around it.
+
+.. deprecated::
+    ``train_distributed`` is kept as a thin shim.  New code should describe
+    the run as a :class:`repro.api.ExperimentSpec` and execute it through
+    :func:`repro.api.run_experiment` (backend ``"threaded"``), which returns
+    the unified :class:`repro.api.RunResult` shared with the simulator.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.core.factory import make_policy
+from repro.core.factory import make_policy, validate_paradigm
 from repro.data.dataset import ArrayDataset
 from repro.data.loader import MiniBatchLoader
 from repro.data.partitioner import partition_dataset
@@ -28,7 +35,7 @@ from repro.ps.server import ParameterServer
 from repro.ps.worker import Worker
 from repro.utils.rng import RngStream
 
-__all__ = ["DistributedTrainingConfig", "train_distributed"]
+__all__ = ["DistributedTrainingConfig", "assemble_training", "train_distributed"]
 
 
 @dataclass
@@ -98,19 +105,35 @@ class DistributedTrainingConfig:
             raise ValueError("batch_size must be positive")
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        # Fail fast on paradigm typos instead of erroring mid-run.
+        validate_paradigm(self.paradigm, self.paradigm_kwargs)
+        # A slowdown keyed on a nonexistent worker is a silent typo: the run
+        # would proceed with the slowdown ignored.  Reject it here.
+        valid_ids = {f"worker-{index}" for index in range(self.num_workers)}
+        unknown = sorted(set(self.slowdowns) - valid_ids)
+        if unknown:
+            raise ValueError(
+                f"slowdowns name nonexistent workers {unknown}; "
+                f"valid ids: {sorted(valid_ids)}"
+            )
 
 
-def train_distributed(
+def assemble_training(
     config: DistributedTrainingConfig,
     model_builder: Callable[[np.random.Generator], Module],
     train_dataset: ArrayDataset,
     test_dataset: ArrayDataset | None = None,
-) -> ThreadedTrainingResult:
-    """Run threaded distributed training and return its result.
+) -> ThreadedTrainer:
+    """Assemble a ready-to-run :class:`ThreadedTrainer` from configuration.
 
     ``model_builder`` is called once per worker plus once for the global
     model; every replica is immediately overwritten with the global initial
     weights so all workers start from the same point, as in the paper.
+
+    The returned trainer exposes its ``server`` and ``evaluate_fn`` (built
+    whenever a test dataset is given), which lets callers such as
+    :class:`repro.api.ThreadedBackend` evaluate the global model outside the
+    trainer's own push-driven cadence.
     """
     streams = RngStream(config.seed)
     policy = make_policy(config.paradigm, **config.paradigm_kwargs)
@@ -160,14 +183,14 @@ def train_distributed(
         )
 
     evaluate_fn = None
-    if test_dataset is not None and config.evaluate_every_pushes > 0:
+    if test_dataset is not None:
         eval_model = model_builder(streams.get("eval"))
 
         def evaluate_fn(state: Mapping[str, np.ndarray]) -> tuple[float, float]:
             eval_model.load_state_dict(dict(state))
             return evaluate_model(eval_model, test_dataset, batch_size=config.batch_size)
 
-    trainer = ThreadedTrainer(
+    return ThreadedTrainer(
         server=server,
         workers=workers,
         iterations_per_worker=config.iterations_per_worker,
@@ -175,4 +198,25 @@ def train_distributed(
         evaluate_fn=evaluate_fn,
         evaluate_every_pushes=config.evaluate_every_pushes,
     )
+
+
+def train_distributed(
+    config: DistributedTrainingConfig,
+    model_builder: Callable[[np.random.Generator], Module],
+    train_dataset: ArrayDataset,
+    test_dataset: ArrayDataset | None = None,
+) -> ThreadedTrainingResult:
+    """Deprecated one-call wrapper: assemble and run a threaded training run.
+
+    Prefer ``repro.api.run_experiment(spec, backend="threaded")``, which runs
+    the same engine but accepts a serializable :class:`~repro.api.ExperimentSpec`
+    and returns the backend-independent :class:`~repro.api.RunResult`.
+    """
+    warnings.warn(
+        "train_distributed is deprecated; use repro.api.run_experiment("
+        "spec, backend='threaded') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    trainer = assemble_training(config, model_builder, train_dataset, test_dataset)
     return trainer.run()

@@ -29,12 +29,12 @@ laptop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable
 
 import numpy as np
 
 from repro.core.dssp import DynamicStaleSynchronousParallel
-from repro.core.factory import make_policy
+from repro.core.factory import make_policy, paradigm_label, validate_paradigm
 from repro.data.dataset import ArrayDataset
 from repro.data.loader import MiniBatchLoader
 from repro.data.partitioner import partition_dataset
@@ -175,6 +175,9 @@ class SimulationConfig:
             raise ValueError(
                 f"epoch_accounting must be 'global' or 'per_worker', got {self.epoch_accounting!r}"
             )
+        # Fail fast: a typo in the paradigm name or its kwargs must surface
+        # here, at config construction, not minutes into a run.
+        validate_paradigm(self.paradigm, self.paradigm_kwargs)
 
 
 @dataclass
@@ -191,6 +194,7 @@ class SimulationResult:
     throughput: ThroughputSummary
     wait_time_per_worker: dict[str, float]
     iterations_per_worker: dict[str, int]
+    mean_loss_per_worker: dict[str, float]
     staleness_summary: object
     server_statistics: dict
     tracker: ExperimentTracker
@@ -338,6 +342,7 @@ class SimulatedTraining:
         blocked_since: dict[str, float] = {}
         wait_time: dict[str, float] = {worker_id: 0.0 for worker_id in workers}
         iterations_done: dict[str, int] = {worker_id: 0 for worker_id in workers}
+        loss_sum: dict[str, float] = {worker_id: 0.0 for worker_id in workers}
         samples_processed = 0
         last_eval_update = -1
 
@@ -428,6 +433,7 @@ class SimulatedTraining:
                 )
             )
             iterations_done[worker_id] += 1
+            loss_sum[worker_id] += computation.loss
             tracker.record("train_loss", now, computation.loss, step=server.store.version)
             trace.record(
                 now,
@@ -476,7 +482,7 @@ class SimulatedTraining:
             if isinstance(policy, DynamicStaleSynchronousParallel)
             else 0
         )
-        label = _paradigm_label(config.paradigm, config.paradigm_kwargs)
+        label = paradigm_label(config.paradigm, config.paradigm_kwargs)
         _LOGGER.info(
             "%s finished: %.0f virtual seconds, %d updates, final accuracy %.3f",
             label,
@@ -495,6 +501,12 @@ class SimulatedTraining:
             throughput=throughput,
             wait_time_per_worker=dict(wait_time),
             iterations_per_worker=dict(iterations_done),
+            mean_loss_per_worker={
+                worker_id: loss_sum[worker_id] / iterations_done[worker_id]
+                if iterations_done[worker_id]
+                else 0.0
+                for worker_id in workers
+            },
             staleness_summary=server.staleness_tracker.summary(),
             server_statistics=server.statistics(),
             tracker=tracker,
@@ -503,16 +515,9 @@ class SimulatedTraining:
         )
 
 
-def _paradigm_label(paradigm: str, kwargs: Mapping) -> str:
-    """Readable label like ``"SSP s=3"`` or ``"DSSP s=3, r=12"``."""
-    name = paradigm.upper()
-    if paradigm == "ssp":
-        return f"{name} s={kwargs.get('staleness')}"
-    if paradigm == "dssp":
-        s_lower = kwargs.get("s_lower")
-        s_upper = kwargs.get("s_upper", s_lower)
-        return f"{name} s={s_lower}, r={int(s_upper) - int(s_lower)}"
-    return name
+#: Backwards-compatible alias; the label helper lives with the policy
+#: registry so every front end renders run labels identically.
+_paradigm_label = paradigm_label
 
 
 def simulate_training(

@@ -1,0 +1,183 @@
+"""Tests for the pluggable backends and the unified RunResult schema."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Backend,
+    ClusterConfig,
+    ExperimentSpec,
+    RunResult,
+    SimulatedBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_experiment,
+)
+
+TINY_SPEC = ExperimentSpec(
+    name="backend-test",
+    workload="mlp",
+    scale="tiny",
+    cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+    paradigm="dssp",
+    paradigm_kwargs={"s_lower": 1, "s_upper": 4},
+    epochs=1.0,
+    batch_size=16,
+    evaluate_every_updates=10,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def simulated_result():
+    return run_experiment(TINY_SPEC, "simulated")
+
+
+@pytest.fixture(scope="module")
+def threaded_result():
+    return run_experiment(TINY_SPEC, "threaded")
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ["simulated", "threaded"]
+
+    def test_get_backend_instances_protocol(self):
+        assert isinstance(get_backend("simulated"), Backend)
+        assert isinstance(get_backend("threaded"), Backend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("simulated")(SimulatedBackend)
+
+
+class TestSimulatedBackend:
+    def test_runs_and_reports(self, simulated_result):
+        result = simulated_result
+        assert result.backend == "simulated"
+        assert result.paradigm == "dssp"
+        assert result.total_updates > 0
+        assert result.times[0] == 0.0
+        assert len(result.times) == len(result.accuracies) == len(result.losses)
+        assert set(result.iterations_per_worker) == {"worker-0", "worker-1"}
+        assert result.provenance.spec == TINY_SPEC.to_dict()
+        assert result.provenance.injected == ()
+
+    def test_deterministic_given_seed(self, simulated_result):
+        again = run_experiment(TINY_SPEC, SimulatedBackend())
+        assert again.total_time == simulated_result.total_time
+        np.testing.assert_allclose(again.accuracies, simulated_result.accuracies)
+
+    def test_slowdowns_skew_iteration_counts(self):
+        spec = TINY_SPEC.replace(
+            paradigm="asp",
+            paradigm_kwargs={},
+            evaluate_every_updates=0,
+            slowdowns={"worker-0": 4.0},
+        )
+        result = run_experiment(spec, "simulated")
+        iterations = result.iterations_per_worker
+        assert iterations["worker-0"] < iterations["worker-1"]
+
+
+class TestThreadedBackend:
+    def test_runs_and_reports(self, threaded_result):
+        result = threaded_result
+        assert result.backend == "threaded"
+        assert result.errors == []
+        assert result.total_updates == 20  # 2 workers x 10 iterations
+        # Curve starts with the initial model and ends with the final one.
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(result.total_time)
+        assert result.accuracies.size >= 2
+
+    def test_epochs_converted_to_iterations(self, threaded_result):
+        # tiny scale: 320 train samples, 2 workers, batch 16 -> 10 per worker.
+        assert threaded_result.iterations_per_worker == {
+            "worker-0": 10,
+            "worker-1": 10,
+        }
+
+    def test_lr_milestones_rejected_rather_than_silently_dropped(self):
+        spec = TINY_SPEC.replace(lr_milestones=(0.5,))
+        with pytest.raises(ValueError, match="lr_milestones"):
+            run_experiment(spec, "threaded")
+        # The simulated backend supports them.
+        assert run_experiment(spec, "simulated").total_updates > 0
+
+    def test_max_updates_rejected_rather_than_silently_dropped(self):
+        spec = TINY_SPEC.replace(max_updates=5)
+        with pytest.raises(ValueError, match="max_updates"):
+            run_experiment(spec, "threaded")
+        assert run_experiment(spec, "simulated").total_updates == 5
+
+
+class TestBackendParity:
+    """The same spec yields schema-identical results on both backends."""
+
+    @staticmethod
+    def schema(payload, prefix=""):
+        """All key paths of a nested dict (list elements collapse to [])."""
+        paths = set()
+        if isinstance(payload, dict):
+            for key, value in payload.items():
+                paths.add(f"{prefix}{key}")
+                paths |= TestBackendParity.schema(value, prefix=f"{prefix}{key}.")
+        elif isinstance(payload, list) and payload:
+            paths |= TestBackendParity.schema(payload[0], prefix=f"{prefix}[].")
+        return paths
+
+    def test_schema_identical_field_for_field(self, simulated_result, threaded_result):
+        simulated = simulated_result.to_dict()
+        threaded = threaded_result.to_dict()
+        assert self.schema(simulated) == self.schema(threaded)
+
+    def test_dataclass_fields_and_types_match(self, simulated_result, threaded_result):
+        import dataclasses
+
+        assert type(simulated_result) is type(threaded_result) is RunResult
+        for entry in dataclasses.fields(RunResult):
+            simulated_value = getattr(simulated_result, entry.name)
+            threaded_value = getattr(threaded_result, entry.name)
+            assert type(simulated_value) is type(threaded_value), entry.name
+
+    def test_same_workers_and_update_totals(self, simulated_result, threaded_result):
+        assert set(simulated_result.wait_time_per_worker) == set(
+            threaded_result.wait_time_per_worker
+        )
+        assert simulated_result.total_updates == threaded_result.total_updates
+
+    def test_staleness_and_throughput_shapes(self, simulated_result, threaded_result):
+        for result in (simulated_result, threaded_result):
+            assert result.staleness.count == result.total_updates
+            assert result.throughput.updates_per_second > 0
+            assert result.throughput.samples_per_second == pytest.approx(
+                result.throughput.updates_per_second * 16
+            )
+
+    def test_provenance_differs_only_in_backend(self, simulated_result, threaded_result):
+        simulated = simulated_result.provenance.to_dict()
+        threaded = threaded_result.provenance.to_dict()
+        assert simulated.pop("backend") == "simulated"
+        assert threaded.pop("backend") == "threaded"
+        assert simulated == threaded
+
+
+class TestRunResultSerialization:
+    def test_to_dict_json_safe(self, simulated_result):
+        import json
+
+        payload = json.loads(json.dumps(simulated_result.to_dict()))
+        assert payload["backend"] == "simulated"
+        assert payload["provenance"]["spec"]["workload"] == "mlp"
+        assert len(payload["times"]) == len(payload["accuracies"])
+
+    def test_transitional_aliases(self, simulated_result):
+        assert simulated_result.total_virtual_time == simulated_result.total_time
+        assert simulated_result.staleness_summary is simulated_result.staleness

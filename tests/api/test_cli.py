@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.spec import ClusterConfig, ExperimentSpec
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    spec = ExperimentSpec(
+        name="cli-test",
+        workload="mlp",
+        scale="tiny",
+        cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+        paradigm="bsp",
+        paradigm_kwargs={},
+        epochs=0.5,
+        batch_size=16,
+        evaluate_every_updates=0,
+        seed=0,
+    )
+    return spec.save(tmp_path / "spec.json")
+
+
+class TestRun:
+    def test_run_simulated_writes_result(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(["run", str(spec_path), "--backend", "simulated", "--output", str(output)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "backend   : simulated" in printed
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "simulated"
+        assert payload["paradigm"] == "bsp"
+        assert payload["provenance"]["spec"]["name"] == "cli-test"
+
+    def test_run_threaded(self, spec_path, capsys):
+        code = main(["run", str(spec_path), "--backend", "threaded"])
+        assert code == 0
+        assert "backend   : threaded" in capsys.readouterr().out
+
+    def test_seed_override_recorded(self, spec_path, tmp_path):
+        output = tmp_path / "result.json"
+        code = main(["run", str(spec_path), "--seed", "9", "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["provenance"]["seed"] == 9
+
+    def test_missing_spec_fails_cleanly(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid_spec_ok(self, spec_path, capsys):
+        assert main(["validate", str(spec_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_spec_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"workload": "mlp", "paradgim": "bsp"}))
+        assert main(["validate", str(bad)]) == 2
+        assert "unknown spec key" in capsys.readouterr().err
+
+    def test_unknown_workload_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"workload": "alexnett"}))
+        assert main(["validate", str(bad)]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_paradigm_kwargs_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"paradigm": "ssp", "paradigm_kwargs": {"stalness": 3}})
+        )
+        assert main(["validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRegistry:
+    def test_lists_components(self, capsys):
+        assert main(["registry"]) == 0
+        printed = capsys.readouterr().out
+        for expected in ("simulated", "threaded", "dssp", "alexnet", "resnet110", "p100"):
+            assert expected in printed

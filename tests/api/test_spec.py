@@ -1,0 +1,198 @@
+"""Tests for the declarative ExperimentSpec (validation + serialization)."""
+
+import pytest
+
+from repro.api.spec import ClusterConfig, ExperimentSpec, NAMED_SCALES
+from repro.experiments.config import TINY
+
+
+class TestClusterConfig:
+    def test_homogeneous_build(self):
+        cluster = ClusterConfig(kind="homogeneous", num_workers=3, device="p100").build()
+        assert cluster.num_workers == 3
+        assert {spec.device.name for spec in cluster.workers} == {"p100"}
+
+    def test_heterogeneous_build(self):
+        config = ClusterConfig(
+            kind="heterogeneous", devices=("gtx1080ti", "gtx1060"), network="ethernet"
+        )
+        cluster = config.build()
+        assert cluster.is_heterogeneous
+        assert config.worker_ids == ["worker-0", "worker-1"]
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(kind="galactic")
+
+    def test_heterogeneous_requires_devices(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(kind="heterogeneous", devices=())
+
+    def test_unknown_network_rejected_at_build(self):
+        config = ClusterConfig(network="carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown network"):
+            config.build()
+
+    def test_round_trip(self):
+        config = ClusterConfig(kind="heterogeneous", devices=("p100", "gtx1060"))
+        assert ClusterConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown cluster key"):
+            ClusterConfig.from_dict({"kind": "homogeneous", "wokers": 3})
+
+    def test_from_cluster_spec_round_trips_shape(self):
+        original = ClusterConfig(
+            kind="heterogeneous", devices=("gtx1080ti", "gtx1060"), network="ethernet"
+        ).build()
+        recovered = ClusterConfig.from_cluster_spec(original)
+        assert recovered.kind == "heterogeneous"
+        assert recovered.devices == ("gtx1080ti", "gtx1060")
+        assert recovered.network == "ethernet"
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        spec = ExperimentSpec()
+        assert spec.resolved_scale() is NAMED_SCALES["tiny"]
+        assert spec.label == "DSSP s=3, r=12"
+
+    def test_bad_paradigm_kwargs_fail_fast(self):
+        with pytest.raises(TypeError):
+            ExperimentSpec(paradigm="ssp", paradigm_kwargs={"stalness": 3})
+        with pytest.raises(ValueError):
+            ExperimentSpec(paradigm="ssp", paradigm_kwargs={})
+        with pytest.raises(ValueError):
+            ExperimentSpec(paradigm="gossip")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            ExperimentSpec(scale="gigantic")
+
+    def test_inline_scale_dict(self):
+        spec = ExperimentSpec(
+            scale={
+                "name": "custom",
+                "num_train": 64,
+                "num_test": 32,
+                "image_size": 8,
+                "num_classes_cifar100": 10,
+                "model_width": 4,
+                "fc_width": 8,
+                "resnet_depth_for_110": 8,
+                "resnet_depth_for_50": 8,
+                "epochs": 1.0,
+                "batch_size": 8,
+                "evaluate_every_updates": 4,
+            }
+        )
+        assert spec.resolved_scale().num_train == 64
+        assert spec.resolved_epochs() == 1.0
+
+    def test_scale_object_canonicalized_to_dict(self):
+        spec = ExperimentSpec(scale=TINY)
+        assert isinstance(spec.scale, dict)
+        assert spec.resolved_scale() == TINY
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bad_scale_type_rejected(self):
+        with pytest.raises(ValueError, match="scale must be"):
+            ExperimentSpec(scale=42)
+
+    def test_scale_defaults_flow_through(self):
+        spec = ExperimentSpec(scale="tiny")
+        assert spec.resolved_epochs() == TINY.epochs
+        assert spec.resolved_batch_size() == TINY.batch_size
+        assert spec.resolved_evaluate_every_updates() == TINY.evaluate_every_updates
+
+    def test_overrides_beat_scale(self):
+        spec = ExperimentSpec(scale="tiny", epochs=0.5, batch_size=8, evaluate_every_updates=0)
+        assert spec.resolved_epochs() == 0.5
+        assert spec.resolved_batch_size() == 8
+        assert spec.resolved_evaluate_every_updates() == 0
+
+    def test_slowdowns_validated_against_cluster(self):
+        with pytest.raises(ValueError, match="nonexistent workers"):
+            ExperimentSpec(
+                cluster=ClusterConfig(num_workers=2), slowdowns={"worker-9": 0.01}
+            )
+        with pytest.raises(ValueError, match="must be positive"):
+            ExperimentSpec(
+                cluster=ClusterConfig(num_workers=2), slowdowns={"worker-1": 0.0}
+            )
+        spec = ExperimentSpec(
+            cluster=ClusterConfig(num_workers=2), slowdowns={"worker-1": 0.5}
+        )
+        assert spec.slowdowns == {"worker-1": 0.5}
+
+    def test_numeric_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(epochs=0.0)
+        with pytest.raises(ValueError):
+            ExperimentSpec(batch_size=-1)
+        with pytest.raises(ValueError):
+            ExperimentSpec(num_shards=0)
+        with pytest.raises(ValueError):
+            ExperimentSpec(epoch_accounting="sideways")
+
+    def test_replace_revalidates(self):
+        spec = ExperimentSpec()
+        with pytest.raises(ValueError):
+            spec.replace(paradigm="nope")
+        assert spec.replace(seed=7).seed == 7
+
+
+class TestSpecSerialization:
+    @pytest.fixture()
+    def spec(self):
+        return ExperimentSpec(
+            name="round-trip",
+            workload="alexnet",
+            workload_kwargs={"seed": 3},
+            scale="small",
+            cluster=ClusterConfig(
+                kind="heterogeneous", devices=("gtx1080ti", "gtx1060"), network="ethernet"
+            ),
+            paradigm="ssp",
+            paradigm_kwargs={"staleness": 5},
+            epochs=2.5,
+            batch_size=64,
+            lr_milestones=(1.5, 2.0),
+            evaluate_every_updates=12,
+            num_shards=4,
+            shard_strategy="hash",
+            dtype="float32",
+            slowdowns={"worker-1": 0.25},
+            seed=11,
+        )
+
+    def test_dict_round_trip_is_identity(self, spec):
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_identity(self, spec):
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, spec, tmp_path):
+        path = spec.save(tmp_path / "spec.json")
+        assert ExperimentSpec.load(path) == spec
+
+    def test_unknown_key_rejected(self, spec):
+        data = spec.to_dict()
+        data["paradgim"] = "bsp"
+        with pytest.raises(ValueError, match="unknown spec key"):
+            ExperimentSpec.from_dict(data)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ExperimentSpec.load(tmp_path / "missing.json")
+
+    def test_to_dict_is_json_safe(self, spec):
+        import json
+
+        encoded = json.dumps(spec.to_dict())
+        assert "round-trip" in encoded
+
+    def test_lr_milestones_survive_as_tuple(self, spec):
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.lr_milestones == (1.5, 2.0)
+        assert isinstance(restored.lr_milestones, tuple)

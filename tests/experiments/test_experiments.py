@@ -7,8 +7,8 @@ from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale, pape
 from repro.experiments.report import format_comparison_summary, format_figure_result
 from repro.experiments.runner import average_curves, run_paradigm_comparison
 from repro.experiments.workloads import alexnet_workload, mlp_workload, resnet_workload
+from repro.api.result import RunResult
 from repro.simulation.cluster import homogeneous_cluster
-from repro.simulation.trainer import SimulationResult
 
 
 class TestScales:
@@ -85,13 +85,25 @@ class TestRunner:
             batch_size=16,
             evaluate_every_updates=8,
             seed=0,
+            scale=TINY,
         )
 
     def test_labels_and_results(self, comparison):
         assert comparison.labels == ["BSP", "ASP", "DSSP s=1, r=3"]
-        assert all(isinstance(r, SimulationResult) for r in comparison.results.values())
+        assert all(isinstance(r, RunResult) for r in comparison.results.values())
+        assert all(r.backend == "simulated" for r in comparison.results.values())
         with pytest.raises(KeyError):
             comparison.result("SSP s=99")
+
+    def test_provenance_records_spec_and_injection(self, comparison):
+        provenance = comparison.result("BSP").provenance
+        assert provenance.spec["paradigm"] == "bsp"
+        assert provenance.spec["epochs"] == 1.0
+        # The scale the workload was actually built at, canonicalized to
+        # plain data.
+        assert provenance.spec["scale"]["name"] == "tiny"
+        assert provenance.spec["scale"]["num_train"] == TINY.num_train
+        assert any(entry.startswith("workload:") for entry in provenance.injected)
 
     def test_derived_tables(self, comparison):
         assert set(comparison.best_accuracies()) == set(comparison.labels)

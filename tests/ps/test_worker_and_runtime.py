@@ -206,12 +206,13 @@ class TestCoordinator:
             learning_rate=0.05,
             evaluate_every_pushes=5,
         )
-        result = train_distributed(
-            config,
-            model_builder=lambda rng: build_model(rng, input_dim=train.inputs.shape[1]),
-            train_dataset=train,
-            test_dataset=test,
-        )
+        with pytest.warns(DeprecationWarning, match="run_experiment"):
+            result = train_distributed(
+                config,
+                model_builder=lambda rng: build_model(rng, input_dim=train.inputs.shape[1]),
+                train_dataset=train,
+                test_dataset=test,
+            )
         assert result.errors == []
         assert len(result.worker_reports) == 2
         assert len(result.evaluation_accuracies) >= 1
@@ -229,12 +230,13 @@ class TestCoordinator:
             num_shards=4,
             dtype="float32",
         )
-        result = train_distributed(
-            config,
-            model_builder=lambda rng: build_model(rng, input_dim=train.inputs.shape[1]),
-            train_dataset=train,
-            test_dataset=test,
-        )
+        with pytest.warns(DeprecationWarning, match="run_experiment"):
+            result = train_distributed(
+                config,
+                model_builder=lambda rng: build_model(rng, input_dim=train.inputs.shape[1]),
+                train_dataset=train,
+                test_dataset=test,
+            )
         assert result.errors == []
         assert result.server_statistics["store_version"] == 2 * 5
         assert len(result.evaluation_accuracies) >= 1
@@ -248,3 +250,17 @@ class TestCoordinator:
             DistributedTrainingConfig(batch_size=0)
         with pytest.raises(ValueError):
             DistributedTrainingConfig(num_shards=0)
+
+    def test_config_rejects_bad_paradigm_kwargs_at_construction(self):
+        # Fail fast: the typo'd kwarg must not survive until mid-run.
+        with pytest.raises(TypeError):
+            DistributedTrainingConfig(paradigm="ssp", paradigm_kwargs={"stalness": 3})
+        with pytest.raises(ValueError):
+            DistributedTrainingConfig(paradigm="gossip", paradigm_kwargs={})
+
+    def test_config_rejects_slowdowns_for_nonexistent_workers(self):
+        with pytest.raises(ValueError, match="nonexistent workers"):
+            DistributedTrainingConfig(num_workers=2, slowdowns={"worker-7": 0.01})
+        # Valid ids are accepted.
+        config = DistributedTrainingConfig(num_workers=2, slowdowns={"worker-1": 0.01})
+        assert config.slowdowns == {"worker-1": 0.01}

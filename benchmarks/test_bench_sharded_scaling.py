@@ -74,6 +74,10 @@ def drive(store, num_workers: int) -> dict:
                 reply = store.pull(known_version=known)
                 known = reply.version
                 pulled += reply.nbytes
+                # A real worker copies the payload into its replica and
+                # releases the copy-on-write lease (Worker.load_reply); an
+                # unreleased lease would charge every push a full-shard copy.
+                reply.release()
             pull_bytes[f"w{index}"] = pulled
         except Exception as error:  # pragma: no cover - surfaced below
             errors.append(error)

@@ -292,8 +292,11 @@ class ThreadedBackend:
         times: list[float] = []
         accuracies: list[float] = []
         losses: list[float] = []
+        # Evaluations read zero-copy state views; the evaluation model
+        # copies them into its own arrays (copies happen only at the
+        # API-result boundary below).
         if trainer.evaluate_fn is not None:
-            accuracy, loss = trainer.evaluate_fn(trainer.server.store.full_state())
+            accuracy, loss = trainer.evaluate_fn(trainer.server.store.state_views())
             times.append(0.0)
             accuracies.append(accuracy)
             losses.append(loss)
@@ -303,7 +306,7 @@ class ThreadedBackend:
         accuracies.extend(result.evaluation_accuracies)
         losses.extend(result.evaluation_losses)
         if trainer.evaluate_fn is not None:
-            accuracy, loss = trainer.evaluate_fn(trainer.server.store.full_state())
+            accuracy, loss = trainer.evaluate_fn(trainer.server.store.state_views())
             times.append(result.wall_time)
             accuracies.append(accuracy)
             losses.append(loss)

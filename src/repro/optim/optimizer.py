@@ -6,11 +6,19 @@ given a gradient dictionary with matching keys.  That is exactly the
 operation the parameter server performs when a worker pushes an update, so
 the same optimizer code serves both the single-machine training loop and the
 server-side update rule.
+
+Stores that pack their parameters into contiguous flat buffers
+(:mod:`repro.ps.flatbuffer`) call :meth:`Optimizer.step` 's vectorized
+sibling :meth:`Optimizer.step_flat` instead: one fused update over each
+contiguous gradient run rather than a Python loop over named tensors.  The
+two paths are numerically identical — the update rules are elementwise, so
+operating on a concatenation of the parameters produces bit-for-bit the
+same values as operating on them one by one.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, MutableMapping
+from collections.abc import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -63,6 +71,18 @@ class Optimizer:
         self._apply(weights, gradients, scale)
         self._step_count += 1
 
+    def step_flat(self, updates: Sequence, scale: float = 1.0) -> None:
+        """Apply one push as fused updates over packed flat segments.
+
+        ``updates`` is a sequence of :class:`repro.ps.flatbuffer.FlatUpdate`
+        objects (duck-typed: anything exposing ``key``, ``weights``,
+        ``velocity_size``, ``layout`` and ``runs``), one per touched shard.
+        Exactly one optimizer step: staleness handling and ``step_count``
+        advance once regardless of how many shards the push touched.
+        """
+        self._apply_flat(updates, scale)
+        self._step_count += 1
+
     def _apply(
         self,
         weights: MutableMapping[str, np.ndarray],
@@ -70,6 +90,30 @@ class Optimizer:
         scale: float,
     ) -> None:
         raise NotImplementedError
+
+    def _apply_flat(self, updates: Sequence, scale: float) -> None:
+        """Generic fallback: unpack the runs and reuse the dict path.
+
+        Optimizers that can fuse (e.g. :class:`repro.optim.SGD`) override
+        this; any other optimizer keeps working against flat stores through
+        per-segment views, just without the fused speedup.
+        """
+        weights: dict[str, np.ndarray] = {}
+        gradients: dict[str, np.ndarray] = {}
+        for update in updates:
+            by_lo = {segment.lo: segment for segment in update.layout}
+            for lo, hi, grad in update.runs:
+                offset = lo
+                while offset < hi:
+                    segment = by_lo[offset]
+                    weights[segment.name] = update.weights[
+                        segment.lo : segment.hi
+                    ].reshape(segment.shape)
+                    gradients[segment.name] = grad[
+                        segment.lo - lo : segment.hi - lo
+                    ].reshape(segment.shape)
+                    offset = segment.hi
+        self._apply(weights, gradients, scale)
 
     @staticmethod
     def _check_keys(

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections.abc import Mapping, MutableMapping
+from collections.abc import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -22,6 +22,13 @@ class SGD(Optimizer):
         g = g + weight_decay * w
         v = momentum * v + g
         w = w - lr * v            (or w - lr * (g + momentum * v) for Nesterov)
+
+    Against a flat store the same rule runs through :meth:`step_flat` as a
+    handful of fused array ops per contiguous gradient run.  The momentum
+    velocity is then kept as one flat buffer per shard, with the per-name
+    entries of ``self._velocity`` rebound to views into it — so
+    :meth:`state_dict` still exports (and :meth:`load_state_dict` still
+    accepts) the per-parameter arrays checkpoints have always carried.
     """
 
     def __init__(
@@ -42,6 +49,12 @@ class SGD(Optimizer):
         self.weight_decay = float(weight_decay)
         self.nesterov = bool(nesterov)
         self._velocity: dict[str, np.ndarray] = {}
+        # Per-shard flat velocity buffers, keyed by the shard's state key;
+        # the per-name entries of _velocity alias slices of these.
+        self._flat_velocity: dict[str, np.ndarray] = {}
+        # Pooled per-shard chunk temporaries for the fused path, so
+        # steady-state steps perform zero allocations.
+        self._chunk_scratch: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     def _apply(
         self,
@@ -64,14 +77,115 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * weight
             if self.momentum:
                 velocity = self._velocity.get(name)
-                if velocity is None:
-                    velocity = np.zeros_like(weight)
-                velocity = self.momentum * velocity + grad
-                self._velocity[name] = velocity
+                if velocity is None or velocity.shape != weight.shape:
+                    velocity = self._velocity[name] = np.zeros_like(weight)
+                elif velocity.dtype != weight.dtype:
+                    velocity = self._velocity[name] = velocity.astype(weight.dtype)
+                # In place, so entries aliasing a flat velocity buffer stay
+                # coherent with it.
+                velocity *= self.momentum
+                velocity += grad
                 update = grad + self.momentum * velocity if self.nesterov else velocity
             else:
                 update = grad
             weight -= self._learning_rate * update
+
+    # ------------------------------------------------------------------
+    # Fused flat path
+    # ------------------------------------------------------------------
+    def _shard_velocity(self, update) -> np.ndarray:
+        """Flat velocity buffer aligned with ``update``'s weight block.
+
+        Allocated (or re-packed) on first touch of a shard: any existing
+        per-name velocity — e.g. restored from a checkpoint, or carried over
+        from the dict path — is copied into place, then the per-name entries
+        are rebound to views of the flat buffer so both code paths and
+        :meth:`state_dict` keep seeing one consistent state.
+        """
+        velocity = self._flat_velocity.get(update.key)
+        if (
+            velocity is None
+            or velocity.size != update.velocity_size
+            or velocity.dtype != update.weights.dtype
+        ):
+            velocity = np.zeros(update.velocity_size, dtype=update.weights.dtype)
+            for segment in update.layout:
+                existing = self._velocity.get(segment.name)
+                if existing is not None and existing.shape == segment.shape:
+                    velocity[segment.lo : segment.hi] = np.asarray(
+                        existing, dtype=velocity.dtype
+                    ).ravel()
+                self._velocity[segment.name] = velocity[
+                    segment.lo : segment.hi
+                ].reshape(segment.shape)
+            self._flat_velocity[update.key] = velocity
+        return velocity
+
+    #: Elements per fused chunk.  64K float32 elements keep the chunk's
+    #: whole working set (gradient, weight, velocity, temporary) inside the
+    #: cache, so each array is streamed from memory exactly once per step
+    #: instead of once per arithmetic pass.
+    _CHUNK = 65536
+
+    def _chunks_for(self, update) -> tuple[np.ndarray, np.ndarray]:
+        entry = self._chunk_scratch.get(update.key)
+        dtype = update.weights.dtype
+        if entry is None or entry[0].dtype != dtype:
+            entry = (
+                np.empty(self._CHUNK, dtype=dtype),
+                np.empty(self._CHUNK, dtype=dtype),
+            )
+            self._chunk_scratch[update.key] = entry
+        return entry
+
+    def _apply_flat(self, updates: Sequence, scale: float) -> None:
+        # Same math as _apply, as fused in-place ops over cache-sized chunks
+        # of each contiguous run.  The gradient chunk is first copied (and,
+        # for a float64 push into a float32 store, cast) into a pooled
+        # scratch chunk — the source may be the worker's live packed
+        # gradient buffer, which must never be mutated — and every multiply
+        # lands in an existing buffer, so the steady-state step performs
+        # zero allocations and exactly one memory pass per array.
+        momentum = self.momentum
+        weight_decay = self.weight_decay
+        learning_rate = self._learning_rate
+        nesterov = self.nesterov
+        chunk = self._CHUNK
+        for update in updates:
+            flat_velocity = self._shard_velocity(update) if momentum else None
+            grad_scratch, mul_scratch = self._chunks_for(update)
+            weights = update.weights
+            for lo, hi, source in update.runs:
+                for chunk_lo in range(lo, hi, chunk):
+                    chunk_hi = chunk_lo + chunk
+                    if chunk_hi > hi:
+                        chunk_hi = hi
+                    count = chunk_hi - chunk_lo
+                    grad = grad_scratch[:count]
+                    grad[...] = source[chunk_lo - lo : chunk_hi - lo]
+                    weight = weights[chunk_lo:chunk_hi]
+                    grad *= scale
+                    if weight_decay:
+                        tmp = mul_scratch[:count]
+                        np.multiply(weight, weight_decay, out=tmp)
+                        grad += tmp
+                    if momentum:
+                        velocity = flat_velocity[chunk_lo:chunk_hi]
+                        velocity *= momentum
+                        velocity += grad
+                        if nesterov:
+                            tmp = mul_scratch[:count]
+                            np.multiply(velocity, momentum, out=tmp)
+                            grad += tmp
+                        else:
+                            # grad is dead: reuse it for the learning-rate
+                            # product.
+                            np.multiply(velocity, learning_rate, out=grad)
+                            weight -= grad
+                            continue
+                    # Plain or Nesterov direction lives in grad now.
+                    grad *= learning_rate
+                    weight -= grad
 
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -90,3 +204,6 @@ class SGD(Optimizer):
             name: np.array(value, copy=True)
             for name, value in dict(state.get("velocity", {})).items()
         }
+        # The restored per-name arrays supersede any packed per-shard state;
+        # the next step_flat call re-packs from them.
+        self._flat_velocity.clear()

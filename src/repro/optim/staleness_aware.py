@@ -9,7 +9,7 @@ than a *scheduling-side* one.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, MutableMapping
+from collections.abc import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -58,4 +58,11 @@ class StalenessAwareSGD(SGD):
     ) -> None:
         effective = scale * self.staleness_scale(self._pending_staleness)
         super()._apply(weights, gradients, effective)
+        self._pending_staleness = 0
+
+    def _apply_flat(self, updates: Sequence, scale: float) -> None:
+        # One push, one staleness: the scale is resolved once even when the
+        # push's gradient runs span several shards.
+        effective = scale * self.staleness_scale(self._pending_staleness)
+        super()._apply_flat(updates, effective)
         self._pending_staleness = 0

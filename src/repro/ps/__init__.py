@@ -24,9 +24,17 @@ This subpackage provides that framework built from scratch:
   pieces from plain configuration.
 """
 
+from repro.ps.flatbuffer import FlatLayout, FlatShard, FlatUpdate, Segment
 from repro.ps.kvstore import KeyValueStore
 from repro.ps.sharding import ShardRouter, ShardedKeyValueStore, make_store
-from repro.ps.messages import PushRequest, PullRequest, PullReply, OkSignal, WorkerReport
+from repro.ps.messages import (
+    PushRequest,
+    PullRequest,
+    PullReply,
+    FlatPullPayload,
+    OkSignal,
+    WorkerReport,
+)
 from repro.ps.server import AppliedPush, ParameterServer, PushResponse
 from repro.ps.worker import Worker, GradientComputation
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
@@ -40,6 +48,10 @@ from repro.ps.checkpoint import (
 )
 
 __all__ = [
+    "FlatLayout",
+    "FlatShard",
+    "FlatUpdate",
+    "Segment",
     "KeyValueStore",
     "ShardRouter",
     "ShardedKeyValueStore",
@@ -47,6 +59,7 @@ __all__ = [
     "PushRequest",
     "PullRequest",
     "PullReply",
+    "FlatPullPayload",
     "OkSignal",
     "WorkerReport",
     "ParameterServer",

@@ -66,10 +66,13 @@ def save_checkpoint(
         path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
 
+    # Read-only copy-on-write views: the serializer only reads them, so no
+    # deep copy of the model is materialized for the checkpoint write, and
+    # the views stay stable even if pushes land while the file is written.
     arrays: dict[str, np.ndarray] = {}
-    for name, value in store.weights_snapshot().items():
+    for name, value in store.weights.items():
         arrays[_WEIGHT_PREFIX + name] = value
-    for name, value in store.buffers_snapshot().items():
+    for name, value in store.buffers.items():
         arrays[_BUFFER_PREFIX + name] = value
 
     optimizer_state = optimizer.state_dict()

@@ -8,7 +8,8 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.optim.optimizer import Optimizer
-from repro.ps.messages import PullReply
+from repro.ps.flatbuffer import FlatShard, SnapshotViews
+from repro.ps.messages import FlatPullPayload, PullReply
 
 __all__ = ["KeyValueStore", "normalize_store_dtype"]
 
@@ -43,10 +44,13 @@ class KeyValueStore:
     ``version`` counts the number of gradient applications, which is the
     quantity used to measure update staleness.
 
-    This is the *monolithic* store: one partition, one version counter, and
-    pulls that deep-copy the full model.  The sharded variant
+    This is the *monolithic* store: one partition and one version counter.
+    All entries live in a single packed :class:`repro.ps.flatbuffer.FlatShard`,
+    so pulls hand out zero-copy read-only views (stabilized by a shard-level
+    copy-on-write lease) and gradient application is one fused vectorized
+    update over the packed buffer.  The sharded variant
     (:class:`repro.ps.sharding.ShardedKeyValueStore`) is a drop-in
-    replacement with key-partitioned shards and copy-on-write pulls.
+    replacement with key-partitioned shards and delta pulls.
     """
 
     #: Pushes must be serialized by the caller (no internal locking).
@@ -63,15 +67,30 @@ class KeyValueStore:
         if not initial_weights:
             raise ValueError("initial_weights must contain at least one parameter")
         self._dtype = normalize_store_dtype(dtype)
-        self._weights: "OrderedDict[str, np.ndarray]" = OrderedDict(
-            (name, np.array(value, dtype=self._dtype, copy=True))
-            for name, value in initial_weights.items()
+        self._flat = FlatShard(initial_weights, initial_buffers, dtype=self._dtype)
+        self._weight_names = list(initial_weights)
+        self._buffer_names = list(initial_buffers or {})
+        self._weight_name_set = frozenset(self._weight_names)
+        self._buffer_name_set = frozenset(self._buffer_names)
+        # Static name → (shard, segment) tables backing the lazy snapshot
+        # mappings, so a pull costs O(1) instead of O(parameters).
+        layout = self._flat.layout
+        self._weight_entries = OrderedDict(
+            (name, (0, layout.segment(name))) for name in self._weight_names
         )
-        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict(
-            (name, np.array(value, dtype=self._dtype, copy=True))
-            for name, value in (initial_buffers or {}).items()
+        self._buffer_entries = OrderedDict(
+            (name, (0, layout.segment(name))) for name in self._buffer_names
+        )
+        self._state_entries = OrderedDict(
+            (name, (0, layout.segment(name)))
+            for name in (*self._weight_names, *self._buffer_names)
         )
         self._version = 0
+
+    def _snapshot_views(self, entries) -> SnapshotViews:
+        """Lease the buffer and wrap ``entries`` as lazy stable views."""
+        self._flat.lease()
+        return SnapshotViews(entries, {0: self._flat.buffer})
 
     # ------------------------------------------------------------------
     # Introspection
@@ -89,50 +108,110 @@ class KeyValueStore:
     @property
     def parameter_names(self) -> list[str]:
         """Names of the trainable parameters."""
-        return list(self._weights)
+        return list(self._weight_names)
 
     @property
     def num_parameters(self) -> int:
         """Total scalar count of the trainable parameters."""
-        return int(sum(array.size for array in self._weights.values()))
+        return int(self._flat.layout.weights_end)
 
     @property
     def nbytes(self) -> int:
         """Bytes transferred by one full pull (weights plus buffers)."""
-        total = sum(array.nbytes for array in self._weights.values())
-        total += sum(array.nbytes for array in self._buffers.values())
-        return int(total)
+        return int(self._flat.nbytes)
+
+    @property
+    def flat_layouts(self) -> tuple[tuple[int, tuple], ...]:
+        """Per-shard weight layouts, for workers that pack their replicas."""
+        return ((0, self._flat.layout.weight_segments),)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    @property
+    def weights(self) -> SnapshotViews:
+        """Zero-copy read-only views of the current weights.
+
+        The views are stable snapshots: the next update re-materializes the
+        packed buffer (copy-on-write) instead of mutating what was handed
+        out.  Callers that need writable, independent arrays should use
+        :meth:`snapshot` / :meth:`weights_snapshot`.
+        """
+        return self._snapshot_views(self._weight_entries)
+
+    @property
+    def buffers(self) -> SnapshotViews:
+        """Zero-copy read-only views of the current buffers (see :attr:`weights`)."""
+        return self._snapshot_views(self._buffer_entries)
+
+    def state_views(self) -> SnapshotViews:
+        """Read-only views of weights and buffers combined (zero-copy).
+
+        The evaluation path loads these into a separate model (which copies
+        into its own arrays), so no deep copy of the global state is needed.
+        """
+        return self._snapshot_views(self._state_entries)
+
     def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
         """Deep copy of the current weights."""
-        return OrderedDict((name, value.copy()) for name, value in self._weights.items())
+        return OrderedDict(
+            (name, self._flat.copy_out(name)) for name in self._weight_names
+        )
 
     def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
         """Deep copy of the current buffers."""
-        return OrderedDict((name, value.copy()) for name, value in self._buffers.items())
+        return OrderedDict(
+            (name, self._flat.copy_out(name)) for name in self._buffer_names
+        )
+
+    def snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of weights and buffers combined (writable, independent)."""
+        return OrderedDict(
+            (name, self._flat.copy_out(name))
+            for name in (*self._weight_names, *self._buffer_names)
+        )
 
     def full_state(self) -> "OrderedDict[str, np.ndarray]":
         """Weights and buffers combined (for loading into an evaluation model)."""
-        state = self.weights_snapshot()
-        state.update(self.buffers_snapshot())
-        return state
+        return self.snapshot()
 
     def pull(self, known_version: int | None = None) -> PullReply:
         """Build the reply to a pull request.
 
-        The monolithic store always sends the complete model as deep copies;
+        The monolithic store always sends the complete model;
         ``known_version`` is accepted for interface compatibility with the
         sharded store (which answers with a delta of the dirtied keys).
+        The reply's arrays are zero-copy read-only views: the store
+        re-materializes the packed buffer before the next update that would
+        touch it, so every view is a stable snapshot.  The whole weight
+        block additionally rides along as one flat payload.
         """
         del known_version  # full pulls only
+        flat = self._flat
+        flat.lease()
+        captured = flat.buffer
+        snapshot = {0: captured}
+        released = False
+
+        def release_fn() -> None:
+            nonlocal released
+            if not released:
+                released = True
+                flat.release(captured)
+
         return PullReply(
-            weights=self.weights_snapshot(),
-            buffers=self.buffers_snapshot(),
+            weights=SnapshotViews(self._weight_entries, snapshot),
+            buffers=SnapshotViews(self._buffer_entries, snapshot),
             version=self._version,
             is_delta=False,
+            flat_weights=(
+                FlatPullPayload(
+                    shard=0,
+                    buffer=flat.flat_weights_view(),
+                    layout=flat.layout.weight_segments,
+                ),
+            ),
+            release_fn=release_fn,
         )
 
     # ------------------------------------------------------------------
@@ -143,15 +222,27 @@ class KeyValueStore:
         gradients: Mapping[str, np.ndarray],
         optimizer: Optimizer,
         scale: float = 1.0,
+        flat_gradients: Mapping[int, np.ndarray] | None = None,
     ) -> int:
         """Apply a gradient dictionary with ``optimizer`` and bump the version.
 
-        Returns the new version number.
+        The gradients are packed into contiguous runs of the flat buffer and
+        applied as one fused vectorized update; a push that already carries
+        the packed buffer (``flat_gradients`` from a layout-attached worker)
+        skips the gather entirely.  Returns the new version.
         """
-        unknown = set(gradients) - set(self._weights)
-        if unknown:
+        if not self._weight_name_set.issuperset(gradients):
+            unknown = set(gradients) - self._weight_name_set
             raise KeyError(f"gradients refer to unknown parameters: {sorted(unknown)[:5]}")
-        optimizer.step(self._weights, gradients, scale=scale)
+        self._flat.materialize()
+        update = None
+        if flat_gradients is not None and len(gradients) == len(self._weight_names):
+            packed = flat_gradients.get(0)
+            if packed is not None and packed.size == self._flat.layout.weights_end:
+                update = self._flat.make_flat_update(packed)
+        if update is None:
+            update = self._flat.make_update(gradients)
+        optimizer.step_flat([update], scale=scale)
         self._version += 1
         return self._version
 
@@ -162,30 +253,35 @@ class KeyValueStore:
         ``KeyError`` (like :meth:`apply_gradients` does for weights) so a
         mis-keyed push fails loudly instead of growing the store silently.
         """
-        unknown = set(buffers) - set(self._buffers)
+        unknown = set(buffers) - set(self._buffer_names)
         if unknown:
             raise KeyError(f"buffers refer to unknown entries: {sorted(unknown)[:5]}")
         for name, value in buffers.items():
             value = np.asarray(value, dtype=self._dtype)
-            if self._buffers[name].shape != value.shape:
+            if self._flat.layout.segment(name).shape != value.shape:
                 raise ValueError(
                     f"buffer shape mismatch for {name!r}: "
-                    f"{self._buffers[name].shape} vs {value.shape}"
+                    f"{self._flat.layout.segment(name).shape} vs {value.shape}"
                 )
-            self._buffers[name] = value.copy()
+        self._flat.materialize()
+        for name, value in buffers.items():
+            self._flat.write(name, value)
 
     def overwrite_weights(self, weights: Mapping[str, np.ndarray]) -> None:
         """Replace the stored weights (used by checkpoint restore)."""
-        unknown = set(weights) - set(self._weights)
+        unknown = set(weights) - set(self._weight_names)
         if unknown:
             raise KeyError(f"unknown parameters: {sorted(unknown)[:5]}")
         for name, value in weights.items():
             value = np.asarray(value, dtype=self._dtype)
-            if value.shape != self._weights[name].shape:
+            if value.shape != self._flat.layout.segment(name).shape:
                 raise ValueError(
-                    f"shape mismatch for {name!r}: {self._weights[name].shape} vs {value.shape}"
+                    f"shape mismatch for {name!r}: "
+                    f"{self._flat.layout.segment(name).shape} vs {value.shape}"
                 )
-            self._weights[name] = value.copy()
+        self._flat.materialize()
+        for name, value in weights.items():
+            self._flat.write(name, value)
 
     def restore_version(
         self, version: int, shard_versions: list[int] | None = None

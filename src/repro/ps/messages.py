@@ -10,11 +10,20 @@ from, *OK* releases a worker, *pull* returns a snapshot of the weights.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
-__all__ = ["PushRequest", "PullRequest", "PullReply", "OkSignal", "WorkerReport"]
+from repro.ps.flatbuffer import Segment
+
+__all__ = [
+    "PushRequest",
+    "PullRequest",
+    "FlatPullPayload",
+    "PullReply",
+    "OkSignal",
+    "WorkerReport",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +56,12 @@ class PushRequest:
     timestamp: float
     buffers: Mapping[str, np.ndarray] = field(default_factory=dict)
     local_loss: float | None = None
+    #: Optional per-shard packed gradient buffers (shard index → flat array
+    #: covering the shard's whole weight block in layout order).  Workers
+    #: with a packed replica attach them so the server applies the push with
+    #: zero gather work; ``gradients`` still carries the same values per
+    #: name for validation and for stores that cannot use the fast path.
+    flat_gradients: Mapping[int, np.ndarray] | None = None
 
 
 @dataclass(frozen=True)
@@ -69,18 +84,55 @@ class PullRequest:
 
 
 @dataclass(frozen=True)
+class FlatPullPayload:
+    """One shard's weights as a single packed buffer.
+
+    ``buffer`` is a read-only view of the shard's contiguous weight block;
+    ``layout`` names the segments inside it.  A worker whose replica is
+    packed with the same layout (:meth:`repro.ps.worker.Worker.attach_flat_layout`)
+    consumes the whole shard with one vectorized copy instead of one copy
+    per named parameter.
+    """
+
+    shard: int
+    buffer: np.ndarray
+    layout: tuple[Segment, ...]
+
+
+@dataclass(frozen=True)
 class PullReply:
     """Snapshot of the global weights returned to a worker.
 
     When ``is_delta`` is true the mappings contain only the entries updated
     after the requesting worker's ``known_version``; loading them on top of
     the worker's current replica reconstructs the state at ``version``.
+
+    ``flat_weights`` optionally carries the same weight payload as
+    ``weights`` packed one-buffer-per-shard (full pulls from flat stores
+    attach it); it is an alternative encoding, not extra data, so it does
+    not count towards :attr:`nbytes`.
     """
 
     weights: Mapping[str, np.ndarray]
     buffers: Mapping[str, np.ndarray]
     version: int
     is_delta: bool = False
+    flat_weights: tuple[FlatPullPayload, ...] = ()
+    #: Store-provided hook dropping the copy-on-write leases this reply
+    #: holds.  Call it (or :meth:`release`) once the payload has been copied
+    #: out; no view or payload of this reply may be touched afterwards.
+    release_fn: Callable[[], None] | None = None
+
+    def release(self) -> None:
+        """Declare the reply consumed: its snapshot leases are dropped.
+
+        In the canonical *pull → load into replica → push* loop this is what
+        makes pulls genuinely free — the store skips the copy-on-write copy
+        it would otherwise pay on the next update.  After calling this, no
+        array obtained from the reply may be read again.
+        """
+        if self.release_fn is not None:
+            self.release_fn()
 
     @property
     def nbytes(self) -> int:

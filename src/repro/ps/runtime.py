@@ -13,6 +13,11 @@ serialize; only the policy decision still takes the global lock.  Pulls use
 delta requests against delta-capable stores: each worker reports the version
 it already holds and receives only the entries dirtied since.
 
+Against a flat store (``store.flat_layouts``) each worker's replica is
+repacked to mirror the server's per-shard buffers, so a full pull moves one
+packed buffer per shard instead of N named arrays, and periodic evaluation
+reads zero-copy state views instead of deep-copying the model.
+
 Per-worker artificial slowdowns emulate heterogeneous devices: a worker with
 ``slowdown=0.01`` sleeps ten milliseconds per iteration, so it behaves like
 the paper's GTX 1060 next to a faster GTX 1080 Ti.
@@ -114,6 +119,12 @@ class ThreadedTrainer:
             getattr(server.store, "supports_concurrent_apply", False)
         )
         self._delta_pulls = bool(getattr(server.store, "supports_delta_pull", False))
+        # Mirror the store's packed layout in every replica so full pulls
+        # land as one buffer copy per shard.
+        layouts = getattr(server.store, "flat_layouts", None)
+        if layouts:
+            for worker in workers:
+                worker.attach_flat_layout(layouts)
         self._ok_events: dict[str, threading.Event] = {
             worker.worker_id: threading.Event() for worker in workers
         }
@@ -169,7 +180,7 @@ class ThreadedTrainer:
         try:
             with self._lock:
                 reply = self.server.handle_pull()
-            worker.load_weights(reply.weights, reply.version)
+            worker.load_reply(reply)
 
             for iteration in range(self.iterations_per_worker):
                 if self._abort.is_set():
@@ -187,6 +198,7 @@ class ThreadedTrainer:
                     timestamp=time.monotonic() - self._start_time,
                     buffers=computation.buffers,
                     local_loss=computation.loss,
+                    flat_gradients=computation.flat_gradients,
                 )
                 applied = None
                 if self._concurrent_apply:
@@ -217,7 +229,7 @@ class ThreadedTrainer:
 
                 with self._lock:
                     reply = self.server.handle_pull(self._pull_request(worker))
-                worker.load_weights(reply.weights, reply.version)
+                worker.load_reply(reply)
         except Exception as error:  # noqa: BLE001 - worker failures must not hang the run
             _LOGGER.exception("worker %s failed", worker_id)
             self._errors.append(f"{worker_id}: {error}")
@@ -251,7 +263,9 @@ class ThreadedTrainer:
             return
         if self.server.pushes_handled % self.evaluate_every_pushes != 0:
             return
-        accuracy, loss = self.evaluate_fn(self.server.store.full_state())
+        # Zero-copy state views: the evaluation model copies them into its
+        # own arrays, and copy-on-write keeps them stable meanwhile.
+        accuracy, loss = self.evaluate_fn(self.server.store.state_views())
         now = time.monotonic() - self._start_time
         self._eval_times.append(now)
         self._eval_accuracies.append(accuracy)

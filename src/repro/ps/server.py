@@ -160,7 +160,10 @@ class ParameterServer:
             )
 
         new_version = self.store.apply_gradients(
-            request.gradients, self.optimizer, scale=self.gradient_scale()
+            request.gradients,
+            self.optimizer,
+            scale=self.gradient_scale(),
+            flat_gradients=request.flat_gradients,
         )
         if request.buffers:
             self.store.update_buffers(request.buffers)
@@ -201,7 +204,9 @@ class ParameterServer:
         Without a request (or against a store that cannot delta-encode) the
         reply carries the full model.  A :class:`PullRequest` with a
         ``known_version`` against a delta-capable store receives only the
-        entries updated after that version.
+        entries updated after that version.  Replies from flat stores are
+        zero-copy: read-only copy-on-write views, plus one packed buffer
+        per shard on full pulls.
         """
         known_version = request.known_version if request is not None else None
         return self.store.pull(known_version)
@@ -213,6 +218,7 @@ class ParameterServer:
         """Combined policy and staleness statistics for experiment reports."""
         stats = self.policy.statistics()
         stats["store_version"] = self.store.version
+        stats["store_nbytes"] = int(self.store.nbytes)
         stats["update_staleness"] = self.staleness_tracker.summary()
         stats["learning_rate"] = self.optimizer.learning_rate
         return stats

@@ -1,4 +1,4 @@
-"""Sharded parameter storage with copy-on-write pulls.
+"""Sharded parameter storage: packed per-shard tensors, copy-on-write pulls.
 
 The paper's experiments run on the standard parameter-server architecture in
 which the global model is *partitioned across server shards*: each shard owns
@@ -16,15 +16,23 @@ reproduces that shape in-process:
   shards can be applied concurrently, and answers pulls with
   **copy-on-write snapshots**.
 
-Copy-on-write pulls work as follows.  A pull hands out *read-only views* of
-the stored arrays instead of deep copies and marks those keys as leased.
-When a later gradient update is about to mutate a leased key, the store
-first re-materializes it (replaces the stored array with a fresh copy and
-clears the lease) so every view handed out earlier keeps observing exactly
-the snapshot it was given.  Copy cost is therefore paid per *updated* key —
-once per update interval — instead of per pulled key, and a pull request
-that carries the worker's ``known_version`` receives a delta holding only
-the keys dirtied after that version (tracked via per-key version stamps).
+Each shard's entries live in one contiguous packed buffer
+(:class:`repro.ps.flatbuffer.FlatShard`), which makes the hot path
+vectorized end to end: pulls hand out zero-copy read-only views
+(``flat[lo:hi].reshape(shape)``), gradient application packs the pushed
+dictionary into contiguous runs and applies them as fused array ops, and a
+full pull can move one buffer per shard instead of N named arrays.
+
+Copy-on-write works at shard granularity.  A pull hands out read-only views
+of the live buffer and marks the shard as *leased*.  The next update that
+would mutate a leased shard first re-materializes it — one vectorized copy
+of the packed buffer — so every view handed out earlier keeps observing
+exactly the snapshot it was given.  Copy cost is therefore one buffer copy
+per shard per update interval, instead of one copy per pulled key per pull.
+A pull request carrying the worker's ``known_version`` receives a delta
+holding only the keys dirtied after that version (tracked via per-key
+version stamps); a worker already at the tip receives an empty reply that
+takes no lease and triggers no copy at all.
 """
 
 from __future__ import annotations
@@ -37,8 +45,9 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.optim.optimizer import Optimizer
+from repro.ps.flatbuffer import FlatShard, SnapshotViews
 from repro.ps.kvstore import KeyValueStore, normalize_store_dtype
-from repro.ps.messages import PullReply
+from repro.ps.messages import FlatPullPayload, PullReply
 
 __all__ = ["ShardRouter", "ShardedKeyValueStore", "make_store"]
 
@@ -140,17 +149,21 @@ class ShardRouter:
 
 
 class _Shard:
-    """One partition: its entries, version counter, lock and COW leases."""
+    """One partition: its packed buffer, version counter and lock."""
 
-    __slots__ = ("index", "weights", "buffers", "version", "lock", "leased")
+    __slots__ = ("index", "flat", "version", "lock")
 
-    def __init__(self, index: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        weights: Mapping[str, np.ndarray],
+        buffers: Mapping[str, np.ndarray],
+        dtype: np.dtype,
+    ) -> None:
         self.index = index
-        self.weights: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        self.buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.flat = FlatShard(weights, buffers, dtype=dtype)
         self.version = 0
         self.lock = threading.RLock()
-        self.leased: set[str] = set()
 
 
 class ShardedKeyValueStore:
@@ -162,14 +175,15 @@ class ShardedKeyValueStore:
     identically from the caller's perspective.  Internally:
 
     * keys are partitioned across ``num_shards`` shards by a
-      :class:`ShardRouter`;
+      :class:`ShardRouter`, and each shard's entries are packed into one
+      contiguous flat buffer (weights first, buffers after);
     * each shard has its own lock, so :meth:`apply_gradients` calls whose
       gradient keys live on disjoint shards run concurrently (the global
       version counter is the only shared point, guarded by its own lock);
     * each shard counts the pushes that touched it (``shard_versions``);
       the global ``version`` still counts every gradient application, which
       keeps staleness measurement identical to the monolithic store;
-    * pulls hand out read-only views and, given the puller's
+    * pulls hand out zero-copy read-only views and, given the puller's
       ``known_version``, only the entries dirtied after it.
     """
 
@@ -199,21 +213,48 @@ class ShardedKeyValueStore:
             for name, value in {**dict(initial_weights), **dict(initial_buffers)}.items()
         }
         self._router = ShardRouter(sizes, num_shards=num_shards, strategy=strategy)
-        self._shards = [_Shard(index) for index in range(self._router.num_shards)]
         self._weight_names = list(initial_weights)
         self._buffer_names = list(initial_buffers)
-        for name, value in initial_weights.items():
-            shard = self._shards[self._router.shard_of(name)]
-            shard.weights[name] = np.array(value, dtype=self._dtype, copy=True)
-        for name, value in initial_buffers.items():
-            shard = self._shards[self._router.shard_of(name)]
-            shard.buffers[name] = np.array(value, dtype=self._dtype, copy=True)
+        # Pack each shard's entries in declaration order (weights first),
+        # so the layout — and therefore every flat payload — is
+        # deterministic for a given router.
+        self._shards: list[_Shard] = []
+        for index in range(self._router.num_shards):
+            shard_weights = OrderedDict(
+                (name, initial_weights[name])
+                for name in self._weight_names
+                if self._router.shard_of(name) == index
+            )
+            shard_buffers = OrderedDict(
+                (name, initial_buffers[name])
+                for name in self._buffer_names
+                if self._router.shard_of(name) == index
+            )
+            self._shards.append(_Shard(index, shard_weights, shard_buffers, self._dtype))
 
         self._version = 0
         self._version_lock = threading.Lock()
         # Global version at which each entry (weight or buffer) last changed;
         # a pull with known_version v resends exactly the keys stamped > v.
         self._last_update: dict[str, int] = {name: 0 for name in sizes}
+        # Static name → (shard, segment) tables backing the lazy snapshot
+        # mappings, so a full pull costs O(shards) instead of O(parameters).
+        self._weight_name_set = frozenset(self._weight_names)
+        self._weight_entries = OrderedDict(
+            (name, (self._router.shard_of(name),
+                    self._shard_for(name).flat.layout.segment(name)))
+            for name in self._weight_names
+        )
+        self._buffer_entries = OrderedDict(
+            (name, (self._router.shard_of(name),
+                    self._shard_for(name).flat.layout.segment(name)))
+            for name in self._buffer_names
+        )
+        self._state_entries = OrderedDict(
+            (name, entry)
+            for name, entry in (*self._weight_entries.items(),
+                                *self._buffer_entries.items())
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -251,32 +292,24 @@ class ShardedKeyValueStore:
     @property
     def num_parameters(self) -> int:
         """Total scalar count of the trainable parameters."""
-        return int(
-            sum(
-                array.size
-                for shard in self._shards
-                for array in shard.weights.values()
-            )
-        )
+        return int(sum(shard.flat.layout.weights_end for shard in self._shards))
 
     @property
     def nbytes(self) -> int:
         """Bytes transferred by one full pull (weights plus buffers)."""
-        total = 0
-        for shard in self._shards:
-            total += sum(array.nbytes for array in shard.weights.values())
-            total += sum(array.nbytes for array in shard.buffers.values())
-        return int(total)
+        return int(sum(shard.flat.nbytes for shard in self._shards))
 
     @property
     def shard_nbytes(self) -> list[int]:
         """Full-pull payload bytes held by each shard."""
-        sizes = []
-        for shard in self._shards:
-            total = sum(array.nbytes for array in shard.weights.values())
-            total += sum(array.nbytes for array in shard.buffers.values())
-            sizes.append(int(total))
-        return sizes
+        return [int(shard.flat.nbytes) for shard in self._shards]
+
+    @property
+    def flat_layouts(self) -> tuple[tuple[int, tuple], ...]:
+        """Per-shard weight layouts, for workers that pack their replicas."""
+        return tuple(
+            (shard.index, shard.flat.layout.weight_segments) for shard in self._shards
+        )
 
     def shard_of(self, key: str) -> int:
         """Shard index owning ``key``."""
@@ -296,36 +329,64 @@ class ShardedKeyValueStore:
         for shard in reversed(shards):
             shard.lock.release()
 
-    def _shard_for_weight(self, name: str) -> _Shard:
-        shard = self._shards[self._router.shard_of(name)]
-        if name not in shard.weights:
-            raise KeyError(f"unknown parameter {name!r}")
-        return shard
+    def _shard_for(self, name: str) -> _Shard:
+        return self._shards[self._router.shard_of(name)]
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
-        """Deep copy of the current weights (original declaration order)."""
+    def _collect_copies(self, names) -> "OrderedDict[str, np.ndarray]":
+        """Deep copies of ``names``, taken under all shard locks."""
         shards = self._acquire_all()
         try:
             return OrderedDict(
-                (name, self._shards[self._router.shard_of(name)].weights[name].copy())
-                for name in self._weight_names
+                (name, self._shard_for(name).flat.copy_out(name)) for name in names
             )
         finally:
             self._release(shards)
 
-    def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
-        """Deep copy of the current buffers."""
+    def _snapshot_views(self, entries) -> SnapshotViews:
+        """Lease every shard and wrap ``entries`` as lazy stable views."""
         shards = self._acquire_all()
         try:
-            return OrderedDict(
-                (name, self._shards[self._router.shard_of(name)].buffers[name].copy())
-                for name in self._buffer_names
-            )
+            buffers = {}
+            for shard in shards:
+                shard.flat.lease()
+                buffers[shard.index] = shard.flat.buffer
+            return SnapshotViews(entries, buffers)
         finally:
             self._release(shards)
+
+    @property
+    def weights(self) -> SnapshotViews:
+        """Zero-copy read-only views of the weights (stable COW snapshots)."""
+        return self._snapshot_views(self._weight_entries)
+
+    @property
+    def buffers(self) -> SnapshotViews:
+        """Zero-copy read-only views of the buffers (stable COW snapshots)."""
+        return self._snapshot_views(self._buffer_entries)
+
+    def state_views(self) -> SnapshotViews:
+        """Read-only views of weights and buffers combined (zero-copy).
+
+        Taken under all shard locks in one acquisition, so the combined
+        snapshot is point-in-time consistent even while concurrent pushes
+        are in flight — copy-on-write keeps the views stable afterwards.
+        """
+        return self._snapshot_views(self._state_entries)
+
+    def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current weights (original declaration order)."""
+        return self._collect_copies(self._weight_names)
+
+    def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current buffers."""
+        return self._collect_copies(self._buffer_names)
+
+    def snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of weights and buffers combined (writable, independent)."""
+        return self._collect_copies([*self._weight_names, *self._buffer_names])
 
     def full_state(self) -> "OrderedDict[str, np.ndarray]":
         """Weights and buffers combined (for loading into an evaluation model).
@@ -335,47 +396,62 @@ class ShardedKeyValueStore:
         are in flight (calling the two snapshot methods separately would
         allow a push to land between them).
         """
-        shards = self._acquire_all()
-        try:
-            state: "OrderedDict[str, np.ndarray]" = OrderedDict(
-                (name, self._shards[self._router.shard_of(name)].weights[name].copy())
-                for name in self._weight_names
-            )
-            state.update(
-                (name, self._shards[self._router.shard_of(name)].buffers[name].copy())
-                for name in self._buffer_names
-            )
-            return state
-        finally:
-            self._release(shards)
-
-    @staticmethod
-    def _readonly_view(array: np.ndarray) -> np.ndarray:
-        view = array.view()
-        view.flags.writeable = False
-        return view
+        return self.snapshot()
 
     def pull(self, known_version: int | None = None) -> PullReply:
         """Build a copy-on-write reply to a pull request.
 
-        Without ``known_version`` the reply covers the full model; with it,
+        Without ``known_version`` the reply covers the full model (and
+        carries each shard's weight block as one flat payload); with it,
         only the entries dirtied after that version.  Either way the arrays
-        are read-only views of the live storage, not copies: the store
-        re-materializes an array before the next update that would touch it
-        (see the module docstring), so the view is a stable snapshot.
+        are zero-copy read-only views of the live storage: the store
+        re-materializes a shard's buffer before the next update that would
+        touch it (see the module docstring), so every view is a stable
+        snapshot.  A worker already at the tip receives an empty delta
+        without taking any lease — no copy is ever paid for it.
         """
-        weights: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         shards = self._acquire_all()
         try:
             version = self._version
-            since = -1 if known_version is None else int(known_version)
-            for name in self._weight_names:
-                if self._last_update[name] <= since:
-                    continue
-                shard = self._shards[self._router.shard_of(name)]
-                weights[name] = self._readonly_view(shard.weights[name])
-                shard.leased.add(name)
+            if known_version is None:
+                # Full pull: lazy snapshot mappings over every shard buffer
+                # plus one packed payload per shard — O(shards), no per-key
+                # work, no copies.
+                snapshot: dict[int, np.ndarray] = {}
+                flat_payloads: list[FlatPullPayload] = []
+                for shard in shards:
+                    shard.flat.lease()
+                    snapshot[shard.index] = shard.flat.buffer
+                    if shard.flat.layout.weights_end:
+                        flat_payloads.append(
+                            FlatPullPayload(
+                                shard=shard.index,
+                                buffer=shard.flat.flat_weights_view(),
+                                layout=shard.flat.layout.weight_segments,
+                            )
+                        )
+                return PullReply(
+                    weights=SnapshotViews(self._weight_entries, snapshot),
+                    buffers=SnapshotViews(self._buffer_entries, snapshot),
+                    version=version,
+                    is_delta=False,
+                    flat_weights=tuple(flat_payloads),
+                    release_fn=self._release_fn(snapshot),
+                )
+
+            weights: "OrderedDict[str, np.ndarray]" = OrderedDict()
+            buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+            leased: set[int] = set()
+            since = int(known_version)
+            if since < version:
+                # Fast path guard: with since >= version every weight stamp
+                # (<= version) is already known, so the scan is skipped.
+                for name in self._weight_names:
+                    if self._last_update[name] <= since:
+                        continue
+                    shard = self._shard_for(name)
+                    weights[name] = shard.flat.view(name)
+                    leased.add(shard.index)
             for name in self._buffer_names:
                 # Inclusive comparison, unlike the weights: buffer writes do
                 # not bump the version, so a buffer stamped with the worker's
@@ -384,18 +460,36 @@ class ShardedKeyValueStore:
                 # overhead that keeps the delta contract exact.
                 if self._last_update[name] < since:
                     continue
-                shard = self._shards[self._router.shard_of(name)]
-                # Buffer updates rebind the stored array rather than mutating
-                # it in place, so views need no lease to stay stable.
-                buffers[name] = self._readonly_view(shard.buffers[name])
+                shard = self._shard_for(name)
+                buffers[name] = shard.flat.view(name)
+                leased.add(shard.index)
+            snapshot = {}
+            for index in leased:
+                self._shards[index].flat.lease()
+                snapshot[index] = self._shards[index].flat.buffer
             return PullReply(
                 weights=weights,
                 buffers=buffers,
                 version=version,
-                is_delta=known_version is not None,
+                is_delta=True,
+                release_fn=self._release_fn(snapshot) if snapshot else None,
             )
         finally:
             self._release(shards)
+
+    def _release_fn(self, snapshot: Mapping[int, np.ndarray]):
+        """Idempotent closure dropping one lease per captured shard buffer."""
+        pairs = [(self._shards[index].flat, buffer) for index, buffer in snapshot.items()]
+        released = False
+
+        def release_fn() -> None:
+            nonlocal released
+            if not released:
+                released = True
+                for flat, buffer in pairs:
+                    flat.release(buffer)
+
+        return release_fn
 
     # ------------------------------------------------------------------
     # Writes
@@ -405,37 +499,62 @@ class ShardedKeyValueStore:
         gradients: Mapping[str, np.ndarray],
         optimizer: Optimizer,
         scale: float = 1.0,
+        flat_gradients: Mapping[int, np.ndarray] | None = None,
     ) -> int:
         """Apply one gradient dictionary and bump the touched shards.
 
         Only the shards owning the gradient's keys are locked, so pushes to
-        disjoint shards proceed concurrently.  Returns the new global
-        version.
+        disjoint shards proceed concurrently.  Each touched shard packs its
+        share of the gradient into contiguous runs and the optimizer applies
+        them as fused vectorized updates (one
+        :meth:`~repro.optim.Optimizer.step_flat` call for the whole push); a
+        full-model push that already carries the per-shard packed buffers
+        (``flat_gradients`` from a layout-attached worker) skips both the
+        per-name routing and the gather.  Returns the new global version.
         """
         names = list(gradients)
-        touched: list[_Shard] = []
-        for index in self._router.shards_for(names):
-            touched.append(self._shards[index])
-        for name in names:
-            shard = self._shards[self._router.shard_of(name)]
-            if name not in shard.weights:
-                raise KeyError(f"gradients refer to unknown parameters: [{name!r}]")
+        use_flat = (
+            flat_gradients is not None
+            and len(names) == len(self._weight_names)
+            and self._weight_name_set.issuperset(names)
+            and all(
+                shard.flat.layout.weights_end == 0
+                or (
+                    flat_gradients.get(shard.index) is not None
+                    and flat_gradients[shard.index].size
+                    == shard.flat.layout.weights_end
+                )
+                for shard in self._shards
+            )
+        )
+        if use_flat:
+            touched = [
+                shard for shard in self._shards if shard.flat.layout.weights_end
+            ]
+        else:
+            weight_names = self._weight_name_set
+            by_shard: dict[int, dict[str, np.ndarray]] = {}
+            for name in names:
+                if name not in weight_names:
+                    raise KeyError(f"gradients refer to unknown parameters: [{name!r}]")
+                by_shard.setdefault(self._router.shard_of(name), {})[name] = gradients[name]
+            touched = [self._shards[index] for index in sorted(by_shard)]
 
         for shard in touched:
             shard.lock.acquire()
         try:
-            live: dict[str, np.ndarray] = {}
-            for name in names:
-                shard = self._shards[self._router.shard_of(name)]
-                array = shard.weights[name]
-                if name in shard.leased:
-                    # Copy-on-write: holders of earlier pull views keep the
-                    # old array; the update mutates a fresh private copy.
-                    array = array.copy()
-                    shard.weights[name] = array
-                    shard.leased.discard(name)
-                live[name] = array
-            optimizer.step(live, gradients, scale=scale)
+            updates = []
+            for shard in touched:
+                # Copy-on-write: holders of earlier pull views keep the old
+                # buffer; the fused update mutates a fresh private copy.
+                shard.flat.materialize()
+                if use_flat:
+                    updates.append(
+                        shard.flat.make_flat_update(flat_gradients[shard.index])
+                    )
+                else:
+                    updates.append(shard.flat.make_update(by_shard[shard.index]))
+            optimizer.step_flat(updates, scale=scale)
             with self._version_lock:
                 self._version += 1
                 new_version = self._version
@@ -458,15 +577,17 @@ class ShardedKeyValueStore:
         if unknown:
             raise KeyError(f"buffers refer to unknown entries: {sorted(unknown)[:5]}")
         for name, value in buffers.items():
-            shard = self._shards[self._router.shard_of(name)]
+            shard = self._shard_for(name)
             value = np.asarray(value, dtype=self._dtype)
             with shard.lock:
-                if shard.buffers[name].shape != value.shape:
+                segment = shard.flat.layout.segment(name)
+                if segment.shape != value.shape:
                     raise ValueError(
                         f"buffer shape mismatch for {name!r}: "
-                        f"{shard.buffers[name].shape} vs {value.shape}"
+                        f"{segment.shape} vs {value.shape}"
                     )
-                shard.buffers[name] = value.copy()
+                shard.flat.materialize()
+                shard.flat.write(name, value)
                 # Stamp read under the shard lock: any pull that completed
                 # before this write saw a version <= this stamp, so the
                 # inclusive boundary comparison in pull() guarantees that
@@ -486,18 +607,18 @@ class ShardedKeyValueStore:
             raise KeyError(f"unknown parameters: {sorted(unknown)[:5]}")
         stamp = self._version
         for name, value in weights.items():
-            shard = self._shards[self._router.shard_of(name)]
+            shard = self._shard_for(name)
             value = np.asarray(value, dtype=self._dtype)
             with shard.lock:
-                if value.shape != shard.weights[name].shape:
+                segment = shard.flat.layout.segment(name)
+                if value.shape != segment.shape:
                     raise ValueError(
                         f"shape mismatch for {name!r}: "
-                        f"{shard.weights[name].shape} vs {value.shape}"
+                        f"{segment.shape} vs {value.shape}"
                     )
-                # Rebinding (not in-place writing) keeps outstanding pull
-                # views stable without an explicit copy-on-write step.
-                shard.weights[name] = value.copy()
-                shard.leased.discard(name)
+                # Copy-on-write keeps outstanding pull views stable.
+                shard.flat.materialize()
+                shard.flat.write(name, value)
                 self._last_update[name] = stamp
 
     def restore_version(
@@ -541,7 +662,7 @@ def make_store(
     """Build the store for a given shard count.
 
     ``num_shards == 1`` returns the monolithic :class:`KeyValueStore`
-    (globally locked pushes, full-copy pulls); more returns a
+    (globally locked pushes, full-model pulls); more returns a
     :class:`ShardedKeyValueStore`.  Every assembly path (coordinator,
     simulator, tests) goes through this factory so the two layouts stay
     constructed identically.

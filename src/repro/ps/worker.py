@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.data.loader import MiniBatchLoader
 from repro.nn.module import Module
+from repro.ps.messages import PullReply
 from repro.utils.serialization import scale_state
 
 __all__ = ["GradientComputation", "Worker"]
@@ -30,13 +31,21 @@ __all__ = ["GradientComputation", "Worker"]
 
 @dataclass(frozen=True)
 class GradientComputation:
-    """Result of one local iteration."""
+    """Result of one local iteration.
+
+    ``flat_gradients`` is set by workers with a packed replica: per shard,
+    one flat buffer holding the whole weight block's gradient in server
+    layout order (``gradients`` then maps names to views of those buffers).
+    The buffers are live worker storage, valid until the next iteration —
+    exactly the window in which the push is applied.
+    """
 
     gradients: Mapping[str, np.ndarray]
     buffers: Mapping[str, np.ndarray]
     loss: float
     samples: int
     base_version: int
+    flat_gradients: Mapping[int, np.ndarray] | None = None
 
 
 class Worker:
@@ -61,6 +70,11 @@ class Worker:
         self._iterations = 0
         self._samples_processed = 0
         self._loss_history: list[float] = []
+        # Per-shard packed replica buffers (see attach_flat_layout); empty
+        # until a runtime attaches the server's layout.
+        self._flat_replicas: dict[int, np.ndarray] = {}
+        self._flat_gradients: dict[int, np.ndarray] = {}
+        self._gradient_views: "OrderedDict[str, np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Weight synchronization
@@ -88,6 +102,86 @@ class Worker:
             data[...] = np.asarray(value, dtype=data.dtype)
         self._local_version = int(version)
 
+    def attach_flat_layout(self, layouts) -> None:
+        """Repack the replica's parameters to mirror the server's flat layout.
+
+        ``layouts`` is the store's ``flat_layouts``: per shard, the segments
+        of its packed weight block.  Each parameter's ``data`` *and*
+        ``grad`` storage is rebound to views into worker-side flat buffers
+        with the same offsets, so
+
+        * a full pull that carries :class:`repro.ps.messages.FlatPullPayload`
+          entries lands as **one vectorized copy per shard** instead of one
+          copy per named tensor (see :meth:`load_reply`), and
+        * the backward pass accumulates the gradient directly into per-shard
+          packed buffers, which travel with the push as
+          ``PushRequest.flat_gradients`` — the server applies them with zero
+          gather work.
+
+        Per-name delta loads keep working unchanged — they simply write
+        through the views.
+        """
+        parameters = dict(self.model.named_parameters())
+        replicas: dict[int, np.ndarray] = {}
+        flat_gradients: dict[int, np.ndarray] = {}
+        gradient_views: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for shard_index, segments in layouts:
+            if not segments:
+                continue
+            size = segments[-1].hi
+            for segment in segments:
+                if segment.name not in parameters:
+                    raise KeyError(
+                        f"layout names unknown parameter {segment.name!r}"
+                    )
+                if parameters[segment.name].shape != segment.shape:
+                    raise ValueError(
+                        f"layout shape mismatch for {segment.name!r}: "
+                        f"{parameters[segment.name].shape} vs {segment.shape}"
+                    )
+            flat = np.empty(size, dtype=np.float64)
+            flat_grad = np.empty(size, dtype=np.float64)
+            for segment in segments:
+                parameter = parameters[segment.name]
+                flat[segment.lo : segment.hi] = parameter.data.ravel()
+                parameter.data = flat[segment.lo : segment.hi].reshape(segment.shape)
+                flat_grad[segment.lo : segment.hi] = parameter.grad.ravel()
+                parameter.grad = flat_grad[segment.lo : segment.hi].reshape(
+                    segment.shape
+                )
+                gradient_views[segment.name] = parameter.grad
+            replicas[int(shard_index)] = flat
+            flat_gradients[int(shard_index)] = flat_grad
+        if len(gradient_views) != len(parameters):
+            missing = sorted(set(parameters) - set(gradient_views))
+            raise ValueError(f"layout does not cover parameters {missing[:5]}")
+        self._flat_replicas = replicas
+        self._flat_gradients = flat_gradients
+        # Push-order gradient mapping (name → view of the packed buffers),
+        # reused every iteration instead of copying per-name arrays.
+        self._gradient_views = OrderedDict(
+            (name, gradient_views[name])
+            for name, _ in self.model.named_parameters()
+        )
+
+    def load_reply(self, reply: PullReply) -> None:
+        """Load a pull reply, taking the packed fast path when possible.
+
+        A full reply from a flat store carries one buffer per shard; with a
+        packed replica attached, each lands as a single ``np.copyto``.
+        Delta replies (or workers without a packed replica) fall back to the
+        per-name :meth:`load_weights` path.
+        """
+        if reply.flat_weights and self._flat_replicas:
+            for payload in reply.flat_weights:
+                np.copyto(self._flat_replicas[payload.shard], payload.buffer)
+            self._local_version = int(reply.version)
+        else:
+            self.load_weights(reply.weights, reply.version)
+        # The snapshot is copied into the replica: drop the copy-on-write
+        # leases so the store's next update pays no copy for this pull.
+        reply.release()
+
     # ------------------------------------------------------------------
     # Gradient computation
     # ------------------------------------------------------------------
@@ -96,8 +190,13 @@ class Worker:
 
         The returned gradients are averaged over the micro-batches, matching
         the behaviour of a worker that averages the gradients produced by its
-        local GPUs before pushing.
+        local GPUs before pushing.  With a packed replica attached, the
+        gradient accumulates directly into the per-shard flat buffers (the
+        backward pass writes through the rebound ``grad`` views), so no
+        per-name copies are made and the push carries the packed buffers.
         """
+        if self._flat_gradients:
+            return self._compute_gradients_packed()
         self.model.train(True)
         accumulated: "OrderedDict[str, np.ndarray]" = OrderedDict()
         total_loss = 0.0
@@ -128,6 +227,43 @@ class Worker:
             loss=mean_loss,
             samples=total_samples,
             base_version=self._local_version,
+        )
+
+    def _compute_gradients_packed(self) -> GradientComputation:
+        """Packed-replica iteration: accumulate straight into flat buffers.
+
+        Backward accumulates parameter gradients in place, so running the
+        micro-batches without re-zeroing sums exactly the same contributions
+        the dict path sums from per-batch copies; one vectorized scaling per
+        shard then averages them.
+        """
+        self.model.train(True)
+        for buffer in self._flat_gradients.values():
+            buffer[...] = 0.0
+        total_loss = 0.0
+        total_samples = 0
+        for _ in range(self.micro_batches):
+            inputs, labels = self.loader.next_batch()
+            outputs = self.model.forward(inputs)
+            loss = self.loss_fn.forward(outputs, labels)
+            self.model.backward(self.loss_fn.backward())
+            total_loss += loss * inputs.shape[0]
+            total_samples += inputs.shape[0]
+        if self.micro_batches > 1:
+            inverse = 1.0 / self.micro_batches
+            for buffer in self._flat_gradients.values():
+                buffer *= inverse
+        self._iterations += 1
+        self._samples_processed += total_samples
+        mean_loss = total_loss / max(total_samples, 1)
+        self._loss_history.append(mean_loss)
+        return GradientComputation(
+            gradients=self._gradient_views,
+            buffers=self.model.buffers(),
+            loss=mean_loss,
+            samples=total_samples,
+            base_version=self._local_version,
+            flat_gradients=self._flat_gradients,
         )
 
     # ------------------------------------------------------------------

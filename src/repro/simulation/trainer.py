@@ -361,7 +361,9 @@ class SimulatedTraining:
 
         def evaluate(now: float) -> None:
             nonlocal last_eval_update
-            eval_model.load_state_dict(dict(server.store.full_state()))
+            # Zero-copy state views: load_state_dict copies them into the
+            # evaluation model's own arrays.
+            eval_model.load_state_dict(dict(server.store.state_views()))
             accuracy, loss = evaluate_model(
                 eval_model, self.test_dataset, batch_size=max(config.batch_size, 64)
             )
@@ -380,6 +382,12 @@ class SimulatedTraining:
             )
 
         delta_pulls = bool(getattr(server.store, "supports_delta_pull", False))
+        # Mirror the store's packed layout in every replica so full pulls
+        # move one buffer per shard instead of N named arrays.
+        flat_layouts = getattr(server.store, "flat_layouts", None)
+        if flat_layouts:
+            for worker in workers.values():
+                worker.attach_flat_layout(flat_layouts)
 
         def pull_into(worker_id: str) -> None:
             """Refresh a worker's replica (delta pull when the store can)."""
@@ -387,8 +395,7 @@ class SimulatedTraining:
             request = None
             if delta_pulls:
                 request = PullRequest(worker_id=worker_id, known_version=worker.local_version)
-            reply = server.handle_pull(request)
-            worker.load_weights(reply.weights, reply.version)
+            worker.load_reply(server.handle_pull(request))
 
         def release_worker(worker_id: str, now: float, waited: float) -> None:
             wait_time[worker_id] += waited
@@ -397,10 +404,11 @@ class SimulatedTraining:
             if iterations_done[worker_id] < quota[worker_id]:
                 schedule_push(worker_id, now)
 
-        # Initial pulls and first pushes.
-        initial_reply = server.handle_pull()
+        # Initial pulls and first pushes.  One pull per worker: replies are
+        # consumed (and their copy-on-write leases released) by load_reply,
+        # so a shared reply must not outlive the first consumer.
         for worker_id, worker in workers.items():
-            worker.load_weights(initial_reply.weights, initial_reply.version)
+            worker.load_reply(server.handle_pull())
             schedule_push(worker_id, 0.0)
         evaluate(0.0)
 
@@ -430,6 +438,7 @@ class SimulatedTraining:
                     timestamp=now,
                     buffers=computation.buffers,
                     local_loss=computation.loss,
+                    flat_gradients=computation.flat_gradients,
                 )
             )
             iterations_done[worker_id] += 1

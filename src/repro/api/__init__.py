@@ -8,19 +8,23 @@ result schema:
 * :class:`ExperimentSpec` — workload + model scale + cluster + paradigm +
   budget + evaluation cadence + store layout, serializable to/from JSON;
 * :class:`Backend` — the execution protocol, with :class:`SimulatedBackend`
-  (discrete-event simulator) and :class:`ThreadedBackend` (thread-per-worker
-  parameter server) shipped, and :func:`register_backend` for more;
+  (discrete-event simulator), :class:`ThreadedBackend` (thread-per-worker
+  parameter server) and :class:`ProcessBackend` (process-per-worker over
+  shared memory) shipped, and :func:`register_backend` for more;
 * :class:`RunResult` — curves on a common time axis, worker reports,
   throughput, staleness and provenance, identical for every backend.
 
 The command line mirrors it: ``python -m repro run spec.json
-[--backend simulated|threaded]``.
+[--backend simulated|threaded|process]``.  ``docs/architecture.md``
+compares the backends; ``docs/spec-reference.md`` documents every spec
+field.
 """
 
 from repro.api.spec import ClusterConfig, ExperimentSpec, NAMED_SCALES, NETWORKS
 from repro.api.result import Provenance, RunResult
 from repro.api.backends import (
     Backend,
+    ProcessBackend,
     SimulatedBackend,
     ThreadedBackend,
     available_backends,
@@ -39,6 +43,7 @@ __all__ = [
     "Backend",
     "SimulatedBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "available_backends",
     "get_backend",
     "register_backend",

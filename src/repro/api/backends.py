@@ -1,19 +1,25 @@
 """Pluggable execution backends for :class:`~repro.api.ExperimentSpec`.
 
-A backend turns one spec into one :class:`~repro.api.RunResult`.  Two ship
+A backend turns one spec into one :class:`~repro.api.RunResult`.  Three ship
 with the reproduction:
 
 * :class:`SimulatedBackend` — the discrete-event simulator: virtual time,
   real gradients, device/network models (regenerates the paper's figures
   deterministically on a laptop).
 * :class:`ThreadedBackend` — the real concurrent parameter-server runtime:
-  one thread per worker, wall-clock time, genuine lock contention.
+  one thread per worker, wall-clock time, genuine lock contention (compute
+  throughput remains GIL-bound).
+* :class:`ProcessBackend` — the multi-process runtime: one OS process per
+  worker plus a server process, shards shared zero-copy through
+  ``multiprocessing.shared_memory`` (:mod:`repro.ps.shm`), synchronization
+  over pipes — true parallel compute on multi-core machines.
 
-Both adapt the existing engines (:mod:`repro.simulation.trainer` and
-:mod:`repro.ps`) rather than reimplementing them, and both produce
+All adapt the existing engines (:mod:`repro.simulation.trainer` and
+:mod:`repro.ps`) rather than reimplementing them, and all produce
 schema-identical results, so the same spec JSON answers "what does the
-paradigm do in a modelled cluster?" and "what does it do on real threads?"
-with a one-flag switch.  New backends register by name::
+paradigm do in a modelled cluster?" and "what does it do on real threads or
+processes?" with a one-flag switch (see ``docs/architecture.md`` for the
+backend comparison).  New backends register by name::
 
     @register_backend("ray")
     class RayBackend: ...
@@ -26,12 +32,16 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+import dataclasses
+
 from repro.api.result import Provenance, RunResult, git_revision
 from repro.api.spec import ExperimentSpec
-from repro.experiments.workloads import Workload, build_workload
+from repro.core.staleness import StalenessTracker
+from repro.experiments.workloads import Workload, available_workloads, build_workload
 from repro.metrics.throughput import iteration_throughput
 from repro.ps.coordinator import DistributedTrainingConfig, assemble_training
 from repro.ps.messages import WorkerReport
+from repro.ps.process_runtime import ProcessTrainer, ProcessTrainingPlan
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.trainer import SimulatedTraining, SimulationConfig
 from repro.version import __version__
@@ -40,6 +50,7 @@ __all__ = [
     "Backend",
     "SimulatedBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -143,6 +154,38 @@ def _build_workload(spec: ExperimentSpec) -> Workload:
     )
 
 
+def _reject_simulator_only_fields(spec: ExperimentSpec, backend_name: str) -> None:
+    """Fail loudly on spec fields only the simulator can honour.
+
+    Shared by the threaded and process backends so the two can never drift
+    on which fields they silently accept — one spec must not train
+    differently per backend without saying so.
+    """
+    if spec.lr_milestones:
+        raise ValueError(
+            f"the {backend_name} backend does not support lr_milestones; "
+            "remove them from the spec or use the simulated backend"
+        )
+    if spec.max_updates is not None:
+        raise ValueError(
+            f"the {backend_name} backend does not support max_updates; "
+            "remove it from the spec or use the simulated backend"
+        )
+
+
+def _iterations_per_worker(
+    spec: ExperimentSpec, workload: Workload, num_workers: int
+) -> int:
+    """Convert the spec's epoch budget into an equal per-worker iteration count.
+
+    One definition for every wall-clock runtime: the same *total* budget as
+    the simulator's ``"global"`` epoch accounting, distributed evenly.
+    """
+    batch_size = spec.resolved_batch_size()
+    partition_size = max(len(workload.train_dataset) // num_workers, 1)
+    return max(1, math.ceil(spec.resolved_epochs() * partition_size / batch_size))
+
+
 @register_backend("simulated")
 class SimulatedBackend:
     """Discrete-event simulation backend (virtual time, real gradients)."""
@@ -240,19 +283,7 @@ class ThreadedBackend:
         cluster: ClusterSpec | None = None,
     ) -> RunResult:
         """Execute ``spec`` on the threaded runtime."""
-        # Fields the threaded runtime cannot honour are rejected, never
-        # silently dropped — one spec must not train differently per
-        # backend without saying so.
-        if spec.lr_milestones:
-            raise ValueError(
-                "the threaded backend does not support lr_milestones; "
-                "remove them from the spec or use the simulated backend"
-            )
-        if spec.max_updates is not None:
-            raise ValueError(
-                "the threaded backend does not support max_updates; "
-                "remove it from the spec or use the simulated backend"
-            )
+        _reject_simulator_only_fields(spec, self.name)
         provenance = _provenance(spec, self.name, workload, cluster)
         workload = workload or _build_workload(spec)
         num_workers = cluster.num_workers if cluster is not None else (
@@ -260,10 +291,7 @@ class ThreadedBackend:
         )
 
         batch_size = spec.resolved_batch_size()
-        partition_size = max(len(workload.train_dataset) // num_workers, 1)
-        iterations_per_worker = max(
-            1, math.ceil(spec.resolved_epochs() * partition_size / batch_size)
-        )
+        iterations_per_worker = _iterations_per_worker(spec, workload, num_workers)
         config = DistributedTrainingConfig(
             paradigm=spec.paradigm,
             paradigm_kwargs=dict(spec.paradigm_kwargs),
@@ -328,6 +356,141 @@ class ThreadedBackend:
             total_updates=total_updates,
             throughput=throughput,
             staleness=result.server_statistics["update_staleness"],
+            wait_time_per_worker={
+                report.worker_id: report.total_wait_time
+                for report in result.worker_reports
+            },
+            worker_reports=list(result.worker_reports),
+            server_statistics=result.server_statistics,
+            provenance=provenance,
+            errors=list(result.errors),
+        )
+
+
+@register_backend("process")
+class ProcessBackend:
+    """Process-per-worker parameter-server backend (wall-clock time).
+
+    Same contract as :class:`ThreadedBackend` — one spec in, one
+    schema-identical :class:`~repro.api.RunResult` out, the same epoch →
+    per-worker-iteration conversion — but executed by
+    :class:`repro.ps.process_runtime.ProcessTrainer`: every worker is an OS
+    process, the shards live in shared memory, and compute genuinely
+    parallelizes across cores instead of interleaving on the GIL.
+
+    Two restrictions follow from the multi-process execution model:
+
+    * ``lr_milestones`` and ``max_updates`` are rejected exactly as the
+      threaded backend rejects them (one spec must not silently train
+      differently per backend);
+    * the workload must be a *registered* name — worker processes rebuild
+      it from the registry, so an injected pre-built :class:`Workload`
+      object cannot be honoured and is rejected loudly.
+
+    ``transport`` selects how pushed gradients reach the server process:
+    ``"shm"`` (default) writes them straight into per-worker shared-memory
+    mailboxes; ``"pipe"`` ships the packed per-shard buffers through the
+    worker's pipe.  ``context`` picks the multiprocessing start method
+    (default: :func:`repro.ps.process_runtime.default_context_name`).
+    ``wait_timeout`` is the liveness guard on every blocking wait (OK
+    signals, the server's idle polls, the start barrier); the runtime
+    stretches the effective value with the spec's ``slowdowns`` and with
+    the iteration times it observes, so declared heterogeneity and heavy
+    workloads are not mistaken for hangs — raise it explicitly only for
+    workloads whose very *first* iteration exceeds the default.
+    """
+
+    def __init__(
+        self,
+        transport: str = "shm",
+        context: str | None = None,
+        wait_timeout: float = 120.0,
+    ) -> None:
+        """Create the backend with a gradient transport, start method and timeout."""
+        self.transport = transport
+        self.context = context
+        self.wait_timeout = float(wait_timeout)
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        workload: Workload | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> RunResult:
+        """Execute ``spec`` on the multi-process runtime."""
+        _reject_simulator_only_fields(spec, self.name)
+        if workload is not None:
+            raise ValueError(
+                "the process backend cannot honour an injected workload "
+                "object: worker processes rebuild the workload from the "
+                "registry, so pass a registered workload name in the spec"
+            )
+        if spec.workload not in available_workloads():
+            raise ValueError(
+                f"unknown workload {spec.workload!r}; known workloads: "
+                f"{sorted(available_workloads())}"
+            )
+        provenance = _provenance(spec, self.name, None, cluster)
+        built_workload = _build_workload(spec)
+        num_workers = cluster.num_workers if cluster is not None else (
+            len(spec.cluster.worker_ids)
+        )
+
+        batch_size = spec.resolved_batch_size()
+        iterations_per_worker = _iterations_per_worker(spec, built_workload, num_workers)
+        # The server treats "no push for wait_timeout seconds" as a hang; a
+        # slowed-down worker legitimately spends its slowdown asleep every
+        # iteration, so the guard must comfortably exceed it.
+        max_slowdown = max((float(v) for v in spec.slowdowns.values()), default=0.0)
+        wait_timeout = max(self.wait_timeout, 4.0 * max_slowdown + 60.0)
+        plan = ProcessTrainingPlan(
+            workload=spec.workload,
+            workload_kwargs=dict(spec.workload_kwargs),
+            scale_fields=dataclasses.asdict(spec.resolved_scale()),
+            paradigm=spec.paradigm,
+            paradigm_kwargs=dict(spec.paradigm_kwargs),
+            num_workers=num_workers,
+            iterations_per_worker=iterations_per_worker,
+            batch_size=batch_size,
+            learning_rate=spec.learning_rate,
+            momentum=spec.momentum,
+            weight_decay=spec.weight_decay,
+            slowdowns={key: float(value) for key, value in spec.slowdowns.items()},
+            evaluate_every_pushes=spec.resolved_evaluate_every_updates(),
+            num_shards=spec.num_shards,
+            shard_strategy=spec.shard_strategy,
+            dtype=spec.dtype,
+            seed=spec.seed,
+            transport=self.transport,
+            wait_timeout=wait_timeout,
+        )
+        trainer = ProcessTrainer(plan, context=self.context, workload=built_workload)
+        result = trainer.run()
+
+        total_updates = int(result.server_statistics.get("store_version", 0))
+        throughput = iteration_throughput(
+            total_updates=total_updates,
+            total_time=max(result.wall_time, 1e-12),
+            samples_per_update=batch_size,
+        )
+        # The server process evaluates the initial (t=0) and final model
+        # itself, so the curve arrives complete — unlike the threaded
+        # backend, where this adapter brackets the run with evaluations.
+        staleness = result.server_statistics.get("update_staleness")
+        if staleness is None:
+            staleness = StalenessTracker().summary()
+        return RunResult(
+            backend=self.name,
+            paradigm=spec.paradigm,
+            paradigm_label=spec.label,
+            times=np.asarray(result.evaluation_times, dtype=np.float64),
+            accuracies=np.asarray(result.evaluation_accuracies, dtype=np.float64),
+            losses=np.asarray(result.evaluation_losses, dtype=np.float64),
+            total_time=result.wall_time,
+            total_updates=total_updates,
+            throughput=throughput,
+            staleness=staleness,
             wait_time_per_worker={
                 report.worker_id: report.total_wait_time
                 for report in result.worker_reports

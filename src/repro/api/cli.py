@@ -2,8 +2,8 @@
 
 Subcommands:
 
-* ``run SPEC.json [--backend simulated|threaded] [--output OUT.json]`` —
-  execute one experiment spec and print its summary (optionally an ASCII
+* ``run SPEC.json [--backend simulated|threaded|process] [--output OUT.json]``
+  — execute one experiment spec and print its summary (optionally an ASCII
   accuracy curve and a JSON result file).
 * ``validate SPEC.json`` — parse and validate a spec without running it.
 * ``registry`` — list the registered workloads, models, paradigms, backends,

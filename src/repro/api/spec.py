@@ -4,8 +4,9 @@ An :class:`ExperimentSpec` is the single front door to the reproduction:
 one plain-data description of *what* to run — workload, model scale,
 cluster, synchronization paradigm, training budget, evaluation cadence and
 parameter-store layout — that every backend (the discrete-event simulator,
-the threaded parameter-server runtime, and whatever comes next) executes
-identically.  Specs serialize losslessly to dicts and JSON, so experiments
+the threaded parameter-server runtime, the multi-process shared-memory
+runtime, and whatever comes next) executes identically.  Field-by-field
+reference with validation rules: ``docs/spec-reference.md``.  Specs serialize losslessly to dicts and JSON, so experiments
 can live in version-controlled files and be replayed byte-for-byte::
 
     spec = ExperimentSpec(workload="alexnet", scale="small", paradigm="ssp",
@@ -66,9 +67,9 @@ class ClusterConfig:
     machines (the paper's SOSCIP setup); ``kind="heterogeneous"`` gives each
     entry of ``devices`` its own machine (the paper's mixed-GPU Docker
     setup).  ``network`` names a profile from :data:`NETWORKS`.  The
-    threaded backend uses only the worker *count* (its heterogeneity comes
-    from :attr:`ExperimentSpec.slowdowns`); the simulated backend uses the
-    full device and network models.
+    threaded and process backends use only the worker *count* (their
+    heterogeneity comes from :attr:`ExperimentSpec.slowdowns`); the
+    simulated backend uses the full device and network models.
     """
 
     kind: str = "homogeneous"

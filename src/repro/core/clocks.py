@@ -10,6 +10,17 @@ state:
   intervals (Figure 1 of the paper).
 
 :class:`ClockTable` holds both.
+
+The table itself is runtime-agnostic shared state: the simulator feeds it
+virtual timestamps, the threaded runtime wall-clock timestamps, and the
+multi-process runtime (:mod:`repro.ps.process_runtime`) timestamps that
+originate in *different worker processes*.  The contract that makes all
+three work is the same: timestamps from one worker must be non-decreasing
+(each worker's pushes are ordered events on its own timeline), and
+timestamps from different workers need only share a commensurable origin —
+the controller (:mod:`repro.core.controller`) consumes *intervals*, which
+are origin-free.  The process runtime anchors every worker's clock at the
+shared start barrier, which satisfies both properties.
 """
 
 from __future__ import annotations
@@ -61,7 +72,9 @@ class ClockTable:
         """Record a push from ``worker_id`` at ``timestamp``; return its new clock.
 
         Timestamps from a single worker must be non-decreasing (they are
-        ordered events on that worker's timeline).
+        ordered events on that worker's timeline); timestamps from
+        *different* workers are never ordered against each other, so
+        cross-process clock skew cannot trip this check.
         """
         record = self._get(worker_id)
         if record.latest_timestamp is not None and timestamp < record.latest_timestamp:

@@ -22,7 +22,7 @@ Credits therefore let a worker run up to ``s_U - s_L`` iterations beyond the
 lower bound, so the *effective* threshold varies per worker and over time in
 ``[s_L, s_U]``, which is exactly the paper's definition of DSSP.
 
-Interpretation note (see also DESIGN.md): Algorithm 1 as printed re-invokes
+Interpretation note (see also docs/paradigms.md): Algorithm 1 as printed re-invokes
 the controller every time the fastest worker's credit runs out, so — read
 literally — the fastest worker's lead over the slowest can keep growing as
 long as the controller keeps predicting that waiting now would be wasteful.

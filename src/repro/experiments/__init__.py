@@ -1,6 +1,6 @@
 """Experiment harness regenerating the paper's tables and figures.
 
-Per-experiment index (see also DESIGN.md):
+Per-experiment index (see also docs/architecture.md):
 
 ==============  ===========================================================
 Experiment      Entry point

@@ -8,7 +8,7 @@ A :class:`Workload` packages everything a paradigm-comparison run needs:
 * the :class:`~repro.simulation.workload.ModelCost` of the *paper-scale*
   architecture, used for the simulated timing so the compute-to-
   communication ratio matches the hardware environment the paper measured
-  (see DESIGN.md, substitution table).
+  (see docs/architecture.md, substitution table).
 
 Workloads are addressable by name through a registry, so an
 :class:`repro.api.ExperimentSpec` can refer to ``"alexnet"`` or

@@ -20,6 +20,10 @@ This subpackage provides that framework built from scratch:
 * :class:`ThreadedTrainer` — a real concurrent runtime in which every worker
   is a Python thread and synchronization is enforced with condition
   variables; useful to demonstrate the framework end to end on one machine.
+* :class:`ProcessTrainer` — the multi-process runtime: one OS process per
+  worker plus a server process, shards shared zero-copy through
+  ``multiprocessing.shared_memory`` (:mod:`repro.ps.shm`), coordination
+  over pipes — true parallelism beyond the GIL.
 * :func:`train_distributed` — a convenience coordinator that assembles the
   pieces from plain configuration.
 """
@@ -38,6 +42,19 @@ from repro.ps.messages import (
 from repro.ps.server import AppliedPush, ParameterServer, PushResponse
 from repro.ps.worker import Worker, GradientComputation
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
+from repro.ps.process_runtime import (
+    ProcessTrainer,
+    ProcessTrainingPlan,
+    ProcessTrainingResult,
+)
+from repro.ps.shm import (
+    SharedFlatShard,
+    SharedFlatStore,
+    SharedSegment,
+    SharedStoreHandle,
+    ShmStoreClient,
+    create_shared_store,
+)
 from repro.ps.coordinator import DistributedTrainingConfig, assemble_training, train_distributed
 from repro.ps.callbacks import Callback, CallbackList, EvaluationRecorder
 from repro.ps.checkpoint import (
@@ -69,6 +86,15 @@ __all__ = [
     "GradientComputation",
     "ThreadedTrainer",
     "ThreadedTrainingResult",
+    "ProcessTrainer",
+    "ProcessTrainingPlan",
+    "ProcessTrainingResult",
+    "SharedSegment",
+    "SharedStoreHandle",
+    "SharedFlatShard",
+    "SharedFlatStore",
+    "ShmStoreClient",
+    "create_shared_store",
     "DistributedTrainingConfig",
     "assemble_training",
     "train_distributed",

@@ -35,7 +35,56 @@ from repro.ps.server import ParameterServer
 from repro.ps.worker import Worker
 from repro.utils.rng import RngStream
 
-__all__ = ["DistributedTrainingConfig", "assemble_training", "train_distributed"]
+__all__ = [
+    "DistributedTrainingConfig",
+    "partition_for_workers",
+    "build_worker",
+    "assemble_training",
+    "train_distributed",
+]
+
+
+def partition_for_workers(streams: RngStream, train_dataset, num_workers: int):
+    """The canonical per-worker data partitioning.
+
+    Must be called exactly once per :class:`~repro.utils.rng.RngStream`
+    instance (the ``"partition"`` stream is stateful), which is how both
+    the threaded coordinator and every worker process of the multi-process
+    runtime arrive at byte-identical partitions from the same master seed.
+    """
+    return partition_dataset(train_dataset, num_workers, rng=streams.get("partition"))
+
+
+def build_worker(
+    index: int,
+    partitions,
+    global_model: Module,
+    model_builder: Callable[[np.random.Generator], Module],
+    streams: RngStream,
+    batch_size: int,
+    micro_batches: int = 1,
+) -> Worker:
+    """One worker replica, exactly as :func:`assemble_training` builds it.
+
+    Shared with :mod:`repro.ps.process_runtime` so the replica recipe —
+    stream names, loader construction, initial-weight overwrite from the
+    global model — lives in one place and the two runtimes cannot drift
+    apart on cross-substrate determinism.
+    """
+    loader = MiniBatchLoader(
+        partitions[index],
+        batch_size=batch_size,
+        rng=streams.get(f"loader-{index}"),
+    )
+    replica = model_builder(streams.get(f"model-{index}"))
+    replica.load_state_dict(global_model.state_dict())
+    return Worker(
+        worker_id=f"worker-{index}",
+        model=replica,
+        loader=loader,
+        loss_fn=SoftmaxCrossEntropy(),
+        micro_batches=micro_batches,
+    )
 
 
 @dataclass
@@ -158,26 +207,18 @@ def assemble_training(
         learning_rate_schedule=ConstantSchedule(config.learning_rate),
     )
 
-    partitions = partition_dataset(
-        train_dataset, config.num_workers, rng=streams.get("partition")
-    )
+    partitions = partition_for_workers(streams, train_dataset, config.num_workers)
     workers = []
-    for index, partition in enumerate(partitions):
-        worker_id = f"worker-{index}"
-        server.register_worker(worker_id)
-        loader = MiniBatchLoader(
-            partition,
-            batch_size=config.batch_size,
-            rng=streams.get(f"loader-{index}"),
-        )
-        replica = model_builder(streams.get(f"model-{index}"))
-        replica.load_state_dict(global_model.state_dict())
+    for index in range(len(partitions)):
+        server.register_worker(f"worker-{index}")
         workers.append(
-            Worker(
-                worker_id=worker_id,
-                model=replica,
-                loader=loader,
-                loss_fn=SoftmaxCrossEntropy(),
+            build_worker(
+                index,
+                partitions,
+                global_model,
+                model_builder,
+                streams,
+                batch_size=config.batch_size,
                 micro_batches=config.micro_batches,
             )
         )

@@ -24,6 +24,12 @@ a pull leases the whole shard, and the next mutation re-materializes the
 whole shard buffer with one ``memcpy``.  That trade is deliberate — one
 vectorized buffer copy per update interval is far cheaper than per-key
 bookkeeping in the interpreter, and it is what makes pulls zero-copy.
+
+The layout has a second payoff beyond vectorization: a packed shard is one
+contiguous array, which is exactly the shape POSIX shared memory serves —
+:mod:`repro.ps.shm` subclasses :class:`FlatShard` to put the same buffer
+(and the same lease protocol) in a ``multiprocessing.shared_memory``
+segment for the process-per-worker runtime.
 """
 
 from __future__ import annotations
@@ -80,6 +86,14 @@ class FlatLayout:
         weight_shapes: Mapping[str, tuple[int, ...]],
         buffer_shapes: Mapping[str, tuple[int, ...]] | None = None,
     ) -> None:
+        """Build the offset table from name → shape mappings.
+
+        ``weight_shapes`` and ``buffer_shapes`` are laid out in iteration
+        order (weights first), so two layouts built from equal mappings are
+        identical — the property that lets worker processes rebuild the
+        server's layout from a picklable description.  A name appearing in
+        both mappings raises ``ValueError``.
+        """
         self._segments: "OrderedDict[str, Segment]" = OrderedDict()
         offset = 0
         for name, shape in weight_shapes.items():
@@ -163,6 +177,12 @@ class SnapshotViews(Mapping):
         entries: Mapping[str, tuple[int, Segment]],
         buffers: Mapping[int, np.ndarray],
     ) -> None:
+        """Wrap captured buffers as a lazy mapping.
+
+        ``entries`` maps entry name → ``(shard index, segment)`` (a static
+        table the store builds once); ``buffers`` maps shard index → the
+        leased flat buffer the snapshot observes.
+        """
         self._entries = entries
         self._buffers = buffers
         self._cache: dict[str, np.ndarray] = {}
@@ -187,7 +207,15 @@ class SnapshotViews(Mapping):
 
 
 class FlatShard:
-    """All of a shard's entries packed into one contiguous ``np.ndarray``."""
+    """All of a shard's entries packed into one contiguous ``np.ndarray``.
+
+    The copy-on-write trio — :meth:`lease`, :meth:`release`,
+    :meth:`materialize` — is the storage contract runtimes build on, and it
+    is deliberately overridable: :class:`repro.ps.shm.SharedFlatShard`
+    keeps the packing machinery of this class but relocates the buffer into
+    a ``multiprocessing.shared_memory`` segment and the lease counters into
+    its shared header, turning the same protocol cross-process.
+    """
 
     __slots__ = (
         "key",
@@ -206,6 +234,11 @@ class FlatShard:
         buffers: Mapping[str, np.ndarray] | None = None,
         dtype: np.dtype | str = np.float64,
     ) -> None:
+        """Pack ``weights`` (then ``buffers``) into one fresh flat buffer.
+
+        The initial values are copied in (cast to ``dtype``); the arrays
+        passed here are never aliased afterwards.
+        """
         self._dtype = np.dtype(dtype)
         self.key = f"flatshard:{next(_SHARD_KEYS)}"
         self.layout = FlatLayout(

@@ -1,0 +1,766 @@
+"""Multi-process parameter-server runtime: one OS process per worker.
+
+The threaded runtime (:mod:`repro.ps.runtime`) is genuinely concurrent but
+GIL-bound: its workers interleave on one interpreter, so compute throughput
+tops out near a single core no matter how many workers the spec names.  This
+runtime spawns **real processes** — one per worker plus one server — and
+keeps the hot path as flat as the thread version:
+
+* **Pulls** never touch a pipe.  Each shard's packed buffer lives in a
+  shared-memory segment (:mod:`repro.ps.shm`); a worker leases the current
+  copy-on-write slot, copies it straight into its packed replica (one
+  vectorized copy per *changed* shard), and releases the lease.
+* **Pushes** use the pipe only as a control plane.  Under the default
+  ``"shm"`` transport each worker's packed gradient buffer is itself a
+  shared segment (the replica's ``grad`` views are rebound into it by
+  :meth:`repro.ps.worker.Worker.attach_flat_layout`), so the push message
+  carries a few scalars and the server applies the update by reading the
+  worker's memory directly.  The ``"pipe"`` transport ships the packed
+  buffers through the pipe instead (simpler, fully copying) and exists for
+  comparison and as a fallback.
+* **Clock coordination** moves onto process-safe primitives: the
+  BSP/ASP/SSP/DSSP policy objects (:mod:`repro.core`) live in the server
+  process and are driven by push messages exactly as the threaded runtime
+  drives them under its global lock; the per-worker OK signal — a
+  ``threading.Event`` in the thread world — becomes a per-worker
+  ``multiprocessing.Semaphore`` (released by the server, acquired by the
+  worker: one futex operation each way, no pickling), a shared ``Event``
+  flags aborts, and the start line is a ``multiprocessing.Barrier`` so
+  wall-clock timing begins only once every process has finished its
+  (comparatively slow) setup.
+
+Determinism and fidelity: every process rebuilds the workload from the
+registry (:mod:`repro.experiments.workloads`) with the same master seed, and
+:class:`repro.utils.rng.RngStream` streams are name-addressed, so dataset,
+partitioning and replica initialization are byte-identical to what
+:func:`repro.ps.coordinator.assemble_training` builds for the threaded
+runtime — one spec trains the same model on either substrate.
+
+Failure handling: a worker that raises reports the error over its pipe; a
+worker that *dies* is noticed as EOF on its pipe (or as a barrier timeout
+during setup).  Either way the server aborts the remaining workers, the
+coordinator reaps every child, and the shared segments are unlinked in a
+``finally`` block — crashes never leak ``/dev/shm`` entries (pinned by
+``tests/ps/test_process_runtime.py``).  The one unprotected window is a
+process dying while *holding* a shard lock (microseconds per operation);
+like the threaded runtime's lock, that is trusted code, not a failure
+domain the protocol defends against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import selectors
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.factory import make_policy, validate_paradigm
+from repro.metrics.accuracy import evaluate_model
+from repro.optim.schedules import ConstantSchedule
+from repro.optim.sgd import SGD
+from repro.ps.messages import PushRequest, WorkerReport
+from repro.ps.runtime import ThreadedTrainingResult
+from repro.ps.server import ParameterServer
+from repro.ps.shm import (
+    SharedFlatStore,
+    SharedSegment,
+    SharedStoreHandle,
+    ShmStoreClient,
+    create_shared_store,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "ProcessTrainingPlan",
+    "ProcessTrainingResult",
+    "ProcessTrainer",
+    "default_context_name",
+]
+
+_LOGGER = get_logger("ps.process_runtime")
+
+#: The process runtime reports through the same result schema as the
+#: threaded runtime — same fields, same semantics, wall-clock time measured
+#: from the moment every process clears the start barrier.
+ProcessTrainingResult = ThreadedTrainingResult
+
+_TRANSPORTS = ("shm", "pipe")
+
+
+def default_context_name() -> str:
+    """Multiprocessing start method the runtime uses by default.
+
+    ``fork`` where the platform offers it (fast startup, inherits the warm
+    interpreter), else ``spawn``.  Overridable per run via the
+    ``REPRO_PROCESS_CONTEXT`` environment variable or
+    :class:`ProcessTrainer`'s ``context`` argument; everything the children
+    receive is picklable, so either method works.
+    """
+    override = os.environ.get("REPRO_PROCESS_CONTEXT", "").strip().lower()
+    if override:
+        return override
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+@dataclass(frozen=True)
+class ProcessTrainingPlan:
+    """Picklable description of one multi-process training run.
+
+    Carries plain data only — workload *name* plus the resolved scale's
+    fields rather than built objects — because worker and server processes
+    rebuild everything locally from it (mandatory under the ``spawn`` start
+    method, and what keeps the runtime deterministic under ``fork`` too).
+
+    Attributes
+    ----------
+    workload, workload_kwargs, scale_fields:
+        Registry name, extra builder arguments and the resolved
+        :class:`~repro.experiments.config.ExperimentScale` as a field dict.
+    paradigm, paradigm_kwargs:
+        Synchronization paradigm, validated at construction.
+    num_workers, iterations_per_worker, batch_size, micro_batches:
+        Run shape; every worker performs the same number of push iterations
+        (the invariant that keeps BSP rounds deadlock-free).
+    learning_rate, momentum, weight_decay:
+        Server-side SGD hyper-parameters.
+    slowdowns:
+        Per-worker artificial seconds of sleep per iteration (heterogeneity).
+    evaluate_every_pushes:
+        Server-side evaluation cadence (0 disables periodic evaluation; the
+        initial and final model are always evaluated).
+    num_shards, shard_strategy, dtype:
+        Parameter-store layout, identical semantics to the other runtimes.
+    seed:
+        Master seed shared by every process's :class:`~repro.utils.rng.RngStream`.
+    transport:
+        ``"shm"`` (gradient mailboxes in shared memory, default) or
+        ``"pipe"`` (packed gradients pickled through the worker's pipe).
+    wait_timeout:
+        Safety timeout (seconds) for any blocking wait — OK signals, the
+        start barrier, server-side idle polls — after which the run aborts
+        with an error instead of hanging.
+    crash_at:
+        Test-only fault injection: ``{worker_id: iteration}`` makes that
+        worker die with ``os._exit(1)`` (no cleanup, as a real crash would)
+        at the start of that iteration.
+    """
+
+    workload: str
+    scale_fields: dict
+    workload_kwargs: dict = field(default_factory=dict)
+    paradigm: str = "dssp"
+    paradigm_kwargs: dict = field(default_factory=lambda: {"s_lower": 3, "s_upper": 15})
+    num_workers: int = 4
+    iterations_per_worker: int = 20
+    batch_size: int = 32
+    micro_batches: int = 1
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    slowdowns: Mapping[str, float] = field(default_factory=dict)
+    evaluate_every_pushes: int = 0
+    num_shards: int = 1
+    shard_strategy: str = "size"
+    dtype: str = "float64"
+    seed: int = 0
+    transport: str = "shm"
+    wait_timeout: float = 120.0
+    crash_at: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.iterations_per_worker <= 0:
+            raise ValueError("iterations_per_worker must be positive")
+        if self.batch_size <= 0 or self.micro_batches <= 0:
+            raise ValueError("batch_size and micro_batches must be positive")
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
+            )
+        validate_paradigm(self.paradigm, self.paradigm_kwargs)
+        valid_ids = {f"worker-{index}" for index in range(self.num_workers)}
+        unknown = sorted({*self.slowdowns, *self.crash_at} - valid_ids)
+        if unknown:
+            raise ValueError(
+                f"slowdowns/crash_at name nonexistent workers {unknown}; "
+                f"valid ids: {sorted(valid_ids)}"
+            )
+
+    def build_workload(self):
+        """Rebuild the workload in the calling process (registry + scale).
+
+        Imported lazily: :mod:`repro.experiments` sits above :mod:`repro.ps`
+        in the layering, so the runtime only touches it at run time (child
+        processes), never at import time.
+        """
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.workloads import build_workload
+
+        return build_workload(
+            self.workload, ExperimentScale(**self.scale_fields), **self.workload_kwargs
+        )
+
+
+# ----------------------------------------------------------------------
+# Gradient mailboxes
+# ----------------------------------------------------------------------
+def _mailbox_views(
+    handle: SharedStoreHandle, segment: SharedSegment
+) -> dict[int, np.ndarray]:
+    """Per-shard float64 views into one worker's gradient mailbox segment.
+
+    The mailbox packs every shard's weight block back to back in shard
+    order; both the worker (writer) and the server (reader) slice it with
+    this one function so the two sides can never disagree on offsets.
+    """
+    views: dict[int, np.ndarray] = {}
+    offset = 0
+    for spec in handle.shard_specs:
+        size = spec.build_layout().weights_end
+        if size:
+            views[spec.index] = segment.ndarray(
+                np.float64, size, offset=offset * np.dtype(np.float64).itemsize
+            )
+        offset += size
+    return views
+
+
+# ----------------------------------------------------------------------
+# Server process
+# ----------------------------------------------------------------------
+def _close_unrelated(conns) -> None:
+    """Close pipe ends this child does not own.
+
+    Under the ``fork`` start method every child inherits a copy of *every*
+    file descriptor the coordinator held at fork time.  A pipe only delivers
+    EOF once the last copy of its write end closes, so a crashed worker
+    would go unnoticed while its siblings still hold inherited duplicates —
+    each child therefore closes everything but its own connections first.
+    (Under ``spawn`` these are explicitly-passed duplicates; closing them is
+    equally correct.)
+    """
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def _server_main(
+    plan, handle, conns, result_conn, barrier, oks, abort, unrelated=()
+) -> None:
+    """Entry point of the server process.
+
+    Owns the :class:`~repro.ps.server.ParameterServer` (shared-memory store,
+    optimizer, synchronization policy) and drives it from push messages,
+    releasing workers through their OK semaphores.  Also owns evaluation:
+    the initial model at t=0 (before the start barrier, so setup cost stays
+    out of the curve), every ``evaluate_every_pushes`` pushes, and the
+    final model — reading the weights through copy-on-write leases so
+    evaluation never blocks the update path.
+    """
+    _close_unrelated(unrelated)
+    store = None
+    mailboxes: list[SharedSegment] = []
+    try:
+        store = SharedFlatStore(handle, writer=True)
+        policy = make_policy(plan.paradigm, **plan.paradigm_kwargs)
+        server = ParameterServer(
+            store=store,
+            optimizer=SGD(
+                learning_rate=plan.learning_rate,
+                momentum=plan.momentum,
+                weight_decay=plan.weight_decay,
+            ),
+            policy=policy,
+            learning_rate_schedule=ConstantSchedule(plan.learning_rate),
+        )
+        worker_ids = [f"worker-{index}" for index in range(plan.num_workers)]
+        for worker_id in worker_ids:
+            server.register_worker(worker_id)
+
+        grad_views: dict[int, dict[int, np.ndarray]] = {}
+        if plan.transport == "shm":
+            for index, name in enumerate(handle.grad_segments):
+                segment = SharedSegment.attach(name)
+                mailboxes.append(segment)
+                grad_views[index] = _mailbox_views(handle, segment)
+
+        workload = plan.build_workload()
+        streams = RngStream(plan.seed)
+        eval_model = workload.model_builder(streams.get("eval"))
+
+        def evaluate() -> tuple[float, float]:
+            with store.leased_state() as views:
+                eval_model.load_state_dict(dict(views))
+            return evaluate_model(
+                eval_model, workload.test_dataset, batch_size=plan.batch_size
+            )
+
+        eval_times: list[float] = []
+        eval_accuracies: list[float] = []
+        eval_losses: list[float] = []
+        accuracy, loss = evaluate()
+        eval_times.append(0.0)
+        eval_accuracies.append(accuracy)
+        eval_losses.append(loss)
+
+        barrier.wait(timeout=plan.wait_timeout)
+        start = time.monotonic()
+
+        live: dict = {conn: index for index, conn in enumerate(conns)}
+        reports: dict[int, WorkerReport] = {}
+        errors: list[str] = []
+        # Persistent selector: registering the worker pipes once is
+        # measurably cheaper than multiprocessing.connection.wait's
+        # per-call selector construction on the per-push hot path.
+        selector = selectors.DefaultSelector()
+        for conn, index in live.items():
+            selector.register(conn, selectors.EVENT_READ, index)
+
+        def drop(conn) -> None:
+            del live[conn]
+            selector.unregister(conn)
+
+        def abort_all() -> None:
+            # Wake every worker out of its OK wait; the abort event tells
+            # it the token is a shutdown, not a release.
+            abort.set()
+            for ok in oks:
+                ok.release()
+
+        index_of = {f"worker-{index}": index for index in range(plan.num_workers)}
+        fatal = False
+        # Liveness guard: "no push for this long" aborts the run as hung.
+        # The threshold adapts to the workload — a heavy model legitimately
+        # goes quiet for a whole iteration (e.g. every BSP round starts with
+        # all workers computing simultaneously), so once iteration times are
+        # observed the guard stretches to comfortably exceed them.
+        idle_timeout = plan.wait_timeout
+        last_push_time: dict[int, float] = {}
+        while len(reports) < plan.num_workers and not fatal:
+            ready = selector.select(timeout=idle_timeout)
+            if not ready:
+                errors.append(
+                    f"server: no worker progress for {idle_timeout:.0f}s, aborting"
+                )
+                abort_all()
+                break
+            for key, _ in ready:
+                conn = key.fileobj
+                index = key.data
+                worker_id = f"worker-{index}"
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    drop(conn)
+                    errors.append(f"{worker_id}: process died (connection lost)")
+                    abort_all()
+                    fatal = True
+                    break
+                kind = message[0]
+                if kind == "push":
+                    _, _, base_version, timestamp, loss, _, buffers, payload = message
+                    previous = last_push_time.get(index)
+                    last_push_time[index] = timestamp
+                    if previous is not None:
+                        idle_timeout = max(
+                            idle_timeout, plan.wait_timeout + 4.0 * (timestamp - previous)
+                        )
+                    if plan.transport == "shm":
+                        flat_gradients = grad_views[index]
+                    else:
+                        flat_gradients = payload
+                    request = PushRequest(
+                        worker_id=worker_id,
+                        gradients={},
+                        base_version=base_version,
+                        timestamp=timestamp,
+                        buffers=buffers or {},
+                        local_loss=loss,
+                        flat_gradients=flat_gradients,
+                    )
+                    response = server.handle_push(request)
+                    for released in response.released_workers:
+                        oks[index_of[released]].release()
+                    if response.release_now:
+                        oks[index].release()
+                    if (
+                        plan.evaluate_every_pushes > 0
+                        and server.pushes_handled % plan.evaluate_every_pushes == 0
+                    ):
+                        accuracy, loss = evaluate()
+                        eval_times.append(time.monotonic() - start)
+                        eval_accuracies.append(accuracy)
+                        eval_losses.append(loss)
+                elif kind == "done":
+                    _, _, report = message
+                    reports[index] = WorkerReport(**report)
+                    drop(conn)
+                elif kind == "error":
+                    errors.append(f"{worker_id}: {message[2]}")
+                    drop(conn)
+                    abort_all()
+                    fatal = True
+                    break
+        selector.close()
+
+        wall_time = time.monotonic() - start
+        for index, report in reports.items():
+            policy.clock_table.record_wait(
+                f"worker-{index}", report.total_wait_time
+            )
+        accuracy, loss = evaluate()
+        eval_times.append(wall_time)
+        eval_accuracies.append(accuracy)
+        eval_losses.append(loss)
+
+        ordered_reports = [
+            reports.get(
+                index,
+                WorkerReport(
+                    worker_id=f"worker-{index}",
+                    iterations=0,
+                    samples_processed=0,
+                    total_wait_time=0.0,
+                    total_compute_time=0.0,
+                    mean_loss=float("nan"),
+                ),
+            )
+            for index in range(plan.num_workers)
+        ]
+        statistics = server.statistics()
+        statistics["cow_fallbacks"] = store.cow_fallbacks
+        result_conn.send(
+            ProcessTrainingResult(
+                wall_time=wall_time,
+                worker_reports=ordered_reports,
+                server_statistics=statistics,
+                evaluation_times=eval_times,
+                evaluation_accuracies=eval_accuracies,
+                evaluation_losses=eval_losses,
+                errors=errors,
+            )
+        )
+    except Exception as error:  # noqa: BLE001 - the coordinator must hear about it
+        _LOGGER.exception("server process failed")
+        try:
+            result_conn.send(
+                ProcessTrainingResult(
+                    wall_time=0.0,
+                    worker_reports=[],
+                    server_statistics={},
+                    errors=[f"server: {error}"],
+                )
+            )
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        for segment in mailboxes:
+            segment.close()
+        if store is not None:
+            store.close()
+        result_conn.close()
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) -> None:
+    """Entry point of one worker process.
+
+    Rebuilds its data partition and model replica from the plan's seed,
+    rebinds the replica onto the server's flat layout
+    (:meth:`~repro.ps.worker.Worker.attach_flat_layout` — with the gradient
+    side living in this worker's shared mailbox under the ``"shm"``
+    transport), then loops: compute → push (pipe message) → wait for the OK
+    semaphore → zero-copy pull from shared memory.
+    """
+    _close_unrelated(unrelated)
+    worker_id = f"worker-{index}"
+    client = None
+    mailbox = None
+    try:
+        workload = plan.build_workload()
+        streams = RngStream(plan.seed)
+        # The same assembly recipe the threaded coordinator uses — shared
+        # helpers, so dataset partitioning and replica initialization stay
+        # byte-identical across substrates by construction.
+        from repro.ps.coordinator import build_worker, partition_for_workers
+
+        global_model = workload.model_builder(streams.get("init"))
+        partitions = partition_for_workers(
+            streams, workload.train_dataset, plan.num_workers
+        )
+        worker = build_worker(
+            index,
+            partitions,
+            global_model,
+            workload.model_builder,
+            streams,
+            batch_size=plan.batch_size,
+            micro_batches=plan.micro_batches,
+        )
+
+        layouts = tuple(
+            (spec.index, spec.build_layout().weight_segments)
+            for spec in handle.shard_specs
+        )
+        gradient_buffers = None
+        if plan.transport == "shm":
+            mailbox = SharedSegment.attach(handle.grad_segments[index])
+            gradient_buffers = _mailbox_views(handle, mailbox)
+        worker.attach_flat_layout(layouts, gradient_buffers=gradient_buffers)
+
+        client = ShmStoreClient(handle)
+        worker.load_reply(client.pull_reply())
+
+        barrier.wait(timeout=plan.wait_timeout)
+        start = time.monotonic()
+        slowdown = plan.slowdowns.get(worker_id, 0.0)
+        crash_iteration = plan.crash_at.get(worker_id)
+        total_wait = 0.0
+        total_compute = 0.0
+
+        for iteration in range(plan.iterations_per_worker):
+            if abort.is_set():
+                return
+            if crash_iteration is not None and iteration >= crash_iteration:
+                os._exit(1)  # test hook: die like a real crash, no cleanup
+            compute_start = time.monotonic()
+            computation = worker.compute_gradients()
+            if slowdown > 0:
+                time.sleep(slowdown)
+            total_compute += time.monotonic() - compute_start
+
+            if plan.transport == "shm":
+                payload = None  # the gradient already sits in the mailbox
+            else:
+                payload = dict(computation.flat_gradients or {})
+            conn.send(
+                (
+                    "push",
+                    index,
+                    computation.base_version,
+                    time.monotonic() - start,
+                    computation.loss,
+                    computation.samples,
+                    dict(computation.buffers) or None,
+                    payload,
+                )
+            )
+
+            # Peers run the same per-iteration workload, so this worker's
+            # own compute time bounds how long a healthy OK can take to
+            # arrive (slowdown-stretched waits are already in the plan's
+            # wait_timeout via the backend).  Stretch the guard accordingly
+            # rather than mistaking a heavy iteration for a hang.
+            compute_elapsed = time.monotonic() - compute_start
+            ok_timeout = plan.wait_timeout + 4.0 * compute_elapsed
+            wait_start = time.monotonic()
+            if not ok.acquire(timeout=ok_timeout):
+                raise TimeoutError(
+                    f"waited more than {ok_timeout:.0f}s for the OK signal"
+                )
+            if abort.is_set():
+                return
+            total_wait += time.monotonic() - wait_start
+
+            worker.load_reply(client.pull_reply())
+
+        conn.send(
+            (
+                "done",
+                index,
+                {
+                    "worker_id": worker_id,
+                    "iterations": worker.iterations,
+                    "samples_processed": worker.samples_processed,
+                    "total_wait_time": total_wait,
+                    "total_compute_time": total_compute,
+                    "mean_loss": worker.mean_loss,
+                },
+            )
+        )
+    except Exception as error:  # noqa: BLE001 - report, then die quietly
+        _LOGGER.exception("worker %s failed", worker_id)
+        try:
+            conn.send(("error", index, str(error)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if client is not None:
+            client.close()
+        if mailbox is not None:
+            mailbox.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class ProcessTrainer:
+    """Coordinates one multi-process training run from the calling process.
+
+    Mirrors :class:`repro.ps.runtime.ThreadedTrainer`'s role: build the
+    shared substrate, launch the children, collect one
+    :class:`ProcessTrainingResult`.  The coordinator itself does no
+    training work — after the start barrier it only waits for the server's
+    result, reaps children, and guarantees segment cleanup.
+    """
+
+    def __init__(self, plan: ProcessTrainingPlan, context=None, workload=None) -> None:
+        """Create a trainer for ``plan``.
+
+        ``context`` is a multiprocessing context or start-method name;
+        defaults to :func:`default_context_name`.  ``workload`` optionally
+        supplies an already-built workload for the *coordinator's* own use
+        (initial weights); child processes always rebuild from the
+        registry, so it must match ``plan.build_workload()``.
+        """
+        self.plan = plan
+        self.workload = workload
+        if context is None or isinstance(context, str):
+            self.context = multiprocessing.get_context(
+                context or default_context_name()
+            )
+        else:
+            self.context = context
+        self._result: ProcessTrainingResult | None = None
+
+    def run(self) -> ProcessTrainingResult:
+        """Run the training to completion and return the collected results.
+
+        Always returns a result — child failures surface in
+        ``result.errors``, never as a hang: every blocking wait in the
+        system carries the plan's ``wait_timeout``.
+        """
+        plan = self.plan
+        workload = self.workload or plan.build_workload()
+        streams = RngStream(plan.seed)
+        global_model = workload.model_builder(streams.get("init"))
+        handle = create_shared_store(
+            initial_weights={
+                name: parameter.data
+                for name, parameter in global_model.named_parameters()
+            },
+            initial_buffers=global_model.buffers(),
+            num_shards=plan.num_shards,
+            strategy=plan.shard_strategy,
+            dtype=plan.dtype,
+            slots=plan.num_workers + 2,
+            context=self.context,
+            grad_mailboxes=plan.num_workers if plan.transport == "shm" else 0,
+        )
+
+        processes = []
+        try:
+            barrier = self.context.Barrier(plan.num_workers + 1)
+            abort = self.context.Event()
+            oks = tuple(self.context.Semaphore(0) for _ in range(plan.num_workers))
+            result_recv, result_send = self.context.Pipe(duplex=False)
+            server_conns = []
+            worker_conns = []
+            for _ in range(plan.num_workers):
+                # One-directional: workers only send (pushes, done, errors);
+                # releases travel back through the OK semaphores.
+                server_end, worker_end = self.context.Pipe(duplex=False)
+                server_conns.append(server_end)
+                worker_conns.append(worker_end)
+
+            server = self.context.Process(
+                target=_server_main,
+                args=(
+                    plan,
+                    handle,
+                    server_conns,
+                    result_send,
+                    barrier,
+                    oks,
+                    abort,
+                    (*worker_conns, result_recv),
+                ),
+                name="repro-server",
+                daemon=True,
+            )
+            processes.append(server)
+            for index in range(plan.num_workers):
+                unrelated = (
+                    *server_conns,
+                    *(c for i, c in enumerate(worker_conns) if i != index),
+                    result_send,
+                    result_recv,
+                )
+                processes.append(
+                    self.context.Process(
+                        target=_worker_main,
+                        args=(
+                            plan,
+                            handle,
+                            index,
+                            worker_conns[index],
+                            barrier,
+                            oks[index],
+                            abort,
+                            unrelated,
+                        ),
+                        name=f"repro-worker-{index}",
+                        daemon=True,
+                    )
+                )
+            for process in processes:
+                process.start()
+            # Close the coordinator's copies so EOF propagates to the server
+            # when a worker dies (and vice versa).
+            result_send.close()
+            for conn in (*server_conns, *worker_conns):
+                conn.close()
+
+            result = self._await_result(result_recv, server)
+            self._result = result
+            return result
+        finally:
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():  # pragma: no cover - hard-abort path
+                    process.terminate()
+                    process.join(timeout=5.0)
+            handle.unlink_all()
+
+    def _await_result(self, result_recv, server) -> ProcessTrainingResult:
+        """Wait for the server's result, tolerating a dead server process.
+
+        No absolute deadline here: a healthy run may take arbitrarily long,
+        and the *server* already aborts itself when no worker makes progress
+        for ``wait_timeout`` seconds.  The coordinator only needs to notice
+        the server dying without a result.
+        """
+        while True:
+            if result_recv.poll(0.25):
+                try:
+                    return result_recv.recv()
+                except (EOFError, OSError):
+                    break
+            if not server.is_alive():
+                # One final poll: the result may have raced the exit.
+                if result_recv.poll(0.25):
+                    try:
+                        return result_recv.recv()
+                    except (EOFError, OSError):
+                        break
+                break
+        return ProcessTrainingResult(
+            wall_time=0.0,
+            worker_reports=[],
+            server_statistics={},
+            errors=["server process died without reporting a result"],
+        )

@@ -1,0 +1,989 @@
+"""Shared-memory parameter storage for the multi-process runtime.
+
+The thread-based runtime shares one address space, so PR 3's packed flat
+buffers (:mod:`repro.ps.flatbuffer`) are visible to every worker for free.
+The *process* runtime (:mod:`repro.ps.process_runtime`) has no shared heap —
+but a packed shard is exactly one contiguous array, which is exactly the
+shape :mod:`multiprocessing.shared_memory` serves.  This module puts each
+shard's flat buffer in a named shared-memory segment so that
+
+* **pulls stay zero-copy across process boundaries** — a worker maps the
+  server's live buffer and copies it straight into its packed replica
+  (one vectorized copy per shard, no pickling, no pipe transfer), and
+* **pushes can stay zero-copy too** — each worker's packed gradient buffer
+  may itself live in a shared segment (a *mailbox*), so the server applies
+  the update by reading the worker's memory directly.
+
+Three layers:
+
+* :class:`SharedSegment` — segment lifecycle.  Creation, attachment (with
+  the resource-tracker workaround described below), idempotent close and
+  crash-safe unlink.
+* :class:`SharedFlatShard` — one shard's packed buffer in a segment, with
+  the **cross-process copy-on-write lease protocol**: the thread-level
+  refcounted leases of :class:`~repro.ps.flatbuffer.FlatShard` generalized
+  to lease counters that live in the segment itself.
+* :class:`SharedFlatStore` — the server-process store over those shards,
+  API-compatible with the stores in :mod:`repro.ps.kvstore` /
+  :mod:`repro.ps.sharding` as far as :class:`~repro.ps.server.ParameterServer`
+  is concerned (``version``, ``apply_gradients``, ``update_buffers``,
+  ``nbytes``, state snapshots).
+
+Cross-process copy-on-write
+---------------------------
+
+A thread-level :class:`~repro.ps.flatbuffer.FlatShard` re-materializes a
+leased buffer by *allocating a fresh copy* — impossible here, because every
+attached process holds a fixed mapping.  Instead each shard's segment holds
+``slots`` equally-sized copies of the packed buffer plus a small int64
+header::
+
+    header:  [ current_slot | mutation_counter | cow_fallbacks | lease(slot 0) ... lease(slot S-1) ]
+    data:    [ slot 0 | slot 1 | ... | slot S-1 ]        (each = FlatLayout.size elements)
+
+A reader (worker pull, server-side evaluation) *leases* the current slot —
+increment its counter under the shard lock, copy outside the lock, decrement
+— so the expensive copy never blocks the server.  A writer that finds the
+current slot leased copies it into a lease-free slot and redirects
+``current_slot`` there (:meth:`SharedFlatShard.materialize`): the readers
+keep observing exactly the snapshot they leased, one ``memcpy`` per update
+interval, identical in spirit to the thread-level protocol.  With
+``slots >= readers + 2`` a free slot always exists; if crashed readers ever
+pin every slot anyway, the writer falls back to mutating in place (counted
+in ``cow_fallbacks``) rather than stalling training for a dead process.
+
+Crash-safe unlink
+-----------------
+
+POSIX shared memory persists until explicitly unlinked, so a leaked segment
+outlives the experiment.  Three lines of defence:
+
+1. the creating process (the runtime's coordinator) unlinks every segment
+   in a ``finally`` block — worker or server crashes cannot skip it;
+2. creation registers with :mod:`multiprocessing.resource_tracker`, so even
+   a hard-killed coordinator gets its segments reaped by the tracker.
+
+Every attaching process here is a *child* of the coordinator and therefore
+shares its resource-tracker daemon (POSIX fork and spawn both hand the
+tracker fd down), whose registry is a name set — re-registration on attach
+is a no-op and the single unlink balances it.  The notorious CPython
+attach-side tracker bug (bpo-39959, where an attach-only process's private
+tracker destroys segments on exit) only bites *unrelated* processes, which
+this runtime never creates.
+
+``tests/ps/test_process_runtime.py`` pins the no-leak guarantee down,
+including for a worker killed mid-iteration.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from collections import OrderedDict
+from collections.abc import Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.ps.flatbuffer import FlatLayout, FlatShard, SnapshotViews
+from repro.ps.kvstore import normalize_store_dtype
+from repro.ps.messages import FlatPullPayload, PullReply
+
+__all__ = [
+    "SharedSegment",
+    "ShardSegmentSpec",
+    "SharedStoreHandle",
+    "SharedFlatShard",
+    "SharedFlatStore",
+    "ShmStoreClient",
+    "create_shared_store",
+]
+
+#: int64 header slots that precede the per-slot lease counters.
+_HEADER_FIXED = 3
+_CURRENT_SLOT = 0
+_MUTATIONS = 1
+_COW_FALLBACKS = 2
+
+
+class SharedSegment:
+    """Lifecycle wrapper around one named shared-memory segment.
+
+    Create with :meth:`create` (the owning process) or :meth:`attach`
+    (every other process).  ``close`` drops this process's mapping;
+    ``unlink`` destroys the segment system-wide.  Both are idempotent and
+    swallow "already gone" errors, so cleanup paths can run unconditionally.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        """Wrap an already-open handle (use :meth:`create` / :meth:`attach`)."""
+        self._shm: shared_memory.SharedMemory | None = shm
+        self._owner = owner
+        self.name = shm.name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, size: int, name: str | None = None) -> "SharedSegment":
+        """Create a new segment of ``size`` bytes (auto-named when ``name`` is None)."""
+        if size <= 0:
+            raise ValueError(f"segment size must be positive, got {size}")
+        shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedSegment":
+        """Attach to an existing segment by name (raises ``FileNotFoundError`` if gone)."""
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Mapped size in bytes (0 once closed)."""
+        return self._shm.size if self._shm is not None else 0
+
+    def ndarray(self, dtype: np.dtype | str, count: int, offset: int = 0) -> np.ndarray:
+        """A NumPy view of ``count`` elements of ``dtype`` starting at byte ``offset``."""
+        if self._shm is None:
+            raise ValueError(f"segment {self.name!r} is closed")
+        return np.frombuffer(self._shm.buf, dtype=dtype, count=count, offset=offset)
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent).
+
+        When NumPy views of the mapping are still alive — a worker exiting
+        with its replica gradients bound to a shared mailbox — a real
+        ``mmap`` teardown is impossible (``BufferError``).  The handle is
+        then *forgotten* instead: the file descriptor is closed, the mmap
+        object is left to the views that keep it alive, and the neutralized
+        ``SharedMemory`` object stays silent at interpreter shutdown.  The
+        process is about to exit either way; the segment itself is
+        unaffected (destruction is :meth:`unlink`'s job, in the creator).
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:
+            try:
+                if shm._fd >= 0:  # type: ignore[attr-defined]
+                    os.close(shm._fd)  # type: ignore[attr-defined]
+                    shm._fd = -1  # type: ignore[attr-defined]
+                shm._buf = None  # type: ignore[attr-defined]
+                shm._mmap = None  # type: ignore[attr-defined]
+            except (AttributeError, OSError):  # pragma: no cover - CPython drift
+                pass
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment system-wide (idempotent, tolerant of races)."""
+        self.unlink_by_name(self.name)
+
+    def __del__(self) -> None:
+        # Route garbage collection through close(): it neutralizes the
+        # handle even when live NumPy views pin the mapping, which keeps
+        # SharedMemory.__del__ from raising BufferError at shutdown.
+        self.close()
+
+    @staticmethod
+    def unlink_by_name(name: str) -> None:
+        """Destroy a segment given only its name, tolerating absence.
+
+        The crash-cleanup path: callers hold segment *names* (picklable)
+        even when the objects that mapped them are gone with a dead process.
+        """
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        try:
+            segment.unlink()
+        finally:
+            segment.close()
+
+
+@dataclass(frozen=True)
+class ShardSegmentSpec:
+    """Picklable description of one shard's segment, enough to attach anywhere.
+
+    Child processes receive these (inside a :class:`SharedStoreHandle`) and
+    rebuild the :class:`~repro.ps.flatbuffer.FlatLayout` locally — layouts
+    are pure offset tables, cheap to reconstruct and impossible to share.
+    """
+
+    index: int
+    segment_name: str
+    weight_shapes: tuple[tuple[str, tuple[int, ...]], ...]
+    buffer_shapes: tuple[tuple[str, tuple[int, ...]], ...]
+    dtype: str
+    slots: int
+
+    def build_layout(self) -> FlatLayout:
+        """Reconstruct the shard's offset table."""
+        return FlatLayout(
+            OrderedDict(self.weight_shapes), OrderedDict(self.buffer_shapes)
+        )
+
+    @property
+    def header_count(self) -> int:
+        """Number of int64 header entries (fixed fields + one lease per slot)."""
+        return _HEADER_FIXED + self.slots
+
+    @property
+    def data_offset(self) -> int:
+        """Byte offset of slot 0, 64-byte aligned past the header."""
+        raw = self.header_count * np.dtype(np.int64).itemsize
+        return (raw + 63) // 64 * 64
+
+    def slot_nbytes(self, layout: FlatLayout) -> int:
+        """Payload bytes of one slot."""
+        return layout.size * np.dtype(self.dtype).itemsize
+
+    def segment_nbytes(self, layout: FlatLayout) -> int:
+        """Total segment size: header plus ``slots`` copies of the buffer."""
+        return self.data_offset + self.slots * max(self.slot_nbytes(layout), 1)
+
+
+@dataclass(frozen=True)
+class SharedStoreHandle:
+    """Everything a child process needs to attach to the shared store.
+
+    Picklable (segment *names*, shapes, synchronization primitives created
+    from the runtime's multiprocessing context) — passed to worker and
+    server processes as a plain ``Process`` argument.  ``grad_segments``
+    maps each worker index to the segment holding that worker's per-shard
+    gradient mailboxes (present only under the ``"shm"`` push transport).
+    """
+
+    header_segment: str
+    shard_specs: tuple[ShardSegmentSpec, ...]
+    shard_locks: tuple
+    version_lock: object
+    dtype: str
+    grad_segments: tuple[str, ...] = ()
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (and shard segments)."""
+        return len(self.shard_specs)
+
+    @property
+    def segment_names(self) -> list[str]:
+        """Every segment name this store owns (for cleanup and leak checks)."""
+        return [
+            self.header_segment,
+            *(spec.segment_name for spec in self.shard_specs),
+            *self.grad_segments,
+        ]
+
+    def unlink_all(self) -> None:
+        """Crash-safe cleanup: destroy every segment, tolerating absence."""
+        for name in self.segment_names:
+            SharedSegment.unlink_by_name(name)
+
+
+def _capture_leases(
+    shards: "list[SharedFlatShard]", seen_mutations: list[int] | None = None
+):
+    """Lease shard slots and build their packed pull payloads (shared protocol).
+
+    Caller must hold every shard lock.  With ``seen_mutations`` given (the
+    client's per-shard counters from its previous pull), unchanged shards
+    are skipped and the list is updated in place — the cross-process
+    analogue of a delta pull, at shard granularity.  Returns
+    ``(leased, payloads, buffers)`` where ``leased`` is the
+    ``[(shard, slot), ...]`` list a release closure needs and ``buffers``
+    maps shard index → the leased slot buffer.
+    """
+    leased: list[tuple["SharedFlatShard", int]] = []
+    payloads: list[FlatPullPayload] = []
+    buffers: dict[int, np.ndarray] = {}
+    for position, shard in enumerate(shards):
+        if seen_mutations is not None:
+            mutations = shard.mutations
+            if mutations == seen_mutations[position]:
+                continue
+            seen_mutations[position] = mutations
+        slot = shard.lease_current()
+        leased.append((shard, slot))
+        buffer = shard.slot_buffer(slot)
+        buffers[shard.index] = buffer
+        if shard.layout.weights_end:
+            view = buffer[: shard.layout.weights_end]
+            view.flags.writeable = False
+            payloads.append(
+                FlatPullPayload(
+                    shard=shard.index,
+                    buffer=view,
+                    layout=shard.layout.weight_segments,
+                )
+            )
+    return leased, payloads, buffers
+
+
+def _release_fn_for(leased: "list[tuple[SharedFlatShard, int]]"):
+    """Idempotent closure dropping the leases behind one pull reply.
+
+    Takes each shard's lock only for the instantaneous counter decrement;
+    calling the closure twice (or racing `PullReply.release`) is safe.
+    """
+    released = False
+
+    def release_fn() -> None:
+        nonlocal released
+        if released:
+            return
+        released = True
+        for shard, slot in leased:
+            with shard.lock:
+                shard.release_slot(slot)
+
+    return release_fn
+
+
+class SharedFlatShard(FlatShard):
+    """A :class:`~repro.ps.flatbuffer.FlatShard` whose buffer lives in shared memory.
+
+    Reuses the packing machinery of the base class (views, gradient runs,
+    :meth:`~repro.ps.flatbuffer.FlatShard.make_flat_update`, ...) unchanged
+    — only storage and the copy-on-write protocol differ: the buffer is one
+    of ``slots`` copies inside the segment, and the lease counters are int64
+    fields in the segment header, shared by every attached process.
+
+    Locking is *external*: the mutating process must hold ``self.lock``
+    (the shard's ``multiprocessing.Lock`` from the store handle) around
+    :meth:`materialize` + mutation + :meth:`mark_mutated`, and readers hold
+    it only for the instantaneous :meth:`lease_current` / :meth:`release_slot`
+    bookkeeping — never during their copy.
+    """
+
+    __slots__ = ("index", "segment", "lock", "_header", "_slot_views", "_slots")
+
+    def __init__(self, spec: ShardSegmentSpec, segment: SharedSegment, lock) -> None:
+        """Bind to one shard's segment (created by :func:`create_shared_store`).
+
+        ``lock`` is the shard's ``multiprocessing.Lock`` from the store
+        handle — the same object in every attaching process.
+        """
+        layout = spec.build_layout()
+        dtype = np.dtype(spec.dtype)
+        # Base-class storage fields, initialized directly: the base
+        # constructor would allocate a private heap buffer we do not want.
+        self.key = f"shmshard:{spec.segment_name}"
+        self.layout = layout
+        self._dtype = dtype
+        self._scratch = None
+        self._full_segments = layout.weight_segments
+        self._leases = 0  # unused: the shared header is authoritative
+        self._lease_lock = None  # unused: external multiprocessing lock
+        self.index = spec.index
+        self.segment = segment
+        self.lock = lock
+        self._slots = spec.slots
+        self._header = segment.ndarray(np.int64, spec.header_count, offset=0)
+        slot_nbytes = spec.slot_nbytes(layout)
+        self._slot_views = [
+            segment.ndarray(
+                dtype, layout.size, offset=spec.data_offset + slot * slot_nbytes
+            )
+            for slot in range(spec.slots)
+        ]
+        self._flat = self._slot_views[int(self._header[_CURRENT_SLOT])]
+
+    # ------------------------------------------------------------------
+    # Shared-header protocol
+    # ------------------------------------------------------------------
+    @property
+    def current_slot(self) -> int:
+        """Index of the slot the live buffer occupies."""
+        return int(self._header[_CURRENT_SLOT])
+
+    @property
+    def mutations(self) -> int:
+        """Count of mutations applied to this shard (any process may read it)."""
+        return int(self._header[_MUTATIONS])
+
+    @property
+    def cow_fallbacks(self) -> int:
+        """Times a writer mutated in place because every slot was leased."""
+        return int(self._header[_COW_FALLBACKS])
+
+    @property
+    def leased(self) -> bool:
+        """Whether the current slot has outstanding leases."""
+        return int(self._header[_HEADER_FIXED + self.current_slot]) > 0
+
+    def slot_buffer(self, slot: int) -> np.ndarray:
+        """The full packed buffer of ``slot`` (leased readers copy from it)."""
+        return self._slot_views[slot]
+
+    def resync(self) -> None:
+        """Re-read ``current_slot`` after another process may have moved it.
+
+        Only the server process mutates, so only reader-side attachments
+        (worker pulls, leak checks) ever need this.
+        """
+        self._flat = self._slot_views[self.current_slot]
+
+    def lease_current(self) -> int:
+        """Record one lease on the current slot; returns the slot index.
+
+        Caller must hold ``self.lock``; the subsequent copy-out must happen
+        *outside* the lock, followed by :meth:`release_slot`.
+        """
+        slot = self.current_slot
+        self._header[_HEADER_FIXED + slot] += 1
+        return slot
+
+    def release_slot(self, slot: int) -> None:
+        """Drop one lease taken by :meth:`lease_current` (under ``self.lock``)."""
+        if self._header[_HEADER_FIXED + slot] > 0:
+            self._header[_HEADER_FIXED + slot] -= 1
+
+    def mark_mutated(self) -> None:
+        """Bump the shard's mutation counter (under ``self.lock``, after a write).
+
+        Workers compare it against the value they saw last pull and skip
+        shards that did not change — the cross-process analogue of the
+        threaded store's delta pulls, at shard granularity.
+        """
+        self._header[_MUTATIONS] += 1
+
+    # ------------------------------------------------------------------
+    # Copy-on-write (overrides the thread-level implementations)
+    # ------------------------------------------------------------------
+    def lease(self) -> None:
+        """Thread-API alias of :meth:`lease_current` (caller holds ``self.lock``)."""
+        self.lease_current()
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Thread-API release: map ``buffer`` back to its slot and drop one lease."""
+        for slot, view in enumerate(self._slot_views):
+            if buffer is view:
+                self.release_slot(slot)
+                return
+
+    def materialize(self) -> None:
+        """Make the live buffer privately writable before a mutation.
+
+        Caller must hold ``self.lock``.  If the current slot is leased,
+        copy it into a lease-free slot and point ``current_slot`` there —
+        every leased reader keeps observing exactly its snapshot.  If no
+        slot is free (only possible when crashed readers leaked leases),
+        fall back to mutating in place rather than stalling training.
+        """
+        current = self.current_slot
+        if self._header[_HEADER_FIXED + current] == 0:
+            return
+        for slot in range(self._slots):
+            if slot != current and self._header[_HEADER_FIXED + slot] == 0:
+                np.copyto(self._slot_views[slot], self._slot_views[current])
+                self._header[_CURRENT_SLOT] = slot
+                self._flat = self._slot_views[slot]
+                return
+        self._header[_COW_FALLBACKS] += 1  # pragma: no cover - crashed readers only
+
+
+class SharedFlatStore:
+    """Server-process store over shared segments.
+
+    Drop-in for :class:`~repro.ps.kvstore.KeyValueStore` as far as
+    :class:`~repro.ps.server.ParameterServer` is concerned: ``version``,
+    ``apply_gradients``, ``update_buffers``, ``nbytes`` and the state
+    snapshot accessors all behave identically.  Exactly **one** process may
+    construct it with ``writer=True`` (the server); the shard locks in the
+    handle serialize its mutations against reader leases taken by
+    :class:`ShmStoreClient` attachments in other processes.
+
+    Delta pulls and concurrent apply are deliberately not advertised: the
+    process runtime replaces per-key deltas with per-shard mutation
+    counters (workers skip unchanged shards wholesale) and the single
+    server process applies pushes serially.
+    """
+
+    supports_concurrent_apply = False
+    supports_delta_pull = False
+
+    def __init__(self, handle: SharedStoreHandle, writer: bool = True) -> None:
+        """Attach to the store's segments; ``writer=True`` only in the server."""
+        self._handle = handle
+        self._writer = bool(writer)
+        self._dtype = normalize_store_dtype(handle.dtype)
+        self._header_segment = SharedSegment.attach(handle.header_segment)
+        self._version_view = self._header_segment.ndarray(np.int64, 1, offset=0)
+        self._version_lock = handle.version_lock
+        self._shards = [
+            SharedFlatShard(spec, SharedSegment.attach(spec.segment_name), lock)
+            for spec, lock in zip(handle.shard_specs, handle.shard_locks)
+        ]
+        self._weight_names = [
+            name
+            for shard in self._shards
+            for name in shard.layout.weight_names
+        ]
+        self._buffer_names = [
+            name
+            for shard in self._shards
+            for name in shard.layout.buffer_names
+        ]
+        self._weight_name_set = frozenset(self._weight_names)
+        self._shard_of = {
+            name: shard.index
+            for shard in self._shards
+            for name in (*shard.layout.weight_names, *shard.layout.buffer_names)
+        }
+        self._weight_entries = OrderedDict(
+            (name, (self._shard_of[name], self._shard(name).layout.segment(name)))
+            for name in self._weight_names
+        )
+        self._buffer_entries = OrderedDict(
+            (name, (self._shard_of[name], self._shard(name).layout.segment(name)))
+            for name in self._buffer_names
+        )
+        self._state_entries = OrderedDict(
+            (*self._weight_entries.items(), *self._buffer_entries.items())
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of every stored array."""
+        return self._dtype
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the keys are partitioned across."""
+        return len(self._shards)
+
+    @property
+    def version(self) -> int:
+        """Number of gradient updates applied so far (read from shared memory)."""
+        return int(self._version_view[0])
+
+    @property
+    def shard_versions(self) -> list[int]:
+        """Per-shard mutation counters."""
+        return [shard.mutations for shard in self._shards]
+
+    @property
+    def parameter_names(self) -> list[str]:
+        """Names of the trainable parameters (layout order)."""
+        return list(self._weight_names)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar count of the trainable parameters."""
+        return int(sum(shard.layout.weights_end for shard in self._shards))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes transferred by one full pull (weights plus buffers, one slot)."""
+        return int(sum(shard.nbytes for shard in self._shards))
+
+    @property
+    def flat_layouts(self) -> tuple[tuple[int, tuple], ...]:
+        """Per-shard weight layouts, for workers that pack their replicas."""
+        return tuple(
+            (shard.index, shard.layout.weight_segments) for shard in self._shards
+        )
+
+    @property
+    def cow_fallbacks(self) -> int:
+        """Total in-place mutations forced by fully-leased shards (should be 0)."""
+        return sum(shard.cow_fallbacks for shard in self._shards)
+
+    def _shard(self, name: str) -> SharedFlatShard:
+        return self._shards[self._shard_of[name]]
+
+    # ------------------------------------------------------------------
+    # Locking helpers
+    # ------------------------------------------------------------------
+    def _acquire_all(self) -> None:
+        for shard in self._shards:
+            shard.lock.acquire()
+
+    def _release_all(self) -> None:
+        for shard in reversed(self._shards):
+            shard.lock.release()
+
+    # ------------------------------------------------------------------
+    # Reads (server-process side)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def leased_state(self):
+        """Stable read-only views of weights+buffers for the ``with`` body.
+
+        Leases every shard's current slot (taken under all shard locks in
+        one acquisition, so the snapshot is cross-shard consistent), yields
+        a lazy :class:`~repro.ps.flatbuffer.SnapshotViews`, and releases the
+        leases on exit.  Unlike the threaded store's ``state_views`` there
+        is no garbage collector to forgive a leaked lease — slots are a
+        finite shared resource — hence the context-manager shape.
+        """
+        self._acquire_all()
+        try:
+            leased, _, buffers = _capture_leases(self._shards)
+        finally:
+            self._release_all()
+        try:
+            yield SnapshotViews(self._state_entries, buffers)
+        finally:
+            _release_fn_for(leased)()
+
+    def state_views(self):
+        """Deep-copied combined state (weights and buffers).
+
+        The threaded stores return zero-copy leased views here; a shared
+        store cannot hand out leases it would never get back, so this
+        returns plain copies taken under :meth:`leased_state`.  Callers on
+        the hot path should use :meth:`leased_state` directly.
+        """
+        with self.leased_state() as views:
+            return OrderedDict((name, np.array(view)) for name, view in views.items())
+
+    def full_state(self):
+        """Alias of :meth:`state_views` (monolithic-store API compatibility)."""
+        return self.state_views()
+
+    def weights_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current weights."""
+        with self.leased_state() as views:
+            return OrderedDict(
+                (name, np.array(views[name])) for name in self._weight_names
+            )
+
+    def buffers_snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of the current buffers."""
+        with self.leased_state() as views:
+            return OrderedDict(
+                (name, np.array(views[name])) for name in self._buffer_names
+            )
+
+    def snapshot(self) -> "OrderedDict[str, np.ndarray]":
+        """Deep copy of weights and buffers combined."""
+        return self.state_views()
+
+    def pull(self, known_version: int | None = None) -> PullReply:
+        """Server-process pull: full COW snapshot of every shard.
+
+        Exists for API parity (e.g. the server evaluating a freshly
+        restored model); worker processes never call it — they pull through
+        their own :class:`ShmStoreClient` attachment without involving the
+        server at all.  ``known_version`` is accepted but the reply is
+        always full: per-key delta encoding is replaced by the per-shard
+        mutation counters clients use directly.
+        """
+        del known_version
+        self._acquire_all()
+        try:
+            version = self.version
+            leased, payloads, buffers = _capture_leases(self._shards)
+        finally:
+            self._release_all()
+        return PullReply(
+            weights=SnapshotViews(self._weight_entries, buffers),
+            buffers=SnapshotViews(self._buffer_entries, buffers),
+            version=version,
+            is_delta=False,
+            flat_weights=tuple(payloads),
+            release_fn=_release_fn_for(leased),
+        )
+
+    # ------------------------------------------------------------------
+    # Writes (server process only)
+    # ------------------------------------------------------------------
+    def _check_writer(self) -> None:
+        if not self._writer:
+            raise RuntimeError(
+                "this SharedFlatStore attachment is read-only; only the "
+                "server process may mutate the shared store"
+            )
+
+    def apply_gradients(
+        self,
+        gradients: Mapping[str, np.ndarray],
+        optimizer,
+        scale: float = 1.0,
+        flat_gradients: Mapping[int, np.ndarray] | None = None,
+    ) -> int:
+        """Apply one push and return the new global version.
+
+        ``flat_gradients`` (shard index → packed buffer covering the whole
+        weight block) is the fast path the process runtime always uses —
+        the buffers are typically views straight into the pushing worker's
+        shared-memory gradient mailbox.  A per-name ``gradients`` mapping
+        is routed and packed per shard exactly like the threaded stores do.
+        """
+        self._check_writer()
+        use_flat = (
+            flat_gradients is not None
+            and len(gradients) in (0, len(self._weight_names))
+            and all(
+                shard.layout.weights_end == 0
+                or (
+                    flat_gradients.get(shard.index) is not None
+                    and flat_gradients[shard.index].size == shard.layout.weights_end
+                )
+                for shard in self._shards
+            )
+        )
+        if use_flat:
+            touched = [shard for shard in self._shards if shard.layout.weights_end]
+            by_shard: dict[int, dict[str, np.ndarray]] = {}
+        elif gradients:
+            by_shard = {}
+            for name in gradients:
+                if name not in self._weight_name_set:
+                    raise KeyError(f"gradients refer to unknown parameters: [{name!r}]")
+                by_shard.setdefault(self._shard_of[name], {})[name] = gradients[name]
+            touched = [self._shards[index] for index in sorted(by_shard)]
+        else:
+            raise ValueError("push carries neither per-name nor packed gradients")
+
+        for shard in touched:
+            shard.lock.acquire()
+        try:
+            updates = []
+            for shard in touched:
+                shard.materialize()
+                if use_flat:
+                    updates.append(shard.make_flat_update(flat_gradients[shard.index]))
+                else:
+                    updates.append(shard.make_update(by_shard[shard.index]))
+            optimizer.step_flat(updates, scale=scale)
+            for shard in touched:
+                shard.mark_mutated()
+            with self._version_lock:
+                self._version_view[0] += 1
+                return int(self._version_view[0])
+        finally:
+            for shard in reversed(touched):
+                shard.lock.release()
+
+    def update_buffers(self, buffers: Mapping[str, np.ndarray]) -> None:
+        """Overwrite buffer entries (batch-norm statistics) in place."""
+        self._check_writer()
+        unknown = set(buffers) - set(self._buffer_names)
+        if unknown:
+            raise KeyError(f"buffers refer to unknown entries: {sorted(unknown)[:5]}")
+        for name, value in buffers.items():
+            shard = self._shard(name)
+            value = np.asarray(value, dtype=self._dtype)
+            with shard.lock:
+                shard.materialize()
+                shard.write(name, value)
+                shard.mark_mutated()
+
+    def overwrite_weights(self, weights: Mapping[str, np.ndarray]) -> None:
+        """Replace stored weights (restore path)."""
+        self._check_writer()
+        unknown = set(weights) - self._weight_name_set
+        if unknown:
+            raise KeyError(f"unknown parameters: {sorted(unknown)[:5]}")
+        for name, value in weights.items():
+            shard = self._shard(name)
+            with shard.lock:
+                shard.materialize()
+                shard.write(name, np.asarray(value, dtype=self._dtype))
+                shard.mark_mutated()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's segment mappings (the segments live on)."""
+        for shard in self._shards:
+            shard.segment.close()
+        self._header_segment.close()
+
+
+class ShmStoreClient:
+    """A worker-process attachment to the shared store (read path only).
+
+    Wraps the lease protocol into the one operation workers need:
+    :meth:`pull_reply` builds a :class:`~repro.ps.messages.PullReply` whose
+    flat payloads are zero-copy views of leased slots, skipping shards
+    whose mutation counter has not moved since this client's previous pull
+    — so :meth:`repro.ps.worker.Worker.load_reply` consumes it exactly like
+    a threaded delta pull: one vectorized copy per *changed* shard, then
+    ``release()`` drops the leases.
+    """
+
+    def __init__(self, handle: SharedStoreHandle) -> None:
+        """Attach to every segment named by ``handle`` (read path only)."""
+        self._handle = handle
+        self._header_segment = SharedSegment.attach(handle.header_segment)
+        self._version_view = self._header_segment.ndarray(np.int64, 1, offset=0)
+        self._shards = [
+            SharedFlatShard(spec, SharedSegment.attach(spec.segment_name), lock)
+            for spec, lock in zip(handle.shard_specs, handle.shard_locks)
+        ]
+        self._seen_mutations = [-1] * len(self._shards)
+
+    @property
+    def version(self) -> int:
+        """Current global store version (read from shared memory)."""
+        return int(self._version_view[0])
+
+    def pull_reply(self) -> PullReply:
+        """Lease changed shards and wrap them as a consumable pull reply.
+
+        All shard locks are taken for the (instantaneous) lease phase so
+        the version/payload combination is cross-shard consistent — the
+        same guarantee the threaded sharded store gives — and released
+        before any data is copied.
+        """
+        for shard in self._shards:
+            shard.lock.acquire()
+        try:
+            version = self.version
+            leased, payloads, _ = _capture_leases(
+                self._shards, seen_mutations=self._seen_mutations
+            )
+        finally:
+            for shard in reversed(self._shards):
+                shard.lock.release()
+        return PullReply(
+            weights={},
+            buffers={},
+            version=version,
+            is_delta=True,
+            flat_weights=tuple(payloads),
+            release_fn=_release_fn_for(leased),
+        )
+
+    def close(self) -> None:
+        """Drop this process's segment mappings."""
+        for shard in self._shards:
+            shard.segment.close()
+        self._header_segment.close()
+
+
+def create_shared_store(
+    initial_weights: Mapping[str, np.ndarray],
+    initial_buffers: Mapping[str, np.ndarray] | None = None,
+    *,
+    num_shards: int = 1,
+    strategy: str = "size",
+    dtype: np.dtype | str = np.float64,
+    slots: int,
+    context,
+    grad_mailboxes: int = 0,
+) -> SharedStoreHandle:
+    """Create every segment of a shared store and write the initial model.
+
+    Called once by the coordinating (main) process before any child is
+    spawned.  Keys are partitioned with the same
+    :class:`~repro.ps.sharding.ShardRouter` strategies as the threaded
+    store, each shard's slot 0 is filled with the initial weights/buffers,
+    and — when ``grad_mailboxes > 0`` — one per-worker gradient segment is
+    laid out with every shard's weight block back to back (float64, the
+    replica gradient dtype), so backward passes accumulate directly into
+    memory the server can read.
+
+    The caller owns cleanup: hold the returned handle and call
+    :meth:`SharedStoreHandle.unlink_all` in a ``finally`` block.
+    ``slots`` must cover the worst-case concurrent readers plus one writer
+    target (the process runtime passes ``workers + 2``).
+    """
+    from repro.ps.sharding import ShardRouter  # local import: avoids a cycle
+
+    if not initial_weights:
+        raise ValueError("initial_weights must contain at least one parameter")
+    if slots < 2:
+        raise ValueError(f"slots must be >= 2 for copy-on-write, got {slots}")
+    store_dtype = normalize_store_dtype(dtype)
+    initial_buffers = initial_buffers or {}
+    overlap = set(initial_weights) & set(initial_buffers)
+    if overlap:
+        raise ValueError(f"names used as both weight and buffer: {sorted(overlap)[:5]}")
+
+    sizes = {
+        name: np.asarray(value).size * store_dtype.itemsize
+        for name, value in {**dict(initial_weights), **dict(initial_buffers)}.items()
+    }
+    router = ShardRouter(sizes, num_shards=num_shards, strategy=strategy)
+    run_id = secrets.token_hex(4)
+
+    header = SharedSegment.create(
+        np.dtype(np.int64).itemsize, name=f"repro-{run_id}-head"
+    )
+    created = [header]
+    specs: list[ShardSegmentSpec] = []
+    try:
+        view = header.ndarray(np.int64, 1)
+        view[0] = 0
+        del view
+        for index in range(router.num_shards):
+            weight_shapes = tuple(
+                (name, tuple(np.asarray(initial_weights[name]).shape))
+                for name in initial_weights
+                if router.shard_of(name) == index
+            )
+            buffer_shapes = tuple(
+                (name, tuple(np.asarray(initial_buffers[name]).shape))
+                for name in initial_buffers
+                if router.shard_of(name) == index
+            )
+            spec = ShardSegmentSpec(
+                index=index,
+                segment_name=f"repro-{run_id}-shard{index}",
+                weight_shapes=weight_shapes,
+                buffer_shapes=buffer_shapes,
+                dtype=store_dtype.name,
+                slots=int(slots),
+            )
+            layout = spec.build_layout()
+            segment = SharedSegment.create(
+                spec.segment_nbytes(layout), name=spec.segment_name
+            )
+            created.append(segment)
+            head = segment.ndarray(np.int64, spec.header_count)
+            head[:] = 0
+            slot0 = segment.ndarray(store_dtype, layout.size, offset=spec.data_offset)
+            for name, _ in (*weight_shapes, *buffer_shapes):
+                seg = layout.segment(name)
+                value = initial_weights.get(name)
+                if value is None:
+                    value = initial_buffers[name]
+                slot0[seg.lo : seg.hi] = np.asarray(value, dtype=store_dtype).ravel()
+            del head, slot0
+            specs.append(spec)
+
+        grad_names: list[str] = []
+        grad_elements = sum(spec.build_layout().weights_end for spec in specs)
+        for worker in range(grad_mailboxes):
+            name = f"repro-{run_id}-grad{worker}"
+            segment = SharedSegment.create(
+                max(grad_elements, 1) * np.dtype(np.float64).itemsize, name=name
+            )
+            created.append(segment)
+            view = segment.ndarray(np.float64, max(grad_elements, 1))
+            view[:] = 0.0
+            del view
+            grad_names.append(name)
+    except BaseException:
+        for segment in created:
+            segment.close()
+            segment.unlink()
+        raise
+
+    # The creating process keeps no mapping open: children attach by name,
+    # and cleanup goes through unlink_by_name.  (Closing here also keeps
+    # BufferError away from the exported ndarray views at interpreter exit.)
+    for segment in created:
+        segment.close()
+
+    return SharedStoreHandle(
+        header_segment=header.name,
+        shard_specs=tuple(specs),
+        shard_locks=tuple(context.Lock() for _ in specs),
+        version_lock=context.Lock(),
+        dtype=store_dtype.name,
+        grad_segments=tuple(grad_names),
+    )

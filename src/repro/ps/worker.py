@@ -102,7 +102,9 @@ class Worker:
             data[...] = np.asarray(value, dtype=data.dtype)
         self._local_version = int(version)
 
-    def attach_flat_layout(self, layouts) -> None:
+    def attach_flat_layout(
+        self, layouts, gradient_buffers: Mapping[int, np.ndarray] | None = None
+    ) -> None:
         """Repack the replica's parameters to mirror the server's flat layout.
 
         ``layouts`` is the store's ``flat_layouts``: per shard, the segments
@@ -117,6 +119,13 @@ class Worker:
           packed buffers, which travel with the push as
           ``PushRequest.flat_gradients`` — the server applies them with zero
           gather work.
+
+        ``gradient_buffers`` optionally supplies the per-shard gradient
+        storage (shard index → float64 array of the shard's weight-block
+        size) instead of freshly allocated arrays.  The process runtime
+        passes views of a shared-memory *mailbox* here, making the pushed
+        gradient visible to the server process with zero serialization —
+        the backward pass writes straight into shared memory.
 
         Per-name delta loads keep working unchanged — they simply write
         through the views.
@@ -140,7 +149,16 @@ class Worker:
                         f"{parameters[segment.name].shape} vs {segment.shape}"
                     )
             flat = np.empty(size, dtype=np.float64)
-            flat_grad = np.empty(size, dtype=np.float64)
+            if gradient_buffers is not None:
+                flat_grad = gradient_buffers[int(shard_index)]
+                if flat_grad.shape != (size,) or flat_grad.dtype != np.float64:
+                    raise ValueError(
+                        f"gradient buffer for shard {shard_index} must be a "
+                        f"float64 array of shape ({size},), got "
+                        f"{flat_grad.dtype} {flat_grad.shape}"
+                    )
+            else:
+                flat_grad = np.empty(size, dtype=np.float64)
             for segment in segments:
                 parameter = parameters[segment.name]
                 flat[segment.lo : segment.hi] = parameter.data.ravel()

@@ -7,6 +7,7 @@ from repro.api import (
     Backend,
     ClusterConfig,
     ExperimentSpec,
+    ProcessBackend,
     RunResult,
     SimulatedBackend,
     ThreadedBackend,
@@ -40,13 +41,19 @@ def threaded_result():
     return run_experiment(TINY_SPEC, "threaded")
 
 
+@pytest.fixture(scope="module")
+def process_result():
+    return run_experiment(TINY_SPEC, "process")
+
+
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ["simulated", "threaded"]
+        assert available_backends() == ["simulated", "threaded", "process"]
 
     def test_get_backend_instances_protocol(self):
         assert isinstance(get_backend("simulated"), Backend)
         assert isinstance(get_backend("threaded"), Backend)
+        assert isinstance(get_backend("process"), Backend)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -116,6 +123,54 @@ class TestThreadedBackend:
         with pytest.raises(ValueError, match="max_updates"):
             run_experiment(spec, "threaded")
         assert run_experiment(spec, "simulated").total_updates == 5
+
+
+class TestProcessBackend:
+    def test_runs_and_reports(self, process_result):
+        result = process_result
+        assert result.backend == "process"
+        assert result.errors == []
+        assert result.total_updates == 20  # 2 workers x 10 iterations
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(result.total_time)
+        assert result.accuracies.size >= 2
+        assert result.iterations_per_worker == {"worker-0": 10, "worker-1": 10}
+
+    def test_schema_matches_threaded(self, process_result, threaded_result):
+        assert TestBackendParity.schema(process_result.to_dict()) == (
+            TestBackendParity.schema(threaded_result.to_dict())
+        )
+
+    def test_lr_milestones_and_max_updates_rejected(self):
+        with pytest.raises(ValueError, match="lr_milestones"):
+            run_experiment(TINY_SPEC.replace(lr_milestones=(0.5,)), "process")
+        with pytest.raises(ValueError, match="max_updates"):
+            run_experiment(TINY_SPEC.replace(max_updates=5), "process")
+
+    def test_injected_workload_rejected(self):
+        from repro.experiments.workloads import build_workload
+
+        workload = build_workload("mlp", TINY_SPEC.resolved_scale())
+        with pytest.raises(ValueError, match="injected workload"):
+            run_experiment(TINY_SPEC, "process", workload=workload)
+
+    def test_pipe_transport_equivalent_schema(self):
+        result = run_experiment(TINY_SPEC, ProcessBackend(transport="pipe"))
+        assert result.errors == []
+        assert result.total_updates == 20
+
+    def test_no_shared_memory_leaked(self, process_result):
+        import os
+
+        del process_result  # the run has completed by fixture resolution
+        leaked = [
+            name for name in os.listdir("/dev/shm") if name.startswith("repro-")
+        ] if os.path.isdir("/dev/shm") else []
+        assert leaked == []
+
+    def test_staleness_and_wait_times_reported(self, process_result):
+        assert process_result.staleness.count == process_result.total_updates
+        assert set(process_result.wait_time_per_worker) == {"worker-0", "worker-1"}
 
 
 class TestBackendParity:

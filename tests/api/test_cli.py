@@ -87,3 +87,30 @@ class TestRegistry:
         printed = capsys.readouterr().out
         for expected in ("simulated", "threaded", "dssp", "alexnet", "resnet110", "p100"):
             assert expected in printed
+
+    def test_lists_all_three_backends_in_registration_order(self, capsys):
+        assert main(["registry"]) == 0
+        printed = capsys.readouterr().out
+        backends_block = printed.split("paradigms:")[0]
+        assert backends_block.startswith("backends:")
+        listed = [line.strip() for line in backends_block.splitlines()[1:] if line.strip()]
+        assert listed == ["simulated", "threaded", "process"]
+
+
+class TestRunProcessBackend:
+    def test_run_process_writes_result(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "process", "--output", str(output)]
+        )
+        assert code == 0
+        assert "backend   : process" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "process"
+        assert payload["errors"] == []
+        assert payload["provenance"]["spec"]["name"] == "cli-test"
+
+    def test_process_is_an_accepted_backend_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "spec.json", "--backend", "quantum"])
+        assert "process" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""The documentation is executable: every README/docs code block runs.
+
+Thin pytest wrapper around ``tools/check_docs.py`` (the same script the CI
+docs job runs), parametrized per file so a rotten snippet names the
+document that broke.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_docs", check_docs)
+_spec.loader.exec_module(check_docs)
+
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def test_docs_tree_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "architecture.md", "paradigms.md", "spec-reference.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_documented_blocks_execute(path):
+    checked, skipped, failures = check_docs.check_file(path)
+    assert failures == []
+    # Every document must actually exercise something (or explicitly skip).
+    assert checked + skipped > 0, f"{path.name} documents no runnable blocks"
+
+
+def test_skip_marker_is_honoured(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "<!-- docs-check: skip (would fail) -->\n"
+        "```console\n$ false\n```\n"
+        "```json\n{\"not\": \"a spec\"}\n```\n"
+    )
+    checked, skipped, failures = check_docs.check_file(doc)
+    assert (checked, skipped, failures) == (1, 1, [])
+
+
+def test_failures_are_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```console\n$ exit 3\n```\n")
+    checked, skipped, failures = check_docs.check_file(doc)
+    assert checked == 1 and len(failures) == 1
+    assert "exited 3" in failures[0]
+
+
+def test_invalid_spec_json_is_caught(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text('```json\n{"workload": "mlp", "paradgim": "bsp"}\n```\n')
+    checked, skipped, failures = check_docs.check_file(doc)
+    assert len(failures) == 1
+    assert "validate" in failures[0]

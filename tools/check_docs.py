@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Executable-documentation checker: docs that cannot rot.
+
+Extracts every fenced ```console and ```json block from the given markdown
+files (by default ``README.md`` and ``docs/*.md``) and *runs* them:
+
+* ``console`` blocks — every line starting with ``$ `` is executed with
+  the repository root as working directory and ``src`` on ``PYTHONPATH``;
+  it must exit 0.  Non-``$`` lines are treated as expected output and
+  ignored (outputs carry timings and hardware-dependent numbers; exit
+  codes do not).
+* ``json`` blocks — must parse as JSON.  Blocks whose top-level object
+  contains a ``"workload"`` key are experiment specs by convention and
+  must additionally pass ``python -m repro validate``.
+
+A block may opt out (e.g. the full benchmark suite, minutes of compute) by
+preceding the fence with an HTML comment containing ``docs-check: skip``::
+
+    <!-- docs-check: skip (reason) -->
+    ```console
+    $ REPRO_BENCH_SCALE=small pytest benchmarks/ -s
+    ```
+
+Run directly (``python tools/check_docs.py``; exits non-zero on the first
+failure summary) or through the pytest wrapper
+``tests/test_docs_examples.py``; CI runs it as the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SKIP_MARKER = "docs-check: skip"
+CHECKED_KINDS = ("console", "json")
+
+
+@dataclass
+class Block:
+    """One fenced code block extracted from a markdown file."""
+
+    path: Path
+    kind: str
+    lineno: int
+    lines: list[str] = field(default_factory=list)
+    skipped: bool = False
+
+    @property
+    def label(self) -> str:
+        """Human-readable location, e.g. ``README.md:37 [console]``."""
+        try:
+            shown = self.path.relative_to(REPO_ROOT)
+        except ValueError:  # file outside the repo (tests use tmp dirs)
+            shown = self.path
+        return f"{shown}:{self.lineno} [{self.kind}]"
+
+
+def extract_blocks(path: Path) -> list[Block]:
+    """Parse ``path`` and return its ```console/```json blocks in order."""
+    blocks: list[Block] = []
+    current: Block | None = None
+    pending_skip = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if current is not None:
+            if line.startswith("```"):
+                blocks.append(current)
+                current = None
+            else:
+                current.lines.append(raw)
+            continue
+        if line.startswith("```"):
+            kind = line[3:].strip().split()[0].lower() if line[3:].strip() else ""
+            if kind in CHECKED_KINDS:
+                current = Block(path=path, kind=kind, lineno=lineno, skipped=pending_skip)
+            pending_skip = False
+        elif line:
+            pending_skip = line.startswith("<!--") and SKIP_MARKER in line
+    if current is not None:
+        raise ValueError(f"{path}: unterminated code fence at line {current.lineno}")
+    return blocks
+
+
+def run_command(command: str) -> tuple[int, str]:
+    """Run one documented shell command from the repository root."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    try:
+        completed = subprocess.run(
+            command,
+            shell=True,
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    except subprocess.TimeoutExpired:
+        return 124, "timed out after 600s"
+    output = (completed.stdout + completed.stderr).strip()
+    return completed.returncode, output
+
+
+def check_console_block(block: Block) -> list[str]:
+    """Execute a console block's ``$ `` commands; return failure messages."""
+    failures = []
+    for raw in block.lines:
+        stripped = raw.strip()
+        if not stripped.startswith("$ "):
+            continue  # expected output, prompt art, comments
+        command = stripped[2:]
+        code, output = run_command(command)
+        if code != 0:
+            failures.append(
+                f"{block.label}: `{command}` exited {code}\n{output[-2000:]}"
+            )
+    return failures
+
+
+def check_json_block(block: Block) -> list[str]:
+    """Parse a JSON block; validate it as a spec when it names a workload."""
+    text = "\n".join(block.lines)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        return [f"{block.label}: invalid JSON ({error})"]
+    if not (isinstance(payload, dict) and "workload" in payload):
+        return []
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", prefix="docs-spec-", delete=False
+    ) as handle:
+        handle.write(text)
+        spec_path = handle.name
+    try:
+        code, output = run_command(
+            f"{sys.executable} -m repro validate {spec_path}"
+        )
+        if code != 0:
+            return [
+                f"{block.label}: spec failed `python -m repro validate`\n{output[-2000:]}"
+            ]
+    finally:
+        os.unlink(spec_path)
+    return []
+
+
+def check_file(path: Path) -> tuple[int, int, list[str]]:
+    """Check one markdown file; returns (checked, skipped, failures)."""
+    checked = skipped = 0
+    failures: list[str] = []
+    for block in extract_blocks(path):
+        if block.skipped:
+            skipped += 1
+            continue
+        checked += 1
+        if block.kind == "console":
+            failures.extend(check_console_block(block))
+        else:
+            failures.extend(check_json_block(block))
+    return checked, skipped, failures
+
+
+def default_files() -> list[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Run every ```console/```json block in the documentation."
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    arguments = parser.parse_args(argv)
+    files = [path.resolve() for path in arguments.files] or default_files()
+
+    total_checked = total_skipped = 0
+    failures: list[str] = []
+    for path in files:
+        checked, skipped, file_failures = check_file(path)
+        total_checked += checked
+        total_skipped += skipped
+        failures.extend(file_failures)
+        status = "FAIL" if file_failures else "ok"
+        try:
+            shown = path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = path
+        print(f"{shown}: {checked} checked, {skipped} skipped [{status}]")
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAILED {failure}")
+        return 1
+    print(f"\nall documentation blocks pass ({total_checked} checked, "
+          f"{total_skipped} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,13 +70,16 @@ class Backend(Protocol):
         *,
         workload: Workload | None = None,
         cluster: ClusterSpec | None = None,
+        profile: bool = False,
     ) -> RunResult:
         """Execute ``spec`` and return the unified result.
 
         ``workload`` and ``cluster`` allow callers that already hold built
         objects (e.g. the paradigm-comparison runner reusing one dataset
         across runs) to inject them; the provenance block records the
-        injection.
+        injection.  ``profile`` attaches the per-layer profiler
+        (:mod:`repro.utils.profiler`) to one worker's replica and records
+        the breakdown in ``RunResult.profile``.
         """
         ...
 
@@ -120,11 +123,12 @@ def run_experiment(
     *,
     workload: Workload | None = None,
     cluster: ClusterSpec | None = None,
+    profile: bool = False,
 ) -> RunResult:
     """Run ``spec`` on ``backend`` (a name or a backend instance)."""
     if isinstance(backend, str):
         backend = get_backend(backend)
-    return backend.run(spec, workload=workload, cluster=cluster)
+    return backend.run(spec, workload=workload, cluster=cluster, profile=profile)
 
 
 def _provenance(
@@ -196,6 +200,7 @@ class SimulatedBackend:
         *,
         workload: Workload | None = None,
         cluster: ClusterSpec | None = None,
+        profile: bool = False,
     ) -> RunResult:
         """Execute ``spec`` in the simulator."""
         provenance = _provenance(spec, self.name, workload, cluster)
@@ -229,6 +234,7 @@ class SimulatedBackend:
             num_server_shards=spec.num_shards,
             shard_strategy=spec.shard_strategy,
             dtype=spec.dtype,
+            profile=profile,
             seed=spec.seed,
         )
         sim = SimulatedTraining(
@@ -268,6 +274,7 @@ class SimulatedBackend:
             server_statistics=sim.server_statistics,
             provenance=provenance,
             errors=[],
+            profile=sim.profile,
         )
 
 
@@ -281,6 +288,7 @@ class ThreadedBackend:
         *,
         workload: Workload | None = None,
         cluster: ClusterSpec | None = None,
+        profile: bool = False,
     ) -> RunResult:
         """Execute ``spec`` on the threaded runtime."""
         _reject_simulator_only_fields(spec, self.name)
@@ -314,6 +322,12 @@ class ThreadedBackend:
             workload.train_dataset,
             workload.test_dataset,
         )
+        profiler = None
+        if profile:
+            from repro.utils.profiler import LayerProfiler
+
+            first = trainer.workers[0]
+            profiler = LayerProfiler(first.model, loss_fn=first.loss_fn).attach()
 
         # Evaluate the initial model so the curve starts at t=0, exactly
         # like the simulated backend's first evaluation.
@@ -330,6 +344,13 @@ class ThreadedBackend:
             losses.append(loss)
 
         result = trainer.run()
+        profile_data = None
+        if profiler is not None:
+            profiler.detach()
+            profile_data = {
+                "worker_id": trainer.workers[0].worker_id,
+                **profiler.as_dict(),
+            }
         times.extend(result.evaluation_times)
         accuracies.extend(result.evaluation_accuracies)
         losses.extend(result.evaluation_losses)
@@ -364,6 +385,7 @@ class ThreadedBackend:
             server_statistics=result.server_statistics,
             provenance=provenance,
             errors=list(result.errors),
+            profile=profile_data,
         )
 
 
@@ -417,6 +439,7 @@ class ProcessBackend:
         *,
         workload: Workload | None = None,
         cluster: ClusterSpec | None = None,
+        profile: bool = False,
     ) -> RunResult:
         """Execute ``spec`` on the multi-process runtime."""
         _reject_simulator_only_fields(spec, self.name)
@@ -461,6 +484,7 @@ class ProcessBackend:
             num_shards=spec.num_shards,
             shard_strategy=spec.shard_strategy,
             dtype=spec.dtype,
+            profile=profile,
             seed=spec.seed,
             transport=self.transport,
             wait_timeout=wait_timeout,
@@ -499,4 +523,5 @@ class ProcessBackend:
             server_statistics=result.server_statistics,
             provenance=provenance,
             errors=list(result.errors),
+            profile=result.profile,
         )

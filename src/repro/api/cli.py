@@ -49,6 +49,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--curve", action="store_true", help="render the accuracy curve as ASCII"
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="time each layer's forward/backward on one worker and print the "
+        "breakdown (also recorded in the result JSON)",
+    )
     run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
 
     validate = commands.add_parser("validate", help="validate a spec without running")
@@ -58,12 +64,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_profile(profile: dict, top: int = 12) -> str:
+    """Render the recorded per-layer breakdown as the CLI's profile table."""
+    from repro.utils.profiler import render_profile
+
+    header = (
+        f"per-layer compute breakdown ({profile.get('worker_id', '?')}, "
+        f"slowest {top} layers):"
+    )
+    return header + "\n" + render_profile(profile, top=top)
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(arguments.spec)
     if arguments.seed is not None:
         spec = spec.replace(seed=arguments.seed)
     backend = get_backend(arguments.backend)
-    result = run_experiment(spec, backend)
+    result = run_experiment(spec, backend, profile=arguments.profile)
 
     print(f"spec      : {spec.name} ({arguments.spec})")
     print(f"backend   : {result.backend}")
@@ -91,6 +108,10 @@ def _command_run(arguments: argparse.Namespace) -> int:
             f"{report.samples_processed:>9d} {report.total_wait_time:>9.2f} "
             f"{report.mean_loss:>10.3f}"
         )
+
+    if arguments.profile and result.profile:
+        print()
+        print(_format_profile(result.profile))
 
     if arguments.curve and result.times.size >= 2:
         print()

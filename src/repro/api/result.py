@@ -98,6 +98,10 @@ class RunResult:
     server_statistics: dict
     provenance: Provenance
     errors: list[str] = field(default_factory=list)
+    #: Per-layer forward/backward timing breakdown of one worker's replica
+    #: (``repro.utils.profiler``); None unless the run was profiled
+    #: (``python -m repro run SPEC --profile``).
+    profile: dict | None = None
 
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=np.float64)
@@ -176,4 +180,5 @@ class RunResult:
             ],
             "provenance": self.provenance.to_dict(),
             "errors": list(self.errors),
+            "profile": self.profile,
         }

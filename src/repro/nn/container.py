@@ -76,12 +76,24 @@ class Residual(Module):
         self.shortcut = self.register_module("shortcut", shortcut or Identity())
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        return self.body.forward(inputs) + self.shortcut.forward(inputs)
+        body_out = self.body.forward(inputs)
+        shortcut_out = self.shortcut.forward(inputs)
+        workspace = self._workspace
+        if workspace is None:
+            return body_out + shortcut_out
+        output = workspace.get("output", body_out.shape)
+        np.add(body_out, shortcut_out, out=output)
+        return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_body = self.body.backward(grad_output)
         grad_shortcut = self.shortcut.backward(grad_output)
-        return grad_body + grad_shortcut
+        workspace = self._workspace
+        if workspace is None:
+            return grad_body + grad_shortcut
+        grad_input = workspace.get("grad_input", grad_body.shape)
+        np.add(grad_body, grad_shortcut, out=grad_input)
+        return grad_input
 
 
 def _ensure_sequence(modules: Sequence[Module]) -> list[Module]:

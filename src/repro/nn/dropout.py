@@ -30,11 +30,28 @@ class Dropout(Module):
             self._mask = None
             return inputs
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(inputs.shape) < keep) / keep
-        return inputs * self._mask
+        workspace = self._workspace
+        if workspace is None:
+            self._mask = (self._rng.random(inputs.shape) < keep) / keep
+            return inputs * self._mask
+        draws = workspace.get("draws", inputs.shape)
+        self._rng.random(out=draws)
+        kept = workspace.get("kept", inputs.shape, dtype=bool)
+        np.less(draws, keep, out=kept)
+        mask = workspace.get("mask", inputs.shape)
+        np.divide(kept, keep, out=mask)
+        self._mask = mask
+        output = workspace.get("output", inputs.shape)
+        np.multiply(inputs, mask, out=output)
+        return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_output = np.asarray(grad_output, dtype=np.float64)
         if self._mask is None:
             return grad_output
-        return grad_output * self._mask
+        workspace = self._workspace
+        if workspace is None:
+            return grad_output * self._mask
+        grad_input = workspace.get("grad_input", grad_output.shape)
+        np.multiply(grad_output, self._mask, out=grad_input)
+        return grad_input

@@ -58,16 +58,35 @@ class Linear(Module):
                 f"expected input of shape (N, {self.in_features}), got {inputs.shape}"
             )
         self._cache_input = inputs
-        output = inputs @ self.weight.data.T
+        workspace = self._workspace
+        if workspace is None:
+            output = inputs @ self.weight.data.T
+            if self.bias is not None:
+                output = output + self.bias.data
+            return output
+        output = workspace.get("output", (inputs.shape[0], self.out_features))
+        np.matmul(inputs, self.weight.data.T, out=output)
         if self.bias is not None:
-            output = output + self.bias.data
+            output += self.bias.data
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache_input is None:
             raise RuntimeError("backward called before forward")
         grad_output = np.asarray(grad_output, dtype=np.float64)
-        self.weight.accumulate_grad(grad_output.T @ self._cache_input)
+        workspace = self._workspace
+        if workspace is None:
+            self.weight.accumulate_grad(grad_output.T @ self._cache_input)
+            if self.bias is not None:
+                self.bias.accumulate_grad(grad_output.sum(axis=0))
+            return grad_output @ self.weight.data
+        grad_weight = workspace.get("grad_weight", self.weight.data.shape)
+        np.matmul(grad_output.T, self._cache_input, out=grad_weight)
+        self.weight.accumulate_grad(grad_weight)
         if self.bias is not None:
-            self.bias.accumulate_grad(grad_output.sum(axis=0))
-        return grad_output @ self.weight.data
+            grad_bias = workspace.get("grad_bias", (self.out_features,))
+            np.sum(grad_output, axis=0, out=grad_bias)
+            self.bias.accumulate_grad(grad_bias)
+        grad_input = workspace.get("grad_input", self._cache_input.shape)
+        np.matmul(grad_output, self.weight.data, out=grad_input)
+        return grad_input

@@ -8,6 +8,7 @@ from collections.abc import Iterator, Mapping
 import numpy as np
 
 from repro.nn.parameter import Parameter
+from repro.nn.workspace import Workspace
 
 __all__ = ["Module"]
 
@@ -27,6 +28,7 @@ class Module:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._workspace: Workspace | None = None
         self.training = True
 
     # ------------------------------------------------------------------
@@ -84,6 +86,50 @@ class Module:
     def eval(self) -> "Module":
         """Switch to evaluation mode recursively."""
         return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Workspace (allocation-free hot path)
+    # ------------------------------------------------------------------
+    def enable_workspace(self) -> "Module":
+        """Give every module in the tree its own buffer :class:`Workspace`.
+
+        Workspace-aware layers then draw their im2col columns, padding
+        scratch, activation maps and gradient temporaries from grow-once
+        reusable buffers instead of allocating per step; the computed
+        values are bit-for-bit those of the reference path.  Each module
+        owns a private arena, so buffers never alias across layers.
+        """
+        for _, module in self.named_modules():
+            module._workspace = Workspace()
+        return self
+
+    def disable_workspace(self) -> "Module":
+        """Drop every workspace in the tree, restoring the reference path."""
+        for _, module in self.named_modules():
+            module._workspace = None
+        return self
+
+    @property
+    def workspace_enabled(self) -> bool:
+        """Whether this module currently draws temporaries from a workspace."""
+        return self._workspace is not None
+
+    def workspace_stats(self) -> dict:
+        """Aggregate workspace counters over the module tree.
+
+        ``allocations`` is monotonic — it only moves when a buffer of a new
+        (tag, shape, dtype) is created — so steady-state allocation-freedom
+        is asserted by taking it after a warm-up step and checking it never
+        moves again.
+        """
+        allocations = buffers = nbytes = 0
+        for _, module in self.named_modules():
+            workspace = module._workspace
+            if workspace is not None:
+                allocations += workspace.allocations
+                buffers += workspace.num_buffers
+                nbytes += workspace.nbytes
+        return {"allocations": allocations, "buffers": buffers, "nbytes": nbytes}
 
     # ------------------------------------------------------------------
     # Parameter and state access

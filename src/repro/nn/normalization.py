@@ -4,6 +4,18 @@ Running mean/variance are stored as *buffers* (non-trainable state); the
 parameter server propagates them alongside the weights so the evaluation
 model sees sensible statistics regardless of which worker computed the most
 recent update.
+
+With a workspace enabled the layers run a fused, allocation-free kernel:
+the centered input is materialized once into a reused buffer, the variance
+and backward statistics are single-pass ``einsum`` contractions (no squared
+or product temporaries — the reference path allocates a fresh
+multi-megabyte temporary inside ``np.var`` and in each broadcast
+expression), and the scale/shift is folded into a per-channel
+``gamma/std`` multiplier.  The fused kernel is mathematically identical to
+the reference but associates the floating-point operations differently, so
+its results agree to rounding error (~1e-15 relative in float64) rather
+than bit-for-bit — the documented tolerance pinned by
+``tests/nn/test_workspace.py``.
 """
 
 from __future__ import annotations
@@ -33,6 +45,10 @@ class _BatchNormBase(Module):
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Whether the cached tensors came from the fused (workspace) forward
+        # (which caches the *centered* input) or the reference forward
+        # (which caches the *normalized* input).
+        self._cache_fused = False
 
     # The per-shape layers reduce/broadcast over different axes.
     _reduce_axes: tuple[int, ...] = (0,)
@@ -43,15 +59,13 @@ class _BatchNormBase(Module):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.float64)
         self._check_shape(inputs)
+        workspace = self._workspace
+        if workspace is not None:
+            return self._forward_workspace(inputs, workspace)
         if self.training:
             mean = inputs.mean(axis=self._reduce_axes)
             var = inputs.var(axis=self._reduce_axes)
-            count = inputs.size // self.num_features
-            unbiased_var = var * count / max(count - 1, 1)
-            running_mean = self._buffers["running_mean"]
-            running_var = self._buffers["running_var"]
-            running_mean[...] = (1 - self.momentum) * running_mean + self.momentum * mean
-            running_var[...] = (1 - self.momentum) * running_var + self.momentum * unbiased_var
+            self._update_running_stats(inputs, mean, var)
         else:
             mean = self._buffers["running_mean"]
             var = self._buffers["running_var"]
@@ -62,13 +76,63 @@ class _BatchNormBase(Module):
             self.beta.data
         )
         self._cache = (normalized, inv_std, inputs)
+        self._cache_fused = False
         return output
+
+    def _forward_workspace(self, inputs: np.ndarray, workspace) -> np.ndarray:
+        """Fused forward: centered once, variance without a squared temporary,
+        scale and shift folded into two passes over the data.
+
+        The cache keeps ``(centered, inv_std)`` instead of the reference
+        path's materialized ``normalized`` — backward re-derives what it
+        needs per channel, saving a full-size buffer and pass.
+        """
+        centered = workspace.get("centered", inputs.shape)
+        count = inputs.size // self.num_features
+        if self.training:
+            mean = inputs.mean(axis=self._reduce_axes)
+            np.subtract(inputs, self._reshape_stats(mean), out=centered)
+            # Single-pass sum of squares straight off the centered buffer —
+            # no squared temporary (inputs.var() would allocate two).
+            var = self._sum_of_squares(centered) / count
+            self._update_running_stats(inputs, mean, var)
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+            np.subtract(inputs, self._reshape_stats(mean), out=centered)
+
+        inv_std = 1.0 / np.sqrt(self._reshape_stats(var) + self.eps)
+        # Folded scale-shift: one multiply by gamma/std, one add of beta.
+        scale = self._reshape_stats(self.gamma.data) * inv_std
+        output = workspace.get("output", inputs.shape)
+        np.multiply(centered, scale, out=output)
+        output += self._reshape_stats(self.beta.data)
+        self._cache = (centered, inv_std, inputs)
+        self._cache_fused = True
+        return output
+
+    def _update_running_stats(
+        self, inputs: np.ndarray, mean: np.ndarray, var: np.ndarray
+    ) -> None:
+        count = inputs.size // self.num_features
+        unbiased_var = var * count / max(count - 1, 1)
+        running_mean = self._buffers["running_mean"]
+        running_var = self._buffers["running_var"]
+        running_mean[...] = (1 - self.momentum) * running_mean + self.momentum * mean
+        running_var[...] = (1 - self.momentum) * running_var + self.momentum * unbiased_var
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         normalized, inv_std, inputs = self._cache
         grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self._cache_fused:
+            workspace = self._workspace
+            if workspace is None:
+                raise RuntimeError(
+                    "workspace was disabled between forward and backward"
+                )
+            return self._backward_workspace(grad_output, normalized, inv_std, inputs, workspace)
 
         self.gamma.accumulate_grad((grad_output * normalized).sum(axis=self._reduce_axes))
         self.beta.accumulate_grad(grad_output.sum(axis=self._reduce_axes))
@@ -88,7 +152,57 @@ class _BatchNormBase(Module):
         ) * inv_std
         return grad_input
 
+    def _backward_workspace(
+        self,
+        grad_output: np.ndarray,
+        centered: np.ndarray,
+        inv_std: np.ndarray,
+        inputs: np.ndarray,
+        workspace,
+    ) -> np.ndarray:
+        """Fused backward, derived from the reference formula by pushing the
+        per-element reductions down to per-channel scalars.
+
+        With ``n̂ = ĉ·inv_std`` and ``gn = g·γ``, the reference input
+        gradient ``(gn - Σgn/m - n̂·Σ(gn·n̂)/m)·inv_std`` becomes
+
+            scale·(g - Σg/m) - ĉ·(scale·inv_std²·Σ(g·ĉ)/m),   scale = γ·inv_std
+
+        so only two full-size passes write memory and both reductions are
+        single-pass contractions (no grad_normalized temporary at all).
+        """
+        inv_std_flat = inv_std.reshape(self.num_features)
+        grad_centered_sum = self._correlate(grad_output, centered)
+        self.gamma.accumulate_grad(grad_centered_sum * inv_std_flat)
+        self.beta.accumulate_grad(grad_output.sum(axis=self._reduce_axes))
+
+        scale = self._reshape_stats(self.gamma.data) * inv_std
+        grad_input = workspace.get("bwd_grad_input", grad_output.shape)
+        if not self.training:
+            np.multiply(grad_output, scale, out=grad_input)
+            return grad_input
+
+        count = inputs.size // self.num_features
+        sum_grad = grad_output.sum(axis=self._reduce_axes)
+        np.subtract(grad_output, self._reshape_stats(sum_grad / count), out=grad_input)
+        grad_input *= scale
+        coefficient = scale * inv_std * inv_std * self._reshape_stats(
+            grad_centered_sum / count
+        )
+        scratch = workspace.get("bwd_scratch", grad_output.shape)
+        np.multiply(centered, coefficient, out=scratch)
+        grad_input -= scratch
+        return grad_input
+
     def _check_shape(self, inputs: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _sum_of_squares(self, array: np.ndarray) -> np.ndarray:
+        """Per-channel ``Σ array²`` in one pass (no squared temporary)."""
+        raise NotImplementedError
+
+    def _correlate(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-channel ``Σ a·b`` in one pass (no product temporary)."""
         raise NotImplementedError
 
 
@@ -106,6 +220,12 @@ class BatchNorm1d(_BatchNormBase):
     def _reshape_stats(self, array: np.ndarray) -> np.ndarray:
         return array
 
+    def _sum_of_squares(self, array: np.ndarray) -> np.ndarray:
+        return np.einsum("nc,nc->c", array, array)
+
+    def _correlate(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("nc,nc->c", a, b)
+
 
 class BatchNorm2d(_BatchNormBase):
     """Batch normalization over ``(N, C, H, W)`` images (per-channel stats)."""
@@ -120,3 +240,9 @@ class BatchNorm2d(_BatchNormBase):
 
     def _reshape_stats(self, array: np.ndarray) -> np.ndarray:
         return np.asarray(array).reshape(1, self.num_features, 1, 1)
+
+    def _sum_of_squares(self, array: np.ndarray) -> np.ndarray:
+        return np.einsum("nchw,nchw->c", array, array)
+
+    def _correlate(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("nchw,nchw->c", a, b)

@@ -1,0 +1,90 @@
+"""Grow-once buffer arena backing the allocation-free compute hot path.
+
+Every training step of the reference layers allocates its im2col column
+matrix, col2im padding scratch, activation maps and gradient temporaries
+from scratch; at ResNet depth those are multi-megabyte arrays whose
+``mmap``/``munmap`` round trips and page-zeroing dominate the numpy compute
+itself.  A :class:`Workspace` removes that cost: each module owns one arena
+and draws every temporary from it with :meth:`Workspace.get`, which
+allocates a buffer the *first* time a ``(tag, shape, dtype)`` combination is
+requested and returns the same storage forever after.  In steady state
+(shapes repeating step after step) a workspace-enabled model performs zero
+per-step buffer allocations — pinned by ``tests/nn/test_workspace.py``
+through the monotonic :attr:`Workspace.allocations` counter.
+
+Buffers are *zero-initialized on creation* so callers that only ever write
+an interior region (e.g. the padded im2col input, whose border must read as
+zero) can skip re-clearing it on reuse; callers that accumulate (col2im
+scatter-add) pass ``zero=True`` to have the buffer cleared on every return.
+
+Workspaces are enabled per module tree with
+:meth:`repro.nn.module.Module.enable_workspace` — each module gets its own
+arena, so buffers can never alias across layers — and the layer kernels
+produce bit-for-bit the results of the reference (workspace-less) path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Reusable numpy buffers keyed by ``(tag, shape, dtype)``.
+
+    The arena only ever grows: a new key allocates, a seen key returns the
+    existing array.  Distinct shapes under one tag (e.g. a short final
+    mini-batch) keep distinct buffers, so alternating shapes stay
+    allocation-free after each has been seen once.
+    """
+
+    __slots__ = ("_buffers", "allocations", "nbytes")
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        #: Monotonic count of buffers ever created (the no-growth assertion
+        #: of the steady-state tests watches this).
+        self.allocations = 0
+        #: Total bytes currently held by the arena.
+        self.nbytes = 0
+
+    def get(
+        self,
+        tag: str,
+        shape: tuple[int, ...],
+        dtype=np.float64,
+        *,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """Return the reusable buffer for ``(tag, shape, dtype)``.
+
+        The buffer is zero-filled when first created; with ``zero=True`` it
+        is additionally cleared on every reuse (for accumulation scratch).
+        """
+        key = (tag, shape, np.dtype(dtype).str)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.zeros(shape, dtype=dtype)
+            self._buffers[key] = buffer
+            self.allocations += 1
+            self.nbytes += buffer.nbytes
+        elif zero:
+            buffer[...] = 0
+        return buffer
+
+    @property
+    def num_buffers(self) -> int:
+        """Number of distinct buffers currently held."""
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop every buffer (the allocation counter keeps its history)."""
+        self._buffers.clear()
+        self.nbytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"Workspace(buffers={self.num_buffers}, "
+            f"nbytes={self.nbytes}, allocations={self.allocations})"
+        )

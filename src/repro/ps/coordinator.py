@@ -63,13 +63,15 @@ def build_worker(
     streams: RngStream,
     batch_size: int,
     micro_batches: int = 1,
+    use_workspace: bool = True,
 ) -> Worker:
     """One worker replica, exactly as :func:`assemble_training` builds it.
 
     Shared with :mod:`repro.ps.process_runtime` so the replica recipe —
     stream names, loader construction, initial-weight overwrite from the
     global model — lives in one place and the two runtimes cannot drift
-    apart on cross-substrate determinism.
+    apart on cross-substrate determinism.  ``use_workspace`` (default on)
+    runs the replica on the allocation-free workspace kernels.
     """
     loader = MiniBatchLoader(
         partitions[index],
@@ -84,6 +86,7 @@ def build_worker(
         loader=loader,
         loss_fn=SoftmaxCrossEntropy(),
         micro_batches=micro_batches,
+        use_workspace=use_workspace,
     )
 
 
@@ -125,6 +128,10 @@ class DistributedTrainingConfig:
         Element dtype of the server-held weights, ``"float64"`` (default)
         or ``"float32"`` (halves push/pull payloads; what the paper's MXNet
         setup uses).
+    use_workspace:
+        Run worker replicas (and the evaluation model) on the
+        allocation-free workspace compute kernels (default on; the
+        reference kernels remain available for comparison benchmarks).
     seed:
         Master seed for data order and weight initialization.
     """
@@ -143,6 +150,7 @@ class DistributedTrainingConfig:
     num_shards: int = 1
     shard_strategy: str = "size"
     dtype: str = "float64"
+    use_workspace: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -220,12 +228,15 @@ def assemble_training(
                 streams,
                 batch_size=config.batch_size,
                 micro_batches=config.micro_batches,
+                use_workspace=config.use_workspace,
             )
         )
 
     evaluate_fn = None
     if test_dataset is not None:
         eval_model = model_builder(streams.get("eval"))
+        if config.use_workspace:
+            eval_model.enable_workspace()
 
         def evaluate_fn(state: Mapping[str, np.ndarray]) -> tuple[float, float]:
             eval_model.load_state_dict(dict(state))

@@ -135,6 +135,14 @@ class ProcessTrainingPlan:
         initial and final model are always evaluated).
     num_shards, shard_strategy, dtype:
         Parameter-store layout, identical semantics to the other runtimes.
+    use_workspace:
+        Run worker replicas (and the server's evaluation model) on the
+        allocation-free workspace compute kernels (default on).
+    profile:
+        Worker 0 attaches a per-layer profiler
+        (:class:`repro.utils.profiler.LayerProfiler`) and ships the timing
+        breakdown with its final report; it lands in
+        ``ProcessTrainingResult.profile``.
     seed:
         Master seed shared by every process's :class:`~repro.utils.rng.RngStream`.
     transport:
@@ -167,6 +175,8 @@ class ProcessTrainingPlan:
     num_shards: int = 1
     shard_strategy: str = "size"
     dtype: str = "float64"
+    use_workspace: bool = True
+    profile: bool = False
     seed: int = 0
     transport: str = "shm"
     wait_timeout: float = 120.0
@@ -297,6 +307,8 @@ def _server_main(
         workload = plan.build_workload()
         streams = RngStream(plan.seed)
         eval_model = workload.model_builder(streams.get("eval"))
+        if plan.use_workspace:
+            eval_model.enable_workspace()
 
         def evaluate() -> tuple[float, float]:
             with store.leased_state() as views:
@@ -319,6 +331,7 @@ def _server_main(
         live: dict = {conn: index for index, conn in enumerate(conns)}
         reports: dict[int, WorkerReport] = {}
         errors: list[str] = []
+        worker_profile: dict | None = None
         # Persistent selector: registering the worker pipes once is
         # measurably cheaper than multiprocessing.connection.wait's
         # per-call selector construction on the per-push hot path.
@@ -402,8 +415,10 @@ def _server_main(
                         eval_accuracies.append(accuracy)
                         eval_losses.append(loss)
                 elif kind == "done":
-                    _, _, report = message
+                    _, _, report, profile = message
                     reports[index] = WorkerReport(**report)
+                    if profile is not None:
+                        worker_profile = profile
                     drop(conn)
                 elif kind == "error":
                     errors.append(f"{worker_id}: {message[2]}")
@@ -448,6 +463,7 @@ def _server_main(
                 evaluation_accuracies=eval_accuracies,
                 evaluation_losses=eval_losses,
                 errors=errors,
+                profile=worker_profile,
             )
         )
     except Exception as error:  # noqa: BLE001 - the coordinator must hear about it
@@ -508,7 +524,13 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
             streams,
             batch_size=plan.batch_size,
             micro_batches=plan.micro_batches,
+            use_workspace=plan.use_workspace,
         )
+        profiler = None
+        if plan.profile and index == 0:
+            from repro.utils.profiler import LayerProfiler
+
+            profiler = LayerProfiler(worker.model, loss_fn=worker.loss_fn).attach()
 
         layouts = tuple(
             (spec.index, spec.build_layout().weight_segments)
@@ -576,6 +598,10 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
 
             worker.load_reply(client.pull_reply())
 
+        profile = None
+        if profiler is not None:
+            profiler.detach()
+            profile = {"worker_id": worker_id, **profiler.as_dict()}
         conn.send(
             (
                 "done",
@@ -588,6 +614,7 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
                     "total_compute_time": total_compute,
                     "mean_loss": worker.mean_loss,
                 },
+                profile,
             )
         )
     except Exception as error:  # noqa: BLE001 - report, then die quietly

@@ -54,6 +54,9 @@ class ThreadedTrainingResult:
     evaluation_accuracies: list[float] = field(default_factory=list)
     evaluation_losses: list[float] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    #: Per-layer forward/backward timing breakdown of one worker's replica
+    #: (see repro.utils.profiler); None unless profiling was requested.
+    profile: dict | None = None
 
     @property
     def final_accuracy(self) -> float:

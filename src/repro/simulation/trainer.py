@@ -135,6 +135,13 @@ class SimulationConfig:
     dtype:
         Element dtype of the server-held weights (``"float64"`` or
         ``"float32"``).
+    use_workspace:
+        Run worker replicas and the evaluation model on the allocation-free
+        workspace compute kernels (default on; see :mod:`repro.nn.workspace`).
+    profile:
+        Attach a per-layer forward/backward profiler
+        (:class:`repro.utils.profiler.LayerProfiler`) to the first worker's
+        replica and record the breakdown in ``SimulationResult.profile``.
     seed:
         Master seed controlling data order, initialization and jitter.
     """
@@ -160,6 +167,8 @@ class SimulationConfig:
     num_server_shards: int = 1
     shard_strategy: str = "size"
     dtype: str = "float64"
+    use_workspace: bool = True
+    profile: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -200,6 +209,9 @@ class SimulationResult:
     tracker: ExperimentTracker
     trace: SimulationTrace
     controller_decisions: int = 0
+    #: Per-layer timing breakdown of the first worker's replica (real
+    #: wall-clock compute, not virtual time); None unless profiling was on.
+    profile: dict | None = None
 
     @property
     def final_accuracy(self) -> float:
@@ -285,6 +297,7 @@ class SimulatedTraining:
                 model=replica,
                 loader=loader,
                 loss_fn=SoftmaxCrossEntropy(),
+                use_workspace=config.use_workspace,
             )
         return workers
 
@@ -296,8 +309,18 @@ class SimulatedTraining:
         config = self.config
         global_model = self.model_builder(self._streams.get("init"))
         eval_model = self.model_builder(self._streams.get("eval"))
+        if config.use_workspace:
+            eval_model.enable_workspace()
         server = self._build_server(global_model)
         workers = self._build_workers(global_model, server)
+        profiler = None
+        if config.profile:
+            from repro.utils.profiler import LayerProfiler
+
+            first_worker = next(iter(workers.values()))
+            profiler = LayerProfiler(
+                first_worker.model, loss_fn=first_worker.loss_fn
+            ).attach()
 
         sample_shape = self.train_dataset.sample_shape
         cost = config.timing_cost or estimate_model_cost(global_model, sample_shape)
@@ -491,6 +514,13 @@ class SimulatedTraining:
             if isinstance(policy, DynamicStaleSynchronousParallel)
             else 0
         )
+        profile = None
+        if profiler is not None:
+            profiler.detach()
+            profile = {
+                "worker_id": next(iter(workers)),
+                **profiler.as_dict(),
+            }
         label = paradigm_label(config.paradigm, config.paradigm_kwargs)
         _LOGGER.info(
             "%s finished: %.0f virtual seconds, %d updates, final accuracy %.3f",
@@ -521,6 +551,7 @@ class SimulatedTraining:
             tracker=tracker,
             trace=trace,
             controller_decisions=controller_decisions,
+            profile=profile,
         )
 
 

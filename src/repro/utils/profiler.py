@@ -1,0 +1,216 @@
+"""Lightweight per-layer forward/backward profiler.
+
+:class:`LayerProfiler` wraps the ``forward``/``backward`` methods of every
+*leaf* module in a model (and optionally the loss) with
+``time.perf_counter`` bracketing, accumulating per-layer call counts and
+seconds.  Wrapping is per *instance* — an attribute shadowing the class
+method — so attaching never mutates classes, composes with any layer type,
+and :meth:`LayerProfiler.detach` restores the original behaviour exactly.
+
+The overhead is two clock reads per call (~100 ns), negligible against the
+millisecond-scale numpy kernels it measures, so the profiler is safe to
+leave attached for a whole training run.  It is exposed end-to-end as
+``python -m repro run SPEC --profile``, which attaches it to worker-0's
+replica and records the breakdown in ``RunResult.profile``.
+
+>>> profiler = LayerProfiler(model, loss_fn=loss)
+>>> with profiler:
+...     train_some_steps()
+>>> print(profiler.report())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.nn.module import Module
+
+__all__ = ["LayerTiming", "LayerProfiler", "render_profile"]
+
+
+def render_profile(profile: dict, top: int | None = 10) -> str:
+    """Render a recorded profile dict (``LayerProfiler.as_dict`` /
+    ``RunResult.profile``) as a plain-text table of the slowest layers.
+
+    The one formatter shared by :meth:`LayerProfiler.report` and the CLI's
+    ``--profile`` output, so the two cannot drift.
+    """
+    layers = profile.get("layers", [])
+    if top is not None:
+        layers = layers[:top]
+    forward = profile.get("forward_seconds", 0.0)
+    backward = profile.get("backward_seconds", 0.0)
+    total = profile.get("total_seconds", forward + backward)
+    shown = sum(layer["total_seconds"] for layer in layers)
+    lines = [
+        f"{'layer':<32} {'kind':<16} {'fwd (s)':>9} {'bwd (s)':>9} "
+        f"{'total (s)':>10} {'share':>7}"
+    ]
+    for layer in layers:
+        share = layer["total_seconds"] / total if total > 0 else 0.0
+        lines.append(
+            f"{layer['name']:<32} {layer['kind']:<16} "
+            f"{layer['forward_seconds']:>9.3f} {layer['backward_seconds']:>9.3f} "
+            f"{layer['total_seconds']:>10.3f} {share:>6.1%}"
+        )
+    covered = shown / total if total > 0 else 1.0
+    lines.append(
+        f"{'TOTAL':<32} {'':<16} {forward:>9.3f} {backward:>9.3f} "
+        f"{total:>10.3f} {covered:>6.1%}"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class LayerTiming:
+    """Accumulated timings of one profiled layer (or loss)."""
+
+    name: str
+    kind: str
+    forward_calls: int = 0
+    forward_seconds: float = 0.0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Forward plus backward seconds."""
+        return self.forward_seconds + self.backward_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-compatible rendering."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "forward_calls": self.forward_calls,
+            "forward_seconds": self.forward_seconds,
+            "backward_calls": self.backward_calls,
+            "backward_seconds": self.backward_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass
+class _Wrapped:
+    """Bookkeeping for one instance-level method wrap."""
+
+    target: object
+    attribute: str
+    original: object = field(default=None)
+
+
+class LayerProfiler:
+    """Times every leaf module's forward and backward passes.
+
+    Containers (``Sequential``, ``Residual``) are skipped so the recorded
+    seconds are *exclusive* — they sum to the model total without double
+    counting.  ``loss_fn`` (any object with ``forward``/``backward``) is
+    profiled under the name ``"<loss>"`` when given.
+    """
+
+    def __init__(self, model: Module, loss_fn=None) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self._timings: dict[int, LayerTiming] = {}
+        self._wrapped: list[_Wrapped] = []
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Attach / detach
+    # ------------------------------------------------------------------
+    def attach(self) -> "LayerProfiler":
+        """Wrap the leaf modules (idempotent)."""
+        if self._attached:
+            return self
+        for name, module in self.model.named_modules():
+            if module._modules:  # container: children carry the time
+                continue
+            timing = self._timing_for(module, name or "<root>", type(module).__name__)
+            self._wrap(module, "forward", timing)
+            self._wrap(module, "backward", timing)
+        if self.loss_fn is not None:
+            timing = self._timing_for(
+                self.loss_fn, "<loss>", type(self.loss_fn).__name__
+            )
+            self._wrap(self.loss_fn, "forward", timing)
+            self._wrap(self.loss_fn, "backward", timing)
+        self._attached = True
+        return self
+
+    def detach(self) -> "LayerProfiler":
+        """Remove every wrapper, restoring the original methods."""
+        for wrapped in reversed(self._wrapped):
+            try:
+                delattr(wrapped.target, wrapped.attribute)
+            except AttributeError:  # pragma: no cover - already removed
+                pass
+        self._wrapped.clear()
+        self._attached = False
+        return self
+
+    def __enter__(self) -> "LayerProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def _timing_for(self, target, name: str, kind: str) -> LayerTiming:
+        key = id(target)
+        if key not in self._timings:
+            self._timings[key] = LayerTiming(name=name, kind=kind)
+        return self._timings[key]
+
+    def _wrap(self, target, attribute: str, timing: LayerTiming) -> None:
+        original = getattr(target, attribute)
+        if attribute == "forward":
+            def timed(*args, _original=original, _timing=timing, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return _original(*args, **kwargs)
+                finally:
+                    _timing.forward_seconds += time.perf_counter() - start
+                    _timing.forward_calls += 1
+        else:
+            def timed(*args, _original=original, _timing=timing, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return _original(*args, **kwargs)
+                finally:
+                    _timing.backward_seconds += time.perf_counter() - start
+                    _timing.backward_calls += 1
+        # Instance attribute shadows the class method; detach deletes it.
+        setattr(target, attribute, timed)
+        self._wrapped.append(_Wrapped(target=target, attribute=attribute))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def timings(self) -> list[LayerTiming]:
+        """Per-layer timings, slowest first."""
+        return sorted(
+            self._timings.values(), key=lambda t: t.total_seconds, reverse=True
+        )
+
+    @property
+    def forward_seconds(self) -> float:
+        """Total profiled forward seconds."""
+        return sum(t.forward_seconds for t in self._timings.values())
+
+    @property
+    def backward_seconds(self) -> float:
+        """Total profiled backward seconds."""
+        return sum(t.backward_seconds for t in self._timings.values())
+
+    def as_dict(self) -> dict:
+        """JSON-compatible summary (what ``RunResult.profile`` records)."""
+        return {
+            "forward_seconds": self.forward_seconds,
+            "backward_seconds": self.backward_seconds,
+            "total_seconds": self.forward_seconds + self.backward_seconds,
+            "layers": [timing.to_dict() for timing in self.timings()],
+        }
+
+    def report(self, top: int | None = 10) -> str:
+        """Human-readable table of the slowest layers."""
+        return render_profile(self.as_dict(), top=top)

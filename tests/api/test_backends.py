@@ -236,3 +236,41 @@ class TestRunResultSerialization:
     def test_transitional_aliases(self, simulated_result):
         assert simulated_result.total_virtual_time == simulated_result.total_time
         assert simulated_result.staleness_summary is simulated_result.staleness
+
+
+class TestProfilePlumbing:
+    """``profile=True`` records a per-layer breakdown on every backend."""
+
+    PROFILE_KEYS = {"worker_id", "forward_seconds", "backward_seconds",
+                    "total_seconds", "layers"}
+
+    def test_unprofiled_runs_record_none(self, simulated_result, threaded_result):
+        assert simulated_result.profile is None
+        assert threaded_result.profile is None
+        assert simulated_result.to_dict()["profile"] is None
+
+    @pytest.mark.parametrize("backend", ["simulated", "threaded", "process"])
+    def test_profile_recorded_per_backend(self, backend):
+        result = run_experiment(TINY_SPEC, backend, profile=True)
+        profile = result.profile
+        assert profile is not None
+        assert set(profile) == self.PROFILE_KEYS
+        assert profile["worker_id"] == "worker-0"
+        assert profile["layers"], "expected per-layer entries"
+        names = {layer["name"] for layer in profile["layers"]}
+        assert "<loss>" in names
+        assert profile["total_seconds"] == pytest.approx(
+            profile["forward_seconds"] + profile["backward_seconds"]
+        )
+        # The breakdown must survive JSON serialization with the result.
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["profile"]["worker_id"] == "worker-0"
+
+    def test_profiling_does_not_change_the_run(self):
+        plain = run_experiment(TINY_SPEC, "simulated")
+        profiled = run_experiment(TINY_SPEC, "simulated", profile=True)
+        assert np.array_equal(plain.accuracies, profiled.accuracies)
+        assert np.array_equal(plain.losses, profiled.losses)
+        assert plain.total_updates == profiled.total_updates

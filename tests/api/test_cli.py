@@ -42,6 +42,20 @@ class TestRun:
         assert code == 0
         assert "backend   : threaded" in capsys.readouterr().out
 
+    def test_run_with_profile_prints_breakdown(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "threaded", "--profile",
+             "--output", str(output)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "per-layer compute breakdown" in printed
+        assert "<loss>" in printed
+        payload = json.loads(output.read_text())
+        assert payload["profile"]["worker_id"] == "worker-0"
+        assert payload["profile"]["layers"]
+
     def test_seed_override_recorded(self, spec_path, tmp_path):
         output = tmp_path / "result.json"
         code = main(["run", str(spec_path), "--seed", "9", "--output", str(output)])

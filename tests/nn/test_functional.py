@@ -100,10 +100,73 @@ class TestSoftmax:
         assert probabilities.sum() == pytest.approx(1.0)
 
 
+class TestBufferReuse:
+    """The optional out=/padded=/stage= arguments reuse caller storage."""
+
+    def test_im2col_writes_into_caller_buffer(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 3, 6, 6))
+        expected = im2col(images, 3, 3, stride=1, padding=1)
+        out = np.empty_like(expected)
+        padded = np.zeros((2, 3, 8, 8))
+        result = im2col(images, 3, 3, stride=1, padding=1, out=out, padded=padded)
+        assert result is out
+        assert np.array_equal(result, expected)
+        # Reuse with different content: borders of the padded scratch stay
+        # zero, so a second call is still exact.
+        other = rng.normal(size=(2, 3, 6, 6))
+        again = im2col(other, 3, 3, stride=1, padding=1, out=out, padded=padded)
+        assert np.array_equal(again, im2col(other, 3, 3, stride=1, padding=1))
+
+    def test_im2col_zero_padding_skips_the_padded_copy(self):
+        rng = np.random.default_rng(1)
+        images = rng.normal(size=(1, 2, 5, 5))
+        expected = im2col(images, 2, 2, stride=1, padding=0)
+        out = np.empty_like(expected)
+        result = im2col(images, 2, 2, stride=1, padding=0, out=out, padded=None)
+        assert np.array_equal(result, expected)
+
+    @pytest.mark.parametrize("padding", [0, 1])
+    def test_col2im_accumulates_into_reused_scratch(self, padding):
+        rng = np.random.default_rng(2)
+        image_shape = (2, 3, 6, 6)
+        cols = rng.normal(size=im2col(np.zeros(image_shape), 3, 3, 1, padding).shape)
+        expected = col2im(cols, image_shape, 3, 3, stride=1, padding=padding)
+        scratch = np.full((2, 3, 6 + 2 * padding, 6 + 2 * padding), 99.0)
+        out_size = conv_output_size(6, 3, 1, padding)
+        stage = np.empty((2, 3, 3, 3, out_size, out_size))
+        for _ in range(2):  # dirty scratch must be cleared on every call
+            result = col2im(
+                cols, image_shape, 3, 3, stride=1, padding=padding,
+                padded=scratch, stage=stage,
+            )
+            assert np.array_equal(result, expected)
+
+    def test_col2im_padding_zero_reuses_scratch_as_result(self):
+        rng = np.random.default_rng(3)
+        image_shape = (1, 2, 4, 4)
+        cols = rng.normal(size=im2col(np.zeros(image_shape), 2, 2, 2, 0).shape)
+        scratch = np.empty(image_shape)
+        result = col2im(cols, image_shape, 2, 2, stride=2, padding=0, padded=scratch)
+        assert result is scratch
+        assert np.array_equal(
+            result, col2im(cols, image_shape, 2, 2, stride=2, padding=0)
+        )
+
+
 class TestOneHot:
     def test_encoding(self):
         encoded = one_hot(np.array([0, 2, 1]), num_classes=3)
         assert np.allclose(encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]]))
+
+    def test_defaults_to_float64(self):
+        assert one_hot(np.array([0, 1]), num_classes=2).dtype == np.float64
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32])
+    def test_respects_requested_dtype(self, dtype):
+        encoded = one_hot(np.array([1, 0]), num_classes=2, dtype=dtype)
+        assert encoded.dtype == dtype
+        assert np.array_equal(encoded, np.array([[0, 1], [1, 0]], dtype=dtype))
 
     def test_rejects_out_of_range_labels(self):
         with pytest.raises(ValueError):

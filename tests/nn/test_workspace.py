@@ -1,0 +1,424 @@
+"""Workspace hot-path tests: arena semantics, bit-for-bit kernel
+equivalence against the reference path, steady-state allocation freedom,
+gradient checks, and the in-place ReLU.
+
+Equivalence contract (see docs/performance.md): every workspace kernel is
+bit-for-bit identical to its reference implementation given the same input
+array, with two documented-tolerance exceptions that re-associate the
+arithmetic and agree to rounding error instead: fused BatchNorm (folded
+scale-shift, single-pass statistics) and the stride-1 convolution input
+gradient (correlation with the flipped kernel instead of a col2im
+scatter-add).  At the whole-model level intermediate layouts differ too
+(the workspace path keeps activations contiguous), so reductions round
+differently in the last ulp and the curves agree to the same tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    MeanSquaredError,
+    ReLU,
+    Residual,
+    Sequential,
+    Sigmoid,
+    SoftmaxCrossEntropy,
+    Tanh,
+    Workspace,
+)
+from repro.models.resnet import resnet20
+from tests.nn.gradcheck import input_gradient_error, parameter_gradient_error
+
+TOLERANCE = 1e-6
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# Workspace arena semantics
+# ----------------------------------------------------------------------
+class TestWorkspaceArena:
+    def test_same_key_returns_same_buffer(self):
+        workspace = Workspace()
+        first = workspace.get("cols", (4, 8))
+        second = workspace.get("cols", (4, 8))
+        assert first is second
+        assert workspace.allocations == 1
+
+    def test_distinct_shapes_get_distinct_buffers(self):
+        workspace = Workspace()
+        a = workspace.get("cols", (4, 8))
+        b = workspace.get("cols", (2, 8))
+        assert a is not b
+        assert workspace.allocations == 2
+        # Revisiting either shape stays allocation-free.
+        workspace.get("cols", (4, 8))
+        workspace.get("cols", (2, 8))
+        assert workspace.allocations == 2
+
+    def test_dtype_is_part_of_the_key(self):
+        workspace = Workspace()
+        a = workspace.get("mask", (3,), dtype=bool)
+        b = workspace.get("mask", (3,), dtype=np.float64)
+        assert a.dtype == np.bool_ and b.dtype == np.float64
+        assert workspace.allocations == 2
+
+    def test_buffers_are_zeroed_on_creation_and_on_zero_flag(self):
+        workspace = Workspace()
+        buffer = workspace.get("scratch", (4,))
+        assert np.all(buffer == 0.0)
+        buffer[...] = 7.0
+        assert np.all(workspace.get("scratch", (4,)) == 7.0)  # reuse keeps data
+        assert np.all(workspace.get("scratch", (4,), zero=True) == 0.0)
+
+    def test_nbytes_tracks_growth_and_clear(self):
+        workspace = Workspace()
+        workspace.get("a", (8,))
+        assert workspace.nbytes == 8 * 8
+        workspace.clear()
+        assert workspace.nbytes == 0 and workspace.num_buffers == 0
+        # The allocation counter is monotonic history, not current state.
+        assert workspace.allocations == 1
+
+
+# ----------------------------------------------------------------------
+# Module-level enable/disable
+# ----------------------------------------------------------------------
+class TestModuleWorkspacePlumbing:
+    def test_enable_gives_every_module_its_own_arena(self, rng):
+        model = resnet20(num_classes=10, rng=rng)
+        model.enable_workspace()
+        arenas = {id(m._workspace) for _, m in model.named_modules()}
+        count = sum(1 for _ in model.named_modules())
+        assert len(arenas) == count  # one private arena each
+        assert model.workspace_enabled
+
+    def test_disable_restores_reference_path(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        layer.enable_workspace().disable_workspace()
+        assert not layer.workspace_enabled
+        out = layer.forward(rng.normal(size=(2, 4)))
+        assert out.flags.owndata  # freshly allocated, not a workspace view
+
+    def test_stats_aggregate_over_the_tree(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        model.enable_workspace()
+        model.forward(rng.normal(size=(3, 4)))
+        stats = model.workspace_stats()
+        assert stats["allocations"] > 0
+        assert stats["nbytes"] > 0
+        assert stats["buffers"] == stats["allocations"]
+
+
+# ----------------------------------------------------------------------
+# Bit-for-bit equivalence with the reference kernels
+# ----------------------------------------------------------------------
+def _pair(make_layer):
+    """Two identically initialized layers: reference and workspace-enabled."""
+    reference = make_layer(np.random.default_rng(7))
+    workspace = make_layer(np.random.default_rng(7))
+    workspace.enable_workspace()
+    return reference, workspace
+
+
+def _forward_backward(layer, inputs, grad):
+    output = layer.forward(inputs)
+    layer.zero_grad()
+    grad_input = layer.backward(grad)
+    grads = {name: p.grad.copy() for name, p in layer.named_parameters()}
+    return np.array(output, copy=True), np.array(grad_input, copy=True), grads
+
+
+#: (id, builder, input shape, grad_input exact?).  Stride-1 convolutions
+#: compute the input gradient as a correlation with the flipped kernel,
+#: which reduces in one matmul instead of per offset — rounding-error
+#: agreement (documented tolerance); everything else is bit-exact, as are
+#: conv outputs and parameter gradients in every geometry.
+LAYER_CASES = [
+    ("linear", lambda r: Linear(6, 4, rng=r), (3, 6), True),
+    ("conv3x3_pad", lambda r: Conv2d(2, 5, 3, stride=1, padding=1, rng=r), (2, 2, 8, 8), False),
+    ("conv1x1_s1", lambda r: Conv2d(3, 4, 1, stride=1, padding=0, rng=r), (2, 3, 8, 8), False),
+    ("conv1x1_s2", lambda r: Conv2d(3, 4, 1, stride=2, padding=0, rng=r), (2, 3, 8, 8), True),
+    ("conv3x3_s2", lambda r: Conv2d(2, 4, 3, stride=2, padding=1, rng=r), (2, 2, 8, 8), True),
+    ("relu", lambda r: ReLU(), (4, 6), True),
+    ("leaky_relu", lambda r: LeakyReLU(0.1), (4, 6), True),
+    ("sigmoid", lambda r: Sigmoid(), (4, 6), True),
+    ("tanh", lambda r: Tanh(), (4, 6), True),
+    ("maxpool", lambda r: MaxPool2d(2, stride=2), (2, 3, 8, 8), True),
+    ("avgpool", lambda r: AvgPool2d(2, stride=2, padding=1), (2, 3, 8, 8), True),
+    ("global_avgpool", lambda r: GlobalAvgPool2d(), (2, 3, 6, 6), True),
+]
+
+
+class TestBitForBitEquivalence:
+    @pytest.mark.parametrize(
+        "make_layer,input_shape,grad_input_exact",
+        [case[1:] for case in LAYER_CASES],
+        ids=[case[0] for case in LAYER_CASES],
+    )
+    def test_layer_matches_reference_exactly(
+        self, make_layer, input_shape, grad_input_exact, rng
+    ):
+        reference, workspaced = _pair(make_layer)
+        inputs = rng.normal(size=input_shape)
+        grad = rng.normal(size=reference.forward(inputs).shape)
+
+        expected = _forward_backward(reference, inputs, grad)
+        # Two rounds through the workspace path: the second reuses every
+        # buffer, which is where stale-state bugs would show up.
+        for _ in range(2):
+            out, grad_input, grads = _forward_backward(workspaced, inputs, grad)
+            assert np.array_equal(expected[0], out)
+            if grad_input_exact:
+                assert np.array_equal(expected[1], grad_input)
+            else:
+                np.testing.assert_allclose(
+                    expected[1], grad_input, rtol=1e-12, atol=1e-14
+                )
+            for name, value in expected[2].items():
+                assert np.array_equal(value, grads[name]), name
+
+    @pytest.mark.parametrize("cls,shape", [(BatchNorm1d, (16, 5)), (BatchNorm2d, (4, 5, 6, 6))])
+    @pytest.mark.parametrize("training", [True, False], ids=["train", "eval"])
+    def test_fused_batchnorm_matches_to_documented_tolerance(
+        self, cls, shape, training, rng
+    ):
+        """Fused BN re-associates the arithmetic: rounding-error agreement."""
+        reference, workspaced = _pair(lambda r: cls(shape[1]))
+        if not training:
+            warm = rng.normal(loc=1.0, size=shape) * 2.0
+            for layer in (reference, workspaced):
+                layer.forward(warm)  # identical running statistics
+                layer.eval()
+        inputs = np.random.default_rng(3).normal(size=shape)
+        grad = np.random.default_rng(4).normal(size=shape)
+
+        # Two rounds each (the second reuses every workspace buffer), with
+        # the running statistics compared round for round.
+        for _ in range(2):
+            expected = _forward_backward(reference, inputs, grad)
+            out, grad_input, grads = _forward_backward(workspaced, inputs, grad)
+            np.testing.assert_allclose(expected[0], out, rtol=1e-12, atol=1e-13)
+            np.testing.assert_allclose(expected[1], grad_input, rtol=1e-9, atol=1e-13)
+            for name, value in expected[2].items():
+                np.testing.assert_allclose(
+                    value, grads[name], rtol=1e-9, atol=1e-13, err_msg=name
+                )
+            for name, buffer in reference.buffers().items():
+                np.testing.assert_allclose(
+                    buffer, dict(workspaced.buffers())[name], rtol=1e-12, err_msg=name
+                )
+
+    def test_dropout_matches_reference_exactly(self):
+        reference = Dropout(0.4, rng=np.random.default_rng(11))
+        workspaced = Dropout(0.4, rng=np.random.default_rng(11)).enable_workspace()
+        inputs = np.random.default_rng(0).normal(size=(8, 8))
+        grad = np.random.default_rng(1).normal(size=(8, 8))
+        for _ in range(2):  # identical RNG consumption on both paths
+            expected = _forward_backward(reference, inputs, grad)
+            actual = _forward_backward(workspaced, inputs, grad)
+            assert np.array_equal(expected[0], actual[0])
+            assert np.array_equal(expected[1], actual[1])
+
+    def test_residual_matches_reference_exactly(self, rng):
+        def make(r):
+            return Sequential(
+                Residual(
+                    Sequential(Conv2d(3, 3, 3, padding=1, bias=False, rng=r), BatchNorm2d(3), ReLU()),
+                ),
+                ReLU(),
+            )
+
+        reference, workspaced = _pair(make)
+        inputs = rng.normal(size=(2, 3, 6, 6))
+        grad = rng.normal(size=(2, 3, 6, 6))
+        expected = _forward_backward(reference, inputs, grad)
+        actual = _forward_backward(workspaced, inputs, grad)
+        # Contains a BatchNorm, so tolerance rather than equality.
+        np.testing.assert_allclose(expected[0], actual[0], rtol=1e-12, atol=1e-13)
+        np.testing.assert_allclose(expected[1], actual[1], rtol=1e-9, atol=1e-12)
+
+    def test_softmax_cross_entropy_matches_exactly(self, rng):
+        reference = SoftmaxCrossEntropy()
+        workspaced = SoftmaxCrossEntropy().enable_workspace()
+        logits = rng.normal(size=(6, 9))
+        labels = rng.integers(0, 9, size=6)
+        expected_loss = reference.forward(logits, labels)
+        expected_grad = reference.backward()
+        for _ in range(2):
+            assert workspaced.forward(logits, labels) == expected_loss
+            assert np.array_equal(workspaced.backward(), expected_grad)
+
+    def test_mean_squared_error_matches_exactly(self, rng):
+        reference = MeanSquaredError()
+        workspaced = MeanSquaredError().enable_workspace()
+        predictions = rng.normal(size=(5, 3))
+        targets = rng.normal(size=(5, 3))
+        expected_loss = reference.forward(predictions, targets)
+        expected_grad = reference.backward()
+        for _ in range(2):
+            assert workspaced.forward(predictions, targets) == expected_loss
+            assert np.array_equal(workspaced.backward(), expected_grad)
+
+    def test_whole_model_agrees_to_documented_tolerance(self, rng):
+        """Reference and workspace resnets agree to rounding error."""
+        reference = resnet20(num_classes=10, rng=np.random.default_rng(42))
+        workspaced = resnet20(num_classes=10, rng=np.random.default_rng(42))
+        workspaced.enable_workspace()
+        loss_ref, loss_ws = SoftmaxCrossEntropy(), SoftmaxCrossEntropy().enable_workspace()
+        inputs = rng.normal(size=(4, 3, 12, 12))
+        labels = rng.integers(0, 10, size=4)
+
+        out_ref = reference.forward(inputs)
+        out_ws = workspaced.forward(inputs)
+        np.testing.assert_allclose(out_ref, out_ws, rtol=1e-9, atol=1e-12)
+        value_ref = loss_ref.forward(out_ref, labels)
+        value_ws = loss_ws.forward(out_ws, labels)
+        assert value_ws == pytest.approx(value_ref, rel=1e-12)
+        reference.zero_grad()
+        workspaced.zero_grad()
+        grad_ref = reference.backward(loss_ref.backward())
+        grad_ws = workspaced.backward(loss_ws.backward())
+        np.testing.assert_allclose(grad_ref, grad_ws, rtol=1e-6, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Dtype handling of the functional kernels
+# ----------------------------------------------------------------------
+class TestFunctionalDtypes:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_im2col_col2im_respect_dtype(self, dtype, rng):
+        from repro.nn.functional import col2im, im2col
+
+        images = rng.normal(size=(2, 3, 6, 6)).astype(dtype)
+        cols = im2col(images, 3, 3, stride=1, padding=1)
+        assert cols.dtype == dtype
+        back = col2im(cols, images.shape, 3, 3, stride=1, padding=1)
+        assert back.dtype == dtype
+
+
+# ----------------------------------------------------------------------
+# Steady-state allocation freedom
+# ----------------------------------------------------------------------
+class TestAllocationFreedom:
+    def test_resnet_step_allocates_nothing_after_warmup(self, rng):
+        model = resnet20(num_classes=10, rng=np.random.default_rng(0))
+        model.enable_workspace()
+        loss = SoftmaxCrossEntropy().enable_workspace()
+        inputs = rng.normal(size=(4, 3, 12, 12))
+        labels = rng.integers(0, 10, size=4)
+
+        def step():
+            out = model.forward(inputs)
+            loss.forward(out, labels)
+            model.zero_grad()
+            model.backward(loss.backward())
+
+        step()  # warm-up allocates every buffer once
+        baseline = model.workspace_stats()["allocations"]
+        assert baseline > 0
+        for _ in range(3):
+            step()
+        assert model.workspace_stats()["allocations"] == baseline
+        assert loss._workspace.allocations == len(loss._workspace._buffers)
+
+    def test_alternating_batch_sizes_stay_allocation_free_once_seen(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=np.random.default_rng(0))
+        layer.enable_workspace()
+        small = rng.normal(size=(2, 2, 6, 6))
+        large = rng.normal(size=(4, 2, 6, 6))
+        for inputs in (small, large):  # warm both shapes
+            layer.backward(np.ones_like(layer.forward(inputs)))
+        baseline = layer.workspace_stats()["allocations"]
+        for inputs in (small, large, small, large):
+            layer.backward(np.ones_like(layer.forward(inputs)))
+        assert layer.workspace_stats()["allocations"] == baseline
+
+
+# ----------------------------------------------------------------------
+# Gradient checks on the workspace path
+# ----------------------------------------------------------------------
+class TestWorkspaceGradients:
+    @pytest.mark.parametrize(
+        "make_layer,input_shape",
+        [
+            (lambda r: Linear(4, 3, rng=r), (3, 4)),
+            (lambda r: Conv2d(2, 3, 3, stride=1, padding=1, rng=r), (2, 2, 4, 4)),
+            (lambda r: MaxPool2d(2, stride=2), (2, 2, 4, 4)),
+            (lambda r: GlobalAvgPool2d(), (3, 4, 5, 5)),
+        ],
+        ids=["linear", "conv", "maxpool", "gap"],
+    )
+    def test_input_gradients_match_numerical(self, make_layer, input_shape, rng):
+        layer = make_layer(rng)
+        layer.enable_workspace()
+        inputs = np.random.default_rng(5).normal(size=input_shape)
+        assert input_gradient_error(layer, inputs) < TOLERANCE
+
+    def test_conv_parameter_gradients_match_numerical(self, rng):
+        layer = Conv2d(2, 3, 3, stride=1, padding=1, rng=rng)
+        layer.enable_workspace()
+        inputs = np.random.default_rng(5).normal(size=(2, 2, 4, 4))
+        assert parameter_gradient_error(layer, inputs) < TOLERANCE
+
+    def test_fused_batchnorm_gradients_match_numerical(self, rng):
+        for layer, shape in ((BatchNorm1d(5), (8, 5)), (BatchNorm2d(3), (4, 3, 3, 3))):
+            layer.enable_workspace()
+            inputs = np.random.default_rng(5).normal(size=shape)
+            assert input_gradient_error(layer, inputs) < 1e-5
+            assert parameter_gradient_error(layer, inputs) < 1e-5
+
+
+# ----------------------------------------------------------------------
+# In-place ReLU
+# ----------------------------------------------------------------------
+class TestInPlaceReLU:
+    def test_inplace_overwrites_its_input(self):
+        layer = ReLU(inplace=True)
+        inputs = np.array([-1.0, 2.0, -3.0, 4.0])
+        output = layer.forward(inputs)
+        assert output is inputs
+        assert np.array_equal(inputs, [0.0, 2.0, 0.0, 4.0])
+
+    def test_inplace_backward_matches_reference(self, rng):
+        values = rng.normal(size=(4, 4))
+        grad = rng.normal(size=(4, 4))
+        reference = ReLU()
+        expected = reference.forward(values.copy())
+        expected_grad = reference.backward(grad)
+        inplace = ReLU(inplace=True)
+        assert np.array_equal(inplace.forward(values.copy()), expected)
+        assert np.array_equal(inplace.backward(grad), expected_grad)
+
+    def test_inplace_falls_back_on_read_only_input(self):
+        layer = ReLU(inplace=True)
+        inputs = np.array([-1.0, 2.0])
+        inputs.setflags(write=False)
+        output = layer.forward(inputs)
+        assert output is not inputs
+        assert np.array_equal(output, [0.0, 2.0])
+        assert np.array_equal(inputs, [-1.0, 2.0])
+
+    def test_inplace_with_workspace(self, rng):
+        layer = ReLU(inplace=True)
+        layer.enable_workspace()
+        inputs = rng.normal(size=(3, 3))
+        expected = np.maximum(inputs, 0.0)
+        output = layer.forward(inputs)
+        assert output is inputs
+        assert np.array_equal(output, expected)
+        baseline = layer.workspace_stats()["allocations"]
+        layer.forward(rng.normal(size=(3, 3)))
+        assert layer.workspace_stats()["allocations"] == baseline

@@ -1,0 +1,118 @@
+"""Tests for the per-layer forward/backward profiler."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Residual, Sequential, SoftmaxCrossEntropy
+from repro.utils.profiler import LayerProfiler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _model(rng):
+    return Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+
+
+class TestAttachDetach:
+    def test_attach_wraps_only_leaves(self, rng):
+        model = Sequential(Residual(Sequential(Linear(4, 4, rng=rng))), ReLU())
+        profiler = LayerProfiler(model).attach()
+        names = {t.name for t in profiler.timings()}
+        # Containers (Sequential/Residual) are skipped; Identity shortcut is a leaf.
+        assert names == {"0.body.0", "0.shortcut", "1"}
+        profiler.detach()
+
+    def test_detach_restores_original_methods(self, rng):
+        model = _model(rng)
+        original = model[0].forward
+        profiler = LayerProfiler(model).attach()
+        assert model[0].forward is not original
+        profiler.detach()
+        # Instance attribute removed -> class method resolves again.
+        assert model[0].forward.__func__ is type(model[0]).forward
+
+    def test_attach_is_idempotent(self, rng):
+        model = _model(rng)
+        profiler = LayerProfiler(model).attach().attach()
+        model.forward(rng.normal(size=(2, 6)))
+        assert all(t.forward_calls == 1 for t in profiler.timings() if t.forward_calls)
+        profiler.detach()
+
+    def test_context_manager(self, rng):
+        model = _model(rng)
+        with LayerProfiler(model) as profiler:
+            model.forward(rng.normal(size=(2, 6)))
+        assert profiler.forward_seconds > 0.0
+        assert "forward" not in model[0].__dict__
+
+
+class TestTimings:
+    def test_counts_forward_and_backward_calls(self, rng):
+        model = _model(rng)
+        loss = SoftmaxCrossEntropy()
+        profiler = LayerProfiler(model, loss_fn=loss).attach()
+        inputs = rng.normal(size=(3, 6))
+        labels = rng.integers(0, 4, size=3)
+        for _ in range(2):
+            loss.forward(model.forward(inputs), labels)
+            model.zero_grad()
+            model.backward(loss.backward())
+        profiler.detach()
+        by_name = {t.name: t for t in profiler.timings()}
+        assert by_name["0"].forward_calls == 2
+        assert by_name["0"].backward_calls == 2
+        assert by_name["<loss>"].forward_calls == 2
+        assert by_name["<loss>"].kind == "SoftmaxCrossEntropy"
+        assert profiler.forward_seconds > 0.0
+        assert profiler.backward_seconds > 0.0
+
+    def test_profiled_results_identical_to_unprofiled(self, rng):
+        inputs = rng.normal(size=(2, 6))
+        plain = _model(np.random.default_rng(3))
+        profiled = _model(np.random.default_rng(3))
+        expected = plain.forward(inputs)
+        with LayerProfiler(profiled):
+            actual = profiled.forward(inputs)
+        assert np.array_equal(expected, actual)
+
+    def test_as_dict_schema(self, rng):
+        model = _model(rng)
+        with LayerProfiler(model) as profiler:
+            model.forward(rng.normal(size=(2, 6)))
+        payload = profiler.as_dict()
+        assert set(payload) == {
+            "forward_seconds",
+            "backward_seconds",
+            "total_seconds",
+            "layers",
+        }
+        assert payload["layers"], "expected at least one layer entry"
+        entry = payload["layers"][0]
+        assert set(entry) == {
+            "name",
+            "kind",
+            "forward_calls",
+            "forward_seconds",
+            "backward_calls",
+            "backward_seconds",
+            "total_seconds",
+        }
+
+    def test_report_renders_table(self, rng):
+        model = _model(rng)
+        with LayerProfiler(model) as profiler:
+            model.forward(rng.normal(size=(2, 6)))
+        report = profiler.report(top=2)
+        assert "layer" in report and "TOTAL" in report
+        assert "Linear" in report
+
+    def test_timings_sorted_slowest_first(self, rng):
+        model = _model(rng)
+        with LayerProfiler(model) as profiler:
+            for _ in range(3):
+                model.forward(rng.normal(size=(4, 6)))
+        totals = [t.total_seconds for t in profiler.timings()]
+        assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,307 @@
+"""Gradient push codecs: bytes on the wire, latency, and convergence.
+
+Measures each registered codec on the ResNet-110 push path (ResNet-20 in
+quick mode): actual encoded bytes per push against the dense float64 buffer
+the uncompressed path ships, encode + decode+apply latency through the real
+:class:`~repro.ps.server.ParameterServer`, and Figure-3-style accuracy
+curves per codec on the simulated backend.  Results are recorded to
+``BENCH_compression.json`` at the repository root.
+
+Gates (the bench-smoke CI job runs this module at ``REPRO_BENCH_SCALE=tiny``):
+
+* ``topk:0.01`` must cut the bytes on the wire by at least 10x.
+* The ``none`` codec must be bit-for-bit identical to the uncoded push path
+  and add no measurable overhead (its push+step latency may not exceed the
+  uncoded path by more than the noise floor).
+* Every lossy codec's final accuracy must land within ``ACC_TOLERANCE`` of
+  the uncompressed run (the tolerance is documented in
+  ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterConfig, ExperimentSpec, run_experiment
+from repro.core.factory import make_policy
+from repro.models.resnet import resnet20, resnet110
+from repro.optim.sgd import SGD
+from repro.ps.compression import make_codec
+from repro.ps.messages import PushRequest
+from repro.ps.server import ParameterServer
+from repro.ps.sharding import make_store
+
+from benchmarks.conftest import selected_scale
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_compression.json"
+
+STORE_DTYPE = "float32"
+NUM_SHARDS = 4
+CODEC_SPECS = ("none", "fp16", "int8", "topk:0.01", "significance:2.0")
+#: Documented convergence tolerance: each lossy codec's final accuracy must
+#: come within this many points of the uncompressed run (docs/performance.md).
+ACC_TOLERANCE = 0.10
+#: Noise floor of the none-codec zero-overhead gate: its best-of-repeats
+#: push+step latency may exceed the uncoded path's by at most 10%.
+NONE_OVERHEAD_SLACK = 1.10
+
+
+def _quick_mode() -> bool:
+    return selected_scale().name == "tiny"
+
+
+def build_parameters() -> "OrderedDict[str, np.ndarray]":
+    builder = resnet20 if _quick_mode() else resnet110
+    model = builder(num_classes=100, rng=np.random.default_rng(0))
+    return OrderedDict(
+        (name, parameter.data) for name, parameter in model.named_parameters()
+    )
+
+
+def make_gradients(parameters) -> "OrderedDict[str, np.ndarray]":
+    rng = np.random.default_rng(1)
+    return OrderedDict(
+        (name, rng.normal(scale=1e-3, size=value.shape))
+        for name, value in parameters.items()
+    )
+
+
+def pack_gradients(store, gradients) -> dict[int, np.ndarray]:
+    """Per-shard packed float64 gradient buffers (what the workers hold)."""
+    packed: dict[int, np.ndarray] = {}
+    for shard_index, segments in store.flat_layouts:
+        if not segments:
+            continue
+        buffer = np.empty(segments[-1].hi, dtype=np.float64)
+        for segment in segments:
+            buffer[segment.lo : segment.hi] = np.asarray(
+                gradients[segment.name]
+            ).ravel()
+        packed[shard_index] = buffer
+    return packed
+
+
+def _make_server(parameters):
+    store = make_store(parameters, num_shards=NUM_SHARDS, dtype=STORE_DTYPE)
+    server = ParameterServer(
+        store, SGD(0.05, momentum=0.9), make_policy("asp"), gradient_scale=0.5
+    )
+    server.register_worker("bench")
+    return server, store
+
+
+def _push(server, store, gradients, *, flat=None, encoded=None, codec=None):
+    server.apply_push(
+        PushRequest(
+            worker_id="bench",
+            gradients=gradients,
+            base_version=store.version,
+            timestamp=0.0,
+            flat_gradients=flat,
+            encoded_gradients=encoded,
+            codec=codec,
+        )
+    )
+
+
+def time_uncoded(parameters, gradients, rounds: int) -> float:
+    """Push+step latency of today's dense packed path (ms/push)."""
+    server, store = _make_server(parameters)
+    packed = pack_gradients(store, gradients)
+    _push(server, store, gradients, flat=packed)  # warm-up
+    start = time.perf_counter()
+    for _ in range(rounds):
+        _push(server, store, gradients, flat=packed)
+    return (time.perf_counter() - start) / rounds * 1e3
+
+
+def time_codec(spec: str, parameters, gradients, rounds: int) -> dict:
+    """Encoded bytes/push plus encode and decode+apply latency of one codec."""
+    server, store = _make_server(parameters)
+    packed = pack_gradients(store, gradients)
+    codec = make_codec(spec)
+    codec.reseed(np.random.default_rng(42))
+    dense_nbytes = sum(buffer.nbytes for buffer in packed.values())
+
+    # Warm-up round (also primes error-feedback residuals).  No codec
+    # mutates the input buffer, so the packed gradients are reused as-is.
+    warm = tuple(codec.encode(s, b) for s, b in sorted(packed.items()))
+    _push(server, store, gradients, encoded=warm, codec=codec.name)
+
+    encode_s = apply_s = 0.0
+    wire_bytes = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        encoded = tuple(
+            codec.encode(shard, buffer) for shard, buffer in sorted(packed.items())
+        )
+        encode_s += time.perf_counter() - start
+        wire_bytes += sum(payload.nbytes for payload in encoded)
+        start = time.perf_counter()
+        _push(server, store, gradients, encoded=encoded, codec=codec.name)
+        apply_s += time.perf_counter() - start
+    bytes_per_push = wire_bytes / rounds
+    return {
+        "codec": spec,
+        "bytes_per_push": int(bytes_per_push),
+        "dense_bytes_per_push": int(dense_nbytes),
+        "compression_ratio": round(dense_nbytes / max(bytes_per_push, 1), 2),
+        "encode_ms": round(encode_s / rounds * 1e3, 4),
+        "decode_apply_ms": round(apply_s / rounds * 1e3, 4),
+        "push_step_ms": round((encode_s + apply_s) / rounds * 1e3, 4),
+    }
+
+
+def run_convergence(compression: str | None) -> dict:
+    """One simulated ResNet-110 run (Figure-3 style) under a codec."""
+    scale = selected_scale()
+    spec = ExperimentSpec(
+        name=f"compression-{compression or 'dense'}",
+        workload="resnet110",
+        scale=scale,
+        cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+        paradigm="bsp",
+        paradigm_kwargs={},
+        compression=compression,
+        seed=0,
+    )
+    result = run_experiment(spec, "simulated")
+    return {
+        "compression": compression,
+        "times": [round(float(t), 4) for t in result.times],
+        "accuracies": [round(float(a), 4) for a in result.accuracies],
+        "final_accuracy": result.final_accuracy,
+        "best_accuracy": result.best_accuracy,
+        "total_time": round(result.total_time, 4),
+        "pushed_wire_bytes": result.transfers.pushed_wire_bytes,
+        "compression_ratio": round(result.transfers.compression_ratio, 2),
+    }
+
+
+@pytest.fixture(scope="module")
+def compression_results():
+    parameters = build_parameters()
+    gradients = make_gradients(parameters)
+    rounds = 5 if _quick_mode() else 20
+    # Best-of-repeats for the latency comparison: wall-clock noise on a
+    # shared runner easily exceeds the effect being gated on.  The uncoded
+    # and none-codec samples are interleaved so load drift over the run
+    # hits both sides of the ratio equally.
+    repeats = 5
+    uncoded_samples = []
+    none_samples = []
+    for _ in range(repeats):
+        uncoded_samples.append(time_uncoded(parameters, gradients, rounds))
+        none_samples.append(
+            time_codec("none", parameters, gradients, rounds)["push_step_ms"]
+        )
+    uncoded_ms = min(uncoded_samples)
+    codecs = {spec: time_codec(spec, parameters, gradients, rounds) for spec in CODEC_SPECS}
+    none_ms = min(*none_samples, codecs["none"]["push_step_ms"])
+    convergence = [run_convergence(None)] + [
+        run_convergence(spec) for spec in CODEC_SPECS
+    ]
+    num_parameters = int(sum(value.size for value in parameters.values()))
+    return {
+        "scale": selected_scale().name,
+        "rounds": rounds,
+        "workload": {
+            "model": "resnet20" if _quick_mode() else "resnet110",
+            "num_tensors": len(parameters),
+            "num_parameters": num_parameters,
+            "num_shards": NUM_SHARDS,
+            "store_dtype": STORE_DTYPE,
+        },
+        "uncoded_push_step_ms": round(uncoded_ms, 4),
+        "none_push_step_ms": round(none_ms, 4),
+        "codecs": list(codecs.values()),
+        "convergence": convergence,
+    }
+
+
+def test_none_codec_bit_for_bit():
+    """none-codec pushes must leave exactly the weights the dense path does."""
+    parameters = build_parameters()
+    gradients = make_gradients(parameters)
+    server_a, store_a = _make_server(parameters)
+    server_b, store_b = _make_server(parameters)
+    packed_a = pack_gradients(store_a, gradients)
+    packed_b = pack_gradients(store_b, gradients)
+    codec = make_codec("none")
+    for _ in range(3):
+        _push(server_a, store_a, gradients, flat=packed_a)
+        _push(
+            server_b,
+            store_b,
+            gradients,
+            encoded=tuple(
+                codec.encode(s, b) for s, b in sorted(packed_b.items())
+            ),
+            codec="none",
+        )
+    weights_a = store_a.weights_snapshot()
+    weights_b = store_b.weights_snapshot()
+    for name in weights_a:
+        assert np.array_equal(weights_a[name], weights_b[name]), name
+
+
+def test_compression_and_record(compression_results):
+    """Measure every codec, gate on the ratios, record the trajectory."""
+    results = compression_results
+    by_codec = {entry["codec"]: entry for entry in results["codecs"]}
+    convergence = {entry["compression"]: entry for entry in results["convergence"]}
+    dense = convergence[None]
+
+    none_overhead = results["none_push_step_ms"] / results["uncoded_push_step_ms"]
+    payload = {
+        "benchmark": "gradient_compression",
+        **{k: results[k] for k in ("scale", "rounds", "workload")},
+        "uncoded_push_step_ms": results["uncoded_push_step_ms"],
+        "none_push_step_ms": results["none_push_step_ms"],
+        "none_overhead_ratio": round(none_overhead, 3),
+        "acc_tolerance": ACC_TOLERANCE,
+        "codecs": results["codecs"],
+        "convergence": results["convergence"],
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"{'codec':<18} {'bytes/push':>12} {'ratio':>7} {'push+step ms':>13} "
+          f"{'final acc':>10}")
+    print(f"{'(uncoded)':<18} {by_codec['none']['dense_bytes_per_push']:>12} "
+          f"{1.0:>7.2f} {results['uncoded_push_step_ms']:>13.3f} "
+          f"{dense['final_accuracy']:>10.3f}")
+    for spec in CODEC_SPECS:
+        entry = by_codec[spec]
+        print(f"{spec:<18} {entry['bytes_per_push']:>12} "
+              f"{entry['compression_ratio']:>7.2f} {entry['push_step_ms']:>13.3f} "
+              f"{convergence[spec]['final_accuracy']:>10.3f}")
+
+    # Gate 1: top-k at 1% density cuts the bytes on the wire >= 10x.
+    assert by_codec["topk:0.01"]["compression_ratio"] >= 10.0, by_codec["topk:0.01"]
+    # Every lossy codec must actually shrink the payload.
+    for spec in ("fp16", "int8", "topk:0.01"):
+        assert by_codec[spec]["compression_ratio"] > 1.5, by_codec[spec]
+    # Gate 2: the none codec adds no overhead beyond the noise floor.
+    assert none_overhead <= NONE_OVERHEAD_SLACK, payload
+    # The none codec ships exactly the dense byte count.
+    assert by_codec["none"]["bytes_per_push"] == by_codec["none"]["dense_bytes_per_push"]
+
+    # Gate 3 (Figure-3 convergence): the none codec reproduces the dense
+    # curve bit-for-bit on the deterministic simulator; lossy codecs land
+    # within the documented tolerance.
+    assert convergence["none"]["accuracies"] == dense["accuracies"]
+    assert convergence["none"]["total_time"] == dense["total_time"]
+    for spec in ("fp16", "int8", "topk:0.01", "significance:2.0"):
+        assert convergence[spec]["final_accuracy"] >= (
+            dense["final_accuracy"] - ACC_TOLERANCE
+        ), (spec, convergence[spec], dense)
+    # Compressed runs finish no later than the dense run in virtual time
+    # (the simulator charges the network for encoded bytes).
+    for spec in ("fp16", "int8", "topk:0.01", "significance:2.0"):
+        assert convergence[spec]["total_time"] <= dense["total_time"] + 1e-9, spec

@@ -235,6 +235,7 @@ class SimulatedBackend:
             shard_strategy=spec.shard_strategy,
             dtype=spec.dtype,
             profile=profile,
+            compression=spec.compression,
             seed=spec.seed,
         )
         sim = SimulatedTraining(
@@ -255,6 +256,9 @@ class SimulatedBackend:
                     sim.total_virtual_time - sim.wait_time_per_worker[worker_id], 0.0
                 ),
                 mean_loss=sim.mean_loss_per_worker[worker_id],
+                pushed_wire_bytes=sim.pushed_wire_bytes_per_worker.get(worker_id, 0),
+                pushed_raw_bytes=sim.pushed_raw_bytes_per_worker.get(worker_id, 0),
+                pulled_bytes=sim.pulled_bytes_per_worker.get(worker_id, 0),
             )
             for worker_id in sim.iterations_per_worker
         ]
@@ -314,6 +318,7 @@ class ThreadedBackend:
             num_shards=spec.num_shards,
             shard_strategy=spec.shard_strategy,
             dtype=spec.dtype,
+            compression=spec.compression,
             seed=spec.seed,
         )
         trainer = assemble_training(
@@ -485,6 +490,7 @@ class ProcessBackend:
             shard_strategy=spec.shard_strategy,
             dtype=spec.dtype,
             profile=profile,
+            compression=spec.compression,
             seed=spec.seed,
             transport=self.transport,
             wait_timeout=wait_timeout,

@@ -7,7 +7,7 @@ Subcommands:
   accuracy curve and a JSON result file).
 * ``validate SPEC.json`` — parse and validate a spec without running it.
 * ``registry`` — list the registered workloads, models, paradigms, backends,
-  scales, devices and networks a spec may refer to.
+  scales, devices, networks and gradient codecs a spec may refer to.
 """
 
 from __future__ import annotations
@@ -23,6 +23,7 @@ from repro.core.factory import policy_registry
 from repro.experiments.workloads import available_workloads
 from repro.metrics.plotting import ascii_curves
 from repro.models.registry import available_models
+from repro.ps.compression import available_codecs
 from repro.simulation.profiles import GPU_CATALOGUE
 
 __all__ = ["main"]
@@ -56,6 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "breakdown (also recorded in the result JSON)",
     )
     run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    run.add_argument(
+        "--compression",
+        default=None,
+        help="override the spec's gradient push codec, e.g. topk:0.01, fp16, "
+        "int8, significance:2.0 or none (see 'registry' for the codec list)",
+    )
 
     validate = commands.add_parser("validate", help="validate a spec without running")
     validate.add_argument("spec", type=Path)
@@ -79,6 +86,8 @@ def _command_run(arguments: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(arguments.spec)
     if arguments.seed is not None:
         spec = spec.replace(seed=arguments.seed)
+    if arguments.compression is not None:
+        spec = spec.replace(compression=arguments.compression)
     backend = get_backend(arguments.backend)
     result = run_experiment(spec, backend, profile=arguments.profile)
 
@@ -98,6 +107,10 @@ def _command_run(arguments: argparse.Namespace) -> int:
     print(f"total wait time   : {result.total_wait_time:.2f} s")
     print(f"mean staleness    : {result.staleness.mean:.2f} "
           f"(max {result.staleness.maximum})")
+    if spec.compression is not None and result.transfers is not None:
+        print(f"compression       : {spec.compression} "
+              f"({result.transfers.pushed_wire_bytes} push bytes on the wire, "
+              f"{result.transfers.compression_ratio:.1f}x vs dense)")
     if result.errors:
         print(f"errors            : {result.errors}")
     print()
@@ -163,6 +176,7 @@ def _command_registry() -> int:
     print(f"scales:    {', '.join(sorted(NAMED_SCALES))}")
     print(f"devices:   {', '.join(sorted(GPU_CATALOGUE))}")
     print(f"networks:  {', '.join(sorted(NETWORKS))}")
+    print(f"codecs:    {', '.join(available_codecs())}")
     return 0
 
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.staleness import StalenessSummary
 from repro.metrics.convergence import time_to_accuracy
-from repro.metrics.throughput import ThroughputSummary
+from repro.metrics.throughput import ThroughputSummary, TransferSummary, transfer_summary
 from repro.ps.messages import WorkerReport
 from repro.version import __version__
 
@@ -98,6 +98,10 @@ class RunResult:
     server_statistics: dict
     provenance: Provenance
     errors: list[str] = field(default_factory=list)
+    #: Push/pull transfer accounting (bytes on the wire, dense-equivalent
+    #: bytes, compression ratio); derived from ``worker_reports`` when not
+    #: supplied, so every backend carries it.
+    transfers: TransferSummary | None = None
     #: Per-layer forward/backward timing breakdown of one worker's replica
     #: (``repro.utils.profiler``); None unless the run was profiled
     #: (``python -m repro run SPEC --profile``).
@@ -107,6 +111,8 @@ class RunResult:
         self.times = np.asarray(self.times, dtype=np.float64)
         self.accuracies = np.asarray(self.accuracies, dtype=np.float64)
         self.losses = np.asarray(self.losses, dtype=np.float64)
+        if self.transfers is None:
+            self.transfers = transfer_summary(self.worker_reports)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -178,6 +184,10 @@ class RunResult:
             "worker_reports": [
                 dataclasses.asdict(report) for report in self.worker_reports
             ],
+            "transfers": {
+                **dataclasses.asdict(self.transfers),
+                "compression_ratio": float(self.transfers.compression_ratio),
+            },
             "provenance": self.provenance.to_dict(),
             "errors": list(self.errors),
             "profile": self.profile,

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from repro.core.factory import paradigm_label, validate_paradigm
 from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale
+from repro.ps.compression import validate_codec_spec
 from repro.simulation.cluster import ClusterSpec, WorkerSpec
 from repro.simulation.network import (
     GIGABIT_ETHERNET,
@@ -218,6 +219,15 @@ class ExperimentSpec:
         backend sleeps that many *seconds* per iteration; the simulated
         backend multiplies the worker's iteration time by the value.  Keys
         must name workers that exist in ``cluster``.
+    compression:
+        Optional gradient push codec spec, e.g. ``"topk:0.01"``, ``"fp16"``,
+        ``"int8"``, ``"significance:2.0"`` or ``"none"`` (see
+        :mod:`repro.ps.compression`; ``python -m repro registry`` lists the
+        codecs).  Identical semantics on every backend: workers encode
+        their pushed gradients, the server decodes into the fused update
+        path, and ``RunResult.transfers`` records the bytes on the wire.
+        Unknown codec names or malformed parameters are rejected here, at
+        spec construction.
     seed:
         Master seed for data order, initialization and timing jitter.
     """
@@ -243,10 +253,13 @@ class ExperimentSpec:
     shard_strategy: str = "size"
     dtype: str = "float64"
     slowdowns: dict = field(default_factory=dict)
+    compression: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "lr_milestones", tuple(self.lr_milestones))
+        if self.compression is not None:
+            validate_codec_spec(self.compression)
         if isinstance(self.scale, ExperimentScale):
             object.__setattr__(self, "scale", dataclasses.asdict(self.scale))
         validate_paradigm(self.paradigm, self.paradigm_kwargs)
@@ -347,6 +360,7 @@ class ExperimentSpec:
             "shard_strategy": self.shard_strategy,
             "dtype": self.dtype,
             "slowdowns": dict(self.slowdowns),
+            "compression": self.compression,
             "seed": self.seed,
         }
 

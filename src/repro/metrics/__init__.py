@@ -7,7 +7,12 @@ from repro.metrics.convergence import (
     accuracy_at_time,
     area_under_accuracy_curve,
 )
-from repro.metrics.throughput import iteration_throughput, ThroughputSummary
+from repro.metrics.throughput import (
+    iteration_throughput,
+    ThroughputSummary,
+    TransferSummary,
+    transfer_summary,
+)
 from repro.metrics.plotting import ascii_curves
 
 __all__ = [
@@ -21,5 +26,7 @@ __all__ = [
     "area_under_accuracy_curve",
     "iteration_throughput",
     "ThroughputSummary",
+    "TransferSummary",
+    "transfer_summary",
     "ascii_curves",
 ]

@@ -1,16 +1,24 @@
-"""Iteration-throughput measurement.
+"""Iteration-throughput and transfer-volume measurement.
 
 The paper's Section V-C explains the opposite ordering of the paradigms'
 iteration throughput on conv-only versus FC-bearing networks; this module
 computes the quantity that discussion is about: global weight updates per
-unit of training time.
+unit of training time.  :class:`TransferSummary` complements it with the
+bytes each worker moved over the push/pull paths — the quantity gradient
+compression (:mod:`repro.ps.compression`) shrinks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable
 
-__all__ = ["ThroughputSummary", "iteration_throughput"]
+__all__ = [
+    "ThroughputSummary",
+    "iteration_throughput",
+    "TransferSummary",
+    "transfer_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -39,4 +47,49 @@ def iteration_throughput(
         total_time=float(total_time),
         updates_per_second=updates_per_second,
         samples_per_second=updates_per_second * samples_per_update,
+    )
+
+
+@dataclass(frozen=True)
+class TransferSummary:
+    """Bytes moved over the push/pull paths of one training run.
+
+    ``pushed_wire_bytes`` counts what actually crossed the worker→server
+    path (encoded payloads when a codec is active), ``pushed_raw_bytes``
+    the dense gradient bytes those pushes represent, and ``pulled_bytes``
+    the server→worker weight transfers.  ``compression_ratio`` is
+    raw/wire — 1.0 without a codec, ≥10x for ``topk`` at 1% density.
+    """
+
+    pushed_wire_bytes: int
+    pushed_raw_bytes: int
+    pulled_bytes: int
+    pushed_wire_bytes_per_worker: dict[str, int] = field(default_factory=dict)
+    pushed_raw_bytes_per_worker: dict[str, int] = field(default_factory=dict)
+    pulled_bytes_per_worker: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense-over-encoded push bytes (1.0 when nothing was pushed)."""
+        if self.pushed_wire_bytes <= 0:
+            return 1.0
+        return self.pushed_raw_bytes / self.pushed_wire_bytes
+
+
+def transfer_summary(worker_reports: Iterable) -> TransferSummary:
+    """Aggregate per-worker byte counters from ``WorkerReport``-like objects."""
+    wire: dict[str, int] = {}
+    raw: dict[str, int] = {}
+    pulled: dict[str, int] = {}
+    for report in worker_reports:
+        wire[report.worker_id] = int(getattr(report, "pushed_wire_bytes", 0))
+        raw[report.worker_id] = int(getattr(report, "pushed_raw_bytes", 0))
+        pulled[report.worker_id] = int(getattr(report, "pulled_bytes", 0))
+    return TransferSummary(
+        pushed_wire_bytes=sum(wire.values()),
+        pushed_raw_bytes=sum(raw.values()),
+        pulled_bytes=sum(pulled.values()),
+        pushed_wire_bytes_per_worker=wire,
+        pushed_raw_bytes_per_worker=raw,
+        pulled_bytes_per_worker=pulled,
     )

@@ -61,7 +61,16 @@ from repro.ps.checkpoint import (
     CheckpointMetadata,
     save_checkpoint,
     load_checkpoint,
+    load_codec_states,
     restore_into,
+)
+from repro.ps.compression import (
+    EncodedShard,
+    GradientCodec,
+    available_codecs,
+    decode_shard,
+    make_codec,
+    validate_codec_spec,
 )
 
 __all__ = [
@@ -104,5 +113,12 @@ __all__ = [
     "CheckpointMetadata",
     "save_checkpoint",
     "load_checkpoint",
+    "load_codec_states",
     "restore_into",
+    "EncodedShard",
+    "GradientCodec",
+    "available_codecs",
+    "decode_shard",
+    "make_codec",
+    "validate_codec_spec",
 ]

@@ -11,6 +11,13 @@ additionally records the per-shard push counters, and restoring crosses
 layouts freely (monolithic → sharded, sharded → monolithic, different shard
 counts).  When the per-shard counters cannot be mapped onto the target
 layout they are reset to the global version, a safe upper bound.
+
+Worker-side codec state rides along too: error-feedback codecs
+(:mod:`repro.ps.compression`) hold per-worker residuals of the components
+they have not shipped yet.  Dropping them on restart would silently lose
+every unsent gradient component, so :func:`save_checkpoint` accepts the
+per-worker ``codec_states`` and :func:`load_codec_states` recovers them —
+a restored run continues bit-for-bit where the interrupted one left off.
 """
 
 from __future__ import annotations
@@ -24,11 +31,18 @@ import numpy as np
 from repro.optim.optimizer import Optimizer
 from repro.ps.kvstore import KeyValueStore
 
-__all__ = ["CheckpointMetadata", "save_checkpoint", "load_checkpoint", "restore_into"]
+__all__ = [
+    "CheckpointMetadata",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_codec_states",
+    "restore_into",
+]
 
 _WEIGHT_PREFIX = "weight::"
 _BUFFER_PREFIX = "buffer::"
 _VELOCITY_PREFIX = "velocity::"
+_CODEC_PREFIX = "codec::"
 _HEADER_KEY = "__header__"
 
 
@@ -59,6 +73,7 @@ def save_checkpoint(
     optimizer: Optimizer,
     paradigm: str = "unknown",
     extra: dict | None = None,
+    codec_states: dict[str, dict[str, np.ndarray]] | None = None,
 ) -> Path:
     """Write the server state to ``path`` (``.npz`` appended if missing)."""
     path = Path(path)
@@ -79,6 +94,17 @@ def save_checkpoint(
     velocity = optimizer_state.pop("velocity", {})
     for name, value in dict(velocity).items():
         arrays[_VELOCITY_PREFIX + name] = np.asarray(value)
+
+    # Per-worker codec state (e.g. top-k error-feedback residuals), keyed
+    # ``codec::{worker_id}::{state_key}``.  Worker ids and state keys may
+    # not contain "::" — the separator is the parse anchor on restore.
+    for worker_id, state in dict(codec_states or {}).items():
+        if "::" in worker_id:
+            raise ValueError(f"worker id {worker_id!r} may not contain '::'")
+        for key, value in dict(state).items():
+            if "::" in key:
+                raise ValueError(f"codec state key {key!r} may not contain '::'")
+            arrays[f"{_CODEC_PREFIX}{worker_id}::{key}"] = np.asarray(value)
 
     header_extra = {"optimizer": optimizer_state, **(extra or {})}
     shard_versions = getattr(store, "shard_versions", None)
@@ -118,6 +144,27 @@ def load_checkpoint(path: str | Path) -> tuple[dict, dict, dict, CheckpointMetad
             if name.startswith(_VELOCITY_PREFIX)
         }
     return weights, buffers, velocity, metadata
+
+
+def load_codec_states(path: str | Path) -> dict[str, dict[str, np.ndarray]]:
+    """Read the per-worker codec states from a checkpoint.
+
+    Returns ``{worker_id: state_dict}`` ready for
+    :meth:`repro.ps.compression.GradientCodec.load_state_dict`; empty when
+    the checkpoint was written without ``codec_states`` (stateless codec or
+    pre-codec checkpoint).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    states: dict[str, dict[str, np.ndarray]] = {}
+    with np.load(path, allow_pickle=False) as archive:
+        for name in archive.files:
+            if not name.startswith(_CODEC_PREFIX):
+                continue
+            worker_id, _, key = name[len(_CODEC_PREFIX):].partition("::")
+            states.setdefault(worker_id, {})[key] = archive[name]
+    return states
 
 
 def restore_into(

@@ -29,6 +29,7 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
 from repro.optim.schedules import ConstantSchedule
 from repro.optim.sgd import SGD
+from repro.ps.compression import make_codec, validate_codec_spec
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
 from repro.ps.sharding import make_store
 from repro.ps.server import ParameterServer
@@ -132,6 +133,11 @@ class DistributedTrainingConfig:
         Run worker replicas (and the evaluation model) on the
         allocation-free workspace compute kernels (default on; the
         reference kernels remain available for comparison benchmarks).
+    compression:
+        Optional push codec spec (e.g. ``"topk:0.01"``, ``"fp16"``; see
+        :mod:`repro.ps.compression`).  Each worker gets its own codec
+        instance (error-feedback residuals are per worker) and the server
+        decodes the payload back into the fused flat update path.
     seed:
         Master seed for data order and weight initialization.
     """
@@ -151,9 +157,12 @@ class DistributedTrainingConfig:
     shard_strategy: str = "size"
     dtype: str = "float64"
     use_workspace: bool = True
+    compression: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.compression is not None:
+            validate_codec_spec(self.compression)
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.iterations_per_worker <= 0:
@@ -219,18 +228,24 @@ def assemble_training(
     workers = []
     for index in range(len(partitions)):
         server.register_worker(f"worker-{index}")
-        workers.append(
-            build_worker(
-                index,
-                partitions,
-                global_model,
-                model_builder,
-                streams,
-                batch_size=config.batch_size,
-                micro_batches=config.micro_batches,
-                use_workspace=config.use_workspace,
-            )
+        worker = build_worker(
+            index,
+            partitions,
+            global_model,
+            model_builder,
+            streams,
+            batch_size=config.batch_size,
+            micro_batches=config.micro_batches,
+            use_workspace=config.use_workspace,
         )
+        if config.compression is not None:
+            # One codec per worker: error-feedback residuals are worker
+            # state.  The deterministic per-worker stream keeps stochastic
+            # codecs (int8 rounding) reproducible across runtimes.
+            codec = make_codec(config.compression)
+            codec.reseed(streams.get(f"codec-{index}"))
+            worker.set_codec(codec)
+        workers.append(worker)
 
     evaluate_fn = None
     if test_dataset is not None:

@@ -212,6 +212,7 @@ class KeyValueStore:
                 ),
             ),
             release_fn=release_fn,
+            wire_nbytes=int(flat.nbytes),
         )
 
     # ------------------------------------------------------------------

@@ -62,6 +62,14 @@ class PushRequest:
     #: zero gather work; ``gradients`` still carries the same values per
     #: name for validation and for stores that cannot use the fast path.
     flat_gradients: Mapping[int, np.ndarray] | None = None
+    #: Optional codec-compressed per-shard payloads (one
+    #: :class:`repro.ps.compression.EncodedShard` per shard, in shard
+    #: order).  When present the server decodes them into the packed
+    #: gradient the flat path applies; ``flat_gradients`` is then unset.
+    encoded_gradients: tuple | None = None
+    #: Name of the codec that produced ``encoded_gradients`` (metadata for
+    #: logging/validation; decoding itself is codec-independent).
+    codec: str | None = None
 
 
 @dataclass(frozen=True)
@@ -122,6 +130,11 @@ class PullReply:
     #: holds.  Call it (or :meth:`release`) once the payload has been copied
     #: out; no view or payload of this reply may be touched afterwards.
     release_fn: Callable[[], None] | None = None
+    #: Bytes this reply moves over the pull path, precomputed by the store
+    #: (a delta reply counts only the changed segments).  Stores set it so
+    #: per-worker transfer accounting does not have to walk the lazy
+    #: snapshot mappings; ``None`` falls back to :attr:`nbytes`.
+    wire_nbytes: int | None = None
 
     def release(self) -> None:
         """Declare the reply consumed: its snapshot leases are dropped.
@@ -140,6 +153,17 @@ class PullReply:
         total = sum(np.asarray(value).nbytes for value in self.weights.values())
         total += sum(np.asarray(value).nbytes for value in self.buffers.values())
         return int(total)
+
+    def transfer_nbytes(self) -> int:
+        """Bytes to charge the pull path for this reply.
+
+        Prefers the store-provided :attr:`wire_nbytes` (O(1), and the only
+        honest number for flat replies whose mappings are lazy views);
+        falls back to walking the mappings for legacy constructors.
+        """
+        if self.wire_nbytes is not None:
+            return int(self.wire_nbytes)
+        return self.nbytes
 
 
 @dataclass(frozen=True)
@@ -160,3 +184,12 @@ class WorkerReport:
     total_wait_time: float
     total_compute_time: float
     mean_loss: float
+    #: Gradient bytes this worker actually shipped to the server (encoded
+    #: size when a push codec is active, dense size otherwise).
+    pushed_wire_bytes: int = 0
+    #: Dense (uncompressed) size of the same pushed gradients — the
+    #: denominator of the run's compression ratio.
+    pushed_raw_bytes: int = 0
+    #: Bytes received over the pull path (delta pulls count only changed
+    #: segments).
+    pulled_bytes: int = 0

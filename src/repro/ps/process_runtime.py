@@ -62,6 +62,12 @@ from repro.core.factory import make_policy, validate_paradigm
 from repro.metrics.accuracy import evaluate_model
 from repro.optim.schedules import ConstantSchedule
 from repro.optim.sgd import SGD
+from repro.ps.compression import (
+    make_codec,
+    read_encoded,
+    validate_codec_spec,
+    write_encoded,
+)
 from repro.ps.messages import PushRequest, WorkerReport
 from repro.ps.runtime import ThreadedTrainingResult
 from repro.ps.server import ParameterServer
@@ -143,6 +149,15 @@ class ProcessTrainingPlan:
         (:class:`repro.utils.profiler.LayerProfiler`) and ships the timing
         breakdown with its final report; it lands in
         ``ProcessTrainingResult.profile``.
+    compression:
+        Optional push codec spec (e.g. ``"topk:0.01"``; see
+        :mod:`repro.ps.compression`).  Under the ``"shm"`` transport the
+        gradient mailboxes shrink to the codec's worst-case *encoded*
+        frame size and carry self-describing frames the server parses
+        zero-copy; under ``"pipe"`` the encoded arrays replace the packed
+        buffers in the push message.  ``None`` and the identity ``"none"``
+        codec both take the uncoded fast path (the dense mailbox already
+        ships exactly the bytes ``none`` would frame).
     seed:
         Master seed shared by every process's :class:`~repro.utils.rng.RngStream`.
     transport:
@@ -177,12 +192,15 @@ class ProcessTrainingPlan:
     dtype: str = "float64"
     use_workspace: bool = True
     profile: bool = False
+    compression: str | None = None
     seed: int = 0
     transport: str = "shm"
     wait_timeout: float = 120.0
     crash_at: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.compression is not None:
+            validate_codec_spec(self.compression)
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.iterations_per_worker <= 0:
@@ -222,6 +240,61 @@ class ProcessTrainingPlan:
 # ----------------------------------------------------------------------
 # Gradient mailboxes
 # ----------------------------------------------------------------------
+def _plan_codec(plan):
+    """The plan's push codec instance, or ``None`` for uncoded pushes.
+
+    ``compression=None`` and the identity ``"none"`` codec both resolve to
+    ``None``: the dense float64 mailbox (shm) / packed-buffer payload
+    (pipe) already ships exactly the bytes the ``none`` codec would frame,
+    so skipping the framing keeps that path bit-for-bit and zero-overhead.
+    """
+    if plan.compression is None:
+        return None
+    codec = make_codec(plan.compression)
+    return None if codec.name == "none" else codec
+
+
+def _framed_mailbox_regions(handle, segment, codec) -> dict[int, np.ndarray]:
+    """Per-shard uint8 frame regions of one worker's mailbox (codec mode).
+
+    Mirrors :func:`_mailbox_views`: writer (worker) and reader (server)
+    slice the segment with this one function, so the two sides can never
+    disagree on offsets.  Each region holds the codec's worst-case encoded
+    frame for its shard; capacities are 8-byte multiples, keeping every
+    region's int64 frame header aligned.  Slicing a too-small segment
+    raises, so a sizing mismatch fails at attach time, not mid-push.
+    """
+    regions: dict[int, np.ndarray] = {}
+    offset = 0
+    for spec in handle.shard_specs:
+        capacity = codec.max_encoded_nbytes(spec.build_layout().weights_end)
+        regions[spec.index] = segment.ndarray(np.uint8, capacity, offset=offset)
+        offset += capacity
+    return regions
+
+
+def _codec_mailbox_nbytes(plan, initial_weights, initial_buffers, codec) -> int:
+    """Total mailbox bytes for codec-framed pushes (one region per shard).
+
+    Rebuilds the same :class:`~repro.ps.sharding.ShardRouter` partition
+    :func:`~repro.ps.shm.create_shared_store` uses, so these capacities
+    match the regions :func:`_framed_mailbox_regions` later slices out of
+    the created segments.
+    """
+    from repro.ps.sharding import ShardRouter  # local import: avoids a cycle
+
+    itemsize = np.dtype(plan.dtype).itemsize
+    sizes = {
+        name: np.asarray(value).size * itemsize
+        for name, value in {**dict(initial_weights), **dict(initial_buffers or {})}.items()
+    }
+    router = ShardRouter(sizes, num_shards=plan.num_shards, strategy=plan.shard_strategy)
+    totals = [0] * router.num_shards
+    for name, value in dict(initial_weights).items():
+        totals[router.shard_of(name)] += int(np.asarray(value).size)
+    return sum(codec.max_encoded_nbytes(total) for total in totals)
+
+
 def _mailbox_views(
     handle: SharedStoreHandle, segment: SharedSegment
 ) -> dict[int, np.ndarray]:
@@ -297,12 +370,20 @@ def _server_main(
         for worker_id in worker_ids:
             server.register_worker(worker_id)
 
+        codec = _plan_codec(plan)
+        codec_name = codec.name if codec is not None else None
         grad_views: dict[int, dict[int, np.ndarray]] = {}
+        grad_regions: dict[int, dict[int, np.ndarray]] = {}
         if plan.transport == "shm":
             for index, name in enumerate(handle.grad_segments):
                 segment = SharedSegment.attach(name)
                 mailboxes.append(segment)
-                grad_views[index] = _mailbox_views(handle, segment)
+                if codec is not None:
+                    grad_regions[index] = _framed_mailbox_regions(
+                        handle, segment, codec
+                    )
+                else:
+                    grad_views[index] = _mailbox_views(handle, segment)
 
         workload = plan.build_workload()
         streams = RngStream(plan.seed)
@@ -388,7 +469,22 @@ def _server_main(
                         idle_timeout = max(
                             idle_timeout, plan.wait_timeout + 4.0 * (timestamp - previous)
                         )
-                    if plan.transport == "shm":
+                    flat_gradients = None
+                    encoded = None
+                    if codec is not None:
+                        if plan.transport == "shm":
+                            # Self-describing frames: parsed zero-copy out
+                            # of the worker's mailbox, decoded inside
+                            # handle_push before the worker is released.
+                            encoded = tuple(
+                                read_encoded(region, shard)
+                                for shard, region in sorted(
+                                    grad_regions[index].items()
+                                )
+                            )
+                        else:
+                            encoded = payload
+                    elif plan.transport == "shm":
                         flat_gradients = grad_views[index]
                     else:
                         flat_gradients = payload
@@ -400,6 +496,8 @@ def _server_main(
                         buffers=buffers or {},
                         local_loss=loss,
                         flat_gradients=flat_gradients,
+                        encoded_gradients=encoded,
+                        codec=codec_name,
                     )
                     response = server.handle_push(request)
                     for released in response.released_workers:
@@ -536,10 +634,21 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
             (spec.index, spec.build_layout().weight_segments)
             for spec in handle.shard_specs
         )
+        codec = _plan_codec(plan)
+        if codec is not None:
+            codec.reseed(streams.get(f"codec-{index}"))
+            worker.set_codec(codec)
         gradient_buffers = None
+        grad_regions: dict[int, np.ndarray] = {}
         if plan.transport == "shm":
             mailbox = SharedSegment.attach(handle.grad_segments[index])
-            gradient_buffers = _mailbox_views(handle, mailbox)
+            if codec is not None:
+                # Codec mode: the mailbox carries encoded frames, so the
+                # replica keeps private gradient buffers and the encoder
+                # writes frames after each backward pass.
+                grad_regions = _framed_mailbox_regions(handle, mailbox, codec)
+            else:
+                gradient_buffers = _mailbox_views(handle, mailbox)
         worker.attach_flat_layout(layouts, gradient_buffers=gradient_buffers)
 
         client = ShmStoreClient(handle)
@@ -563,10 +672,17 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
                 time.sleep(slowdown)
             total_compute += time.monotonic() - compute_start
 
-            if plan.transport == "shm":
+            flat_gradients, encoded, _ = worker.prepare_push(computation)
+            if encoded is not None and plan.transport == "shm":
+                for shard_payload in encoded:
+                    write_encoded(shard_payload, grad_regions[shard_payload.shard])
+                payload = None  # the frames now sit in the mailbox
+            elif encoded is not None:
+                payload = encoded
+            elif plan.transport == "shm":
                 payload = None  # the gradient already sits in the mailbox
             else:
-                payload = dict(computation.flat_gradients or {})
+                payload = dict(flat_gradients or {})
             conn.send(
                 (
                     "push",
@@ -613,6 +729,9 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
                     "total_wait_time": total_wait,
                     "total_compute_time": total_compute,
                     "mean_loss": worker.mean_loss,
+                    "pushed_wire_bytes": worker.pushed_wire_bytes,
+                    "pushed_raw_bytes": worker.pushed_raw_bytes,
+                    "pulled_bytes": worker.pulled_bytes,
                 },
                 profile,
             )
@@ -674,18 +793,27 @@ class ProcessTrainer:
         workload = self.workload or plan.build_workload()
         streams = RngStream(plan.seed)
         global_model = workload.model_builder(streams.get("init"))
+        initial_weights = {
+            name: parameter.data
+            for name, parameter in global_model.named_parameters()
+        }
+        initial_buffers = global_model.buffers()
+        codec = _plan_codec(plan)
+        grad_mailbox_nbytes = None
+        if codec is not None and plan.transport == "shm":
+            grad_mailbox_nbytes = _codec_mailbox_nbytes(
+                plan, initial_weights, initial_buffers, codec
+            )
         handle = create_shared_store(
-            initial_weights={
-                name: parameter.data
-                for name, parameter in global_model.named_parameters()
-            },
-            initial_buffers=global_model.buffers(),
+            initial_weights=initial_weights,
+            initial_buffers=initial_buffers,
             num_shards=plan.num_shards,
             strategy=plan.shard_strategy,
             dtype=plan.dtype,
             slots=plan.num_workers + 2,
             context=self.context,
             grad_mailboxes=plan.num_workers if plan.transport == "shm" else 0,
+            grad_mailbox_nbytes=grad_mailbox_nbytes,
         )
 
         processes = []

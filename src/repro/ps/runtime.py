@@ -194,6 +194,7 @@ class ThreadedTrainer:
                     time.sleep(slowdown)
                 total_compute += time.monotonic() - compute_start
 
+                flat_gradients, encoded, codec_name = worker.prepare_push(computation)
                 request = PushRequest(
                     worker_id=worker_id,
                     gradients=computation.gradients,
@@ -201,7 +202,9 @@ class ThreadedTrainer:
                     timestamp=time.monotonic() - self._start_time,
                     buffers=computation.buffers,
                     local_loss=computation.loss,
-                    flat_gradients=computation.flat_gradients,
+                    flat_gradients=flat_gradients,
+                    encoded_gradients=encoded,
+                    codec=codec_name,
                 )
                 applied = None
                 if self._concurrent_apply:
@@ -284,4 +287,7 @@ class ThreadedTrainer:
             total_wait_time=self.server.policy.clock_table.total_wait_time(worker.worker_id),
             total_compute_time=compute_times.get(worker.worker_id, 0.0),
             mean_loss=worker.mean_loss,
+            pushed_wire_bytes=worker.pushed_wire_bytes,
+            pushed_raw_bytes=worker.pushed_raw_bytes,
+            pulled_bytes=worker.pulled_bytes,
         )

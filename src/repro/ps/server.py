@@ -8,11 +8,15 @@ runtime (:mod:`repro.ps.runtime`) and the discrete-event simulator
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.policy import SynchronizationPolicy
 from repro.core.staleness import StalenessTracker
 from repro.optim.optimizer import Optimizer
+from repro.ps.compression import decode_shard
 from repro.ps.kvstore import KeyValueStore
 from repro.ps.messages import PullReply, PullRequest, PushRequest
 from repro.utils.logging import get_logger
@@ -93,6 +97,10 @@ class ParameterServer:
         self._schedule = learning_rate_schedule
         self._registered_workers: list[str] = []
         self._pushes_handled = 0
+        # Per-thread decode scratch for codec-compressed pushes: sharded
+        # stores apply concurrent pushes from multiple runtime threads, so
+        # a shared scratch would race.
+        self._decode_scratch = threading.local()
 
     # ------------------------------------------------------------------
     # Setup
@@ -159,11 +167,14 @@ class ParameterServer:
                 f"({request.base_version} > {self.store.version})"
             )
 
+        flat_gradients = request.flat_gradients
+        if request.encoded_gradients is not None:
+            flat_gradients = self._decode_push(request.encoded_gradients)
         new_version = self.store.apply_gradients(
             request.gradients,
             self.optimizer,
             scale=self.gradient_scale(),
-            flat_gradients=request.flat_gradients,
+            flat_gradients=flat_gradients,
         )
         if request.buffers:
             self.store.update_buffers(request.buffers)
@@ -174,6 +185,29 @@ class ParameterServer:
         return AppliedPush(
             worker_id=request.worker_id, new_version=new_version, staleness=staleness
         )
+
+    def _decode_push(self, encoded) -> dict:
+        """Decode codec-compressed shard payloads into flat gradients.
+
+        Dense payloads decode zero-copy (the ``none`` codec hands the
+        server the very array the worker packed, keeping that path
+        bit-for-bit identical to an uncompressed push); sparse/quantized
+        payloads decode into pooled per-thread scratch, so steady-state
+        pushes stay allocation-free.
+        """
+        flat_gradients: dict[int, np.ndarray] = {}
+        for payload in encoded:
+            if payload.scheme == "dense":
+                flat_gradients[payload.shard] = decode_shard(payload)
+                continue
+            pool = getattr(self._decode_scratch, "pool", None)
+            if pool is None:
+                pool = self._decode_scratch.pool = {}
+            scratch = pool.get(payload.shard)
+            if scratch is None or scratch.size != payload.size:
+                scratch = pool[payload.shard] = np.empty(payload.size, dtype=np.float64)
+            flat_gradients[payload.shard] = decode_shard(payload, out=scratch)
+        return flat_gradients
 
     def finish_push(self, request: PushRequest, applied: AppliedPush) -> PushResponse:
         """Synchronization half of a push: record staleness, consult policy."""

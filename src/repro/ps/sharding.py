@@ -419,9 +419,11 @@ class ShardedKeyValueStore:
                 # work, no copies.
                 snapshot: dict[int, np.ndarray] = {}
                 flat_payloads: list[FlatPullPayload] = []
+                wire_nbytes = 0
                 for shard in shards:
                     shard.flat.lease()
                     snapshot[shard.index] = shard.flat.buffer
+                    wire_nbytes += shard.flat.nbytes
                     if shard.flat.layout.weights_end:
                         flat_payloads.append(
                             FlatPullPayload(
@@ -437,6 +439,7 @@ class ShardedKeyValueStore:
                     is_delta=False,
                     flat_weights=tuple(flat_payloads),
                     release_fn=self._release_fn(snapshot),
+                    wire_nbytes=int(wire_nbytes),
                 )
 
             weights: "OrderedDict[str, np.ndarray]" = OrderedDict()
@@ -473,6 +476,10 @@ class ShardedKeyValueStore:
                 version=version,
                 is_delta=True,
                 release_fn=self._release_fn(snapshot) if snapshot else None,
+                wire_nbytes=int(
+                    sum(value.nbytes for value in weights.values())
+                    + sum(value.nbytes for value in buffers.values())
+                ),
             )
         finally:
             self._release(shards)

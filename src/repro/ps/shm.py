@@ -692,6 +692,7 @@ class SharedFlatStore:
             is_delta=False,
             flat_weights=tuple(payloads),
             release_fn=_release_fn_for(leased),
+            wire_nbytes=int(sum(buffer.nbytes for buffer in buffers.values())),
         )
 
     # ------------------------------------------------------------------
@@ -855,6 +856,9 @@ class ShmStoreClient:
             is_delta=True,
             flat_weights=tuple(payloads),
             release_fn=_release_fn_for(leased),
+            # What actually crosses the boundary: one packed weight block
+            # per *changed* shard (unchanged shards were skipped above).
+            wire_nbytes=int(sum(payload.buffer.nbytes for payload in payloads)),
         )
 
     def close(self) -> None:
@@ -874,6 +878,7 @@ def create_shared_store(
     slots: int,
     context,
     grad_mailboxes: int = 0,
+    grad_mailbox_nbytes: int | None = None,
 ) -> SharedStoreHandle:
     """Create every segment of a shared store and write the initial model.
 
@@ -884,7 +889,10 @@ def create_shared_store(
     and — when ``grad_mailboxes > 0`` — one per-worker gradient segment is
     laid out with every shard's weight block back to back (float64, the
     replica gradient dtype), so backward passes accumulate directly into
-    memory the server can read.
+    memory the server can read.  ``grad_mailbox_nbytes`` overrides each
+    mailbox's size: the process runtime passes the codec's worst-case
+    *encoded* frame size, which is how compressed pushes shrink the
+    segments themselves (see :mod:`repro.ps.compression`).
 
     The caller owns cleanup: hold the returned handle and call
     :meth:`SharedStoreHandle.unlink_all` in a ``finally`` block.
@@ -957,14 +965,18 @@ def create_shared_store(
 
         grad_names: list[str] = []
         grad_elements = sum(spec.build_layout().weights_end for spec in specs)
+        mailbox_nbytes = (
+            int(grad_mailbox_nbytes)
+            if grad_mailbox_nbytes is not None
+            else max(grad_elements, 1) * np.dtype(np.float64).itemsize
+        )
+        mailbox_nbytes = max(mailbox_nbytes, 8)
         for worker in range(grad_mailboxes):
             name = f"repro-{run_id}-grad{worker}"
-            segment = SharedSegment.create(
-                max(grad_elements, 1) * np.dtype(np.float64).itemsize, name=name
-            )
+            segment = SharedSegment.create(mailbox_nbytes, name=name)
             created.append(segment)
-            view = segment.ndarray(np.float64, max(grad_elements, 1))
-            view[:] = 0.0
+            view = segment.ndarray(np.uint8, mailbox_nbytes)
+            view[:] = 0
             del view
             grad_names.append(name)
     except BaseException:

@@ -78,6 +78,14 @@ class Worker:
         self._iterations = 0
         self._samples_processed = 0
         self._loss_history: list[float] = []
+        # Push codec (attached via set_codec) and per-worker transfer
+        # accounting: wire bytes are what actually crossed the push/pull
+        # path (encoded sizes under a codec), raw bytes the dense size of
+        # the same gradients.
+        self._codec = None
+        self._pushed_wire_bytes = 0
+        self._pushed_raw_bytes = 0
+        self._pulled_bytes = 0
         # Per-shard packed replica buffers (see attach_flat_layout); empty
         # until a runtime attaches the server's layout.
         self._flat_replicas: dict[int, np.ndarray] = {}
@@ -204,9 +212,77 @@ class Worker:
             self._local_version = int(reply.version)
         else:
             self.load_weights(reply.weights, reply.version)
+        self._pulled_bytes += reply.transfer_nbytes()
         # The snapshot is copied into the replica: drop the copy-on-write
         # leases so the store's next update pays no copy for this pull.
         reply.release()
+
+    # ------------------------------------------------------------------
+    # Push codec
+    # ------------------------------------------------------------------
+    @property
+    def codec(self):
+        """The attached push codec, or ``None`` (see :meth:`set_codec`)."""
+        return self._codec
+
+    def set_codec(self, codec) -> None:
+        """Attach a :class:`repro.ps.compression.GradientCodec`.
+
+        The codec instance belongs to this worker — error-feedback
+        residuals are per ``(worker, shard)`` state.  Encoding requires a
+        packed replica (:meth:`attach_flat_layout`): codecs operate on the
+        per-shard flat gradient buffers, never on per-name dictionaries.
+        """
+        self._codec = codec
+
+    def prepare_push(self, computation: GradientComputation):
+        """Encode one iteration's gradients and account its wire bytes.
+
+        Returns ``(flat_gradients, encoded_gradients, codec_name)`` ready
+        to splice into a :class:`~repro.ps.messages.PushRequest`: without a
+        codec the packed buffers pass through untouched (and
+        ``encoded_gradients`` is ``None``); with one, the encoded payloads
+        replace them.
+        """
+        flat = computation.flat_gradients
+        if self._codec is None:
+            if flat is not None:
+                raw = sum(buffer.nbytes for buffer in flat.values())
+            else:
+                raw = sum(
+                    np.asarray(grad).nbytes
+                    for grad in computation.gradients.values()
+                )
+            self._pushed_raw_bytes += raw
+            self._pushed_wire_bytes += raw
+            return flat, None, None
+        if flat is None:
+            raise RuntimeError(
+                "a push codec requires a packed replica; call "
+                "attach_flat_layout before compute_gradients"
+            )
+        encoded = tuple(
+            self._codec.encode(int(shard), buffer)
+            for shard, buffer in sorted(flat.items())
+        )
+        self._pushed_raw_bytes += sum(buffer.nbytes for buffer in flat.values())
+        self._pushed_wire_bytes += sum(payload.nbytes for payload in encoded)
+        return None, encoded, self._codec.name
+
+    @property
+    def pushed_wire_bytes(self) -> int:
+        """Gradient bytes shipped so far (encoded size under a codec)."""
+        return self._pushed_wire_bytes
+
+    @property
+    def pushed_raw_bytes(self) -> int:
+        """Dense size of the gradients shipped so far."""
+        return self._pushed_raw_bytes
+
+    @property
+    def pulled_bytes(self) -> int:
+        """Bytes received over the pull path so far."""
+        return self._pulled_bytes
 
     # ------------------------------------------------------------------
     # Gradient computation

@@ -46,6 +46,7 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
 from repro.optim.schedules import ConstantSchedule, MultiStepSchedule
 from repro.optim.sgd import SGD
+from repro.ps.compression import make_codec, validate_codec_spec
 from repro.ps.messages import PullRequest, PushRequest
 from repro.ps.server import ParameterServer
 from repro.ps.sharding import make_store
@@ -138,6 +139,13 @@ class SimulationConfig:
     use_workspace:
         Run worker replicas and the evaluation model on the allocation-free
         workspace compute kernels (default on; see :mod:`repro.nn.workspace`).
+    compression:
+        Optional push codec spec (e.g. ``"topk:0.01"``; see
+        :mod:`repro.ps.compression`).  Workers encode their real gradients
+        (so sparsification genuinely perturbs convergence, as in Figure 3)
+        and the virtual clock charges the *push* leg of every iteration for
+        the codec's wire fraction of the dense payload instead of the full
+        parameter bytes.
     profile:
         Attach a per-layer forward/backward profiler
         (:class:`repro.utils.profiler.LayerProfiler`) to the first worker's
@@ -169,9 +177,12 @@ class SimulationConfig:
     dtype: str = "float64"
     use_workspace: bool = True
     profile: bool = False
+    compression: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.compression is not None:
+            validate_codec_spec(self.compression)
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.num_server_shards <= 0:
@@ -209,6 +220,11 @@ class SimulationResult:
     tracker: ExperimentTracker
     trace: SimulationTrace
     controller_decisions: int = 0
+    #: Per-worker push/pull transfer accounting (actual encoded byte counts,
+    #: matching what the real runtimes report; see repro.metrics.throughput).
+    pushed_wire_bytes_per_worker: dict[str, int] = field(default_factory=dict)
+    pushed_raw_bytes_per_worker: dict[str, int] = field(default_factory=dict)
+    pulled_bytes_per_worker: dict[str, int] = field(default_factory=dict)
     #: Per-layer timing breakdown of the first worker's replica (real
     #: wall-clock compute, not virtual time); None unless profiling was on.
     profile: dict | None = None
@@ -292,13 +308,21 @@ class SimulatedTraining:
             )
             replica = self.model_builder(self._streams.get(f"model-{spec.worker_id}"))
             replica.load_state_dict(global_model.state_dict())
-            workers[spec.worker_id] = Worker(
+            worker = Worker(
                 worker_id=spec.worker_id,
                 model=replica,
                 loader=loader,
                 loss_fn=SoftmaxCrossEntropy(),
                 use_workspace=config.use_workspace,
             )
+            if config.compression is not None:
+                # One codec per worker: error-feedback residuals are worker
+                # state, and the per-worker stream keeps stochastic codecs
+                # deterministic.
+                codec = make_codec(config.compression)
+                codec.reseed(self._streams.get(f"codec-{spec.worker_id}"))
+                worker.set_codec(codec)
+            workers[spec.worker_id] = worker
         return workers
 
     # ------------------------------------------------------------------
@@ -335,11 +359,18 @@ class SimulatedTraining:
             ) or (1.0,)
         else:
             shard_fractions = (1.0,)
+        push_wire_fraction = 1.0
+        if config.compression is not None:
+            # The codec's a-priori estimate of encoded-vs-dense push bytes;
+            # clamped because the time model treats >1 as a spec error (an
+            # inflating codec still pays at most the dense charge).
+            push_wire_fraction = min(1.0, make_codec(config.compression).wire_fraction())
         time_model = IterationTimeModel(
             cost,
             batch_size=config.timing_batch_size or config.batch_size,
             time_scale=config.time_scale,
             shard_fractions=shard_fractions,
+            push_wire_fraction=push_wire_fraction,
         )
         timing_rng = self._streams.get("timing") if config.timing_jitter else None
 
@@ -453,6 +484,7 @@ class SimulatedTraining:
             progress_epochs = samples_processed / max(len(self.train_dataset), 1)
             server.set_progress(progress_epochs)
 
+            flat_gradients, encoded, codec_name = worker.prepare_push(computation)
             response = server.handle_push(
                 PushRequest(
                     worker_id=worker_id,
@@ -461,7 +493,9 @@ class SimulatedTraining:
                     timestamp=now,
                     buffers=computation.buffers,
                     local_loss=computation.loss,
-                    flat_gradients=computation.flat_gradients,
+                    flat_gradients=flat_gradients,
+                    encoded_gradients=encoded,
+                    codec=codec_name,
                 )
             )
             iterations_done[worker_id] += 1
@@ -551,6 +585,18 @@ class SimulatedTraining:
             tracker=tracker,
             trace=trace,
             controller_decisions=controller_decisions,
+            pushed_wire_bytes_per_worker={
+                worker_id: worker.pushed_wire_bytes
+                for worker_id, worker in workers.items()
+            },
+            pushed_raw_bytes_per_worker={
+                worker_id: worker.pushed_raw_bytes
+                for worker_id, worker in workers.items()
+            },
+            pulled_bytes_per_worker={
+                worker_id: worker.pulled_bytes
+                for worker_id, worker in workers.items()
+            },
             profile=profile,
         )
 

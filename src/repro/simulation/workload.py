@@ -142,6 +142,7 @@ class IterationTimeModel:
         batch_size: int,
         time_scale: float = 1.0,
         shard_fractions: tuple[float, ...] = (1.0,),
+        push_wire_fraction: float = 1.0,
     ) -> None:
         """Create the time model.
 
@@ -155,6 +156,13 @@ class IterationTimeModel:
         server.  Per-shard transfers run in parallel, so communication time
         is gated by the most-loaded shard — the fractions come straight
         from the sharded store's router.
+
+        ``push_wire_fraction`` scales only the *push* leg's payload — the
+        gradient a compressing codec ships
+        (:meth:`repro.ps.compression.GradientCodec.wire_fraction`); pulls
+        stay dense.  The default 1.0 charges both directions identically
+        and draws the same jitter sequence as the historical model, so
+        uncompressed simulations are bit-for-bit unchanged.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -166,10 +174,15 @@ class IterationTimeModel:
             raise ValueError(
                 f"shard_fractions must sum to 1, got {sum(shard_fractions)}"
             )
+        if not 0.0 < push_wire_fraction <= 1.0:
+            raise ValueError(
+                f"push_wire_fraction must be in (0, 1], got {push_wire_fraction}"
+            )
         self.cost = cost
         self.batch_size = int(batch_size)
         self.time_scale = float(time_scale)
         self.shard_fractions = tuple(float(f) for f in shard_fractions)
+        self.push_wire_fraction = float(push_wire_fraction)
 
     def compute_time(self, spec: WorkerSpec, rng: np.random.Generator | None = None) -> float:
         """Gradient-computation time of one iteration on ``spec``'s device.
@@ -183,15 +196,29 @@ class IterationTimeModel:
     def communication_time(
         self, spec: WorkerSpec, rng: np.random.Generator | None = None
     ) -> float:
-        """Push + pull transfer time of one iteration over ``spec``'s link."""
+        """Push + pull transfer time of one iteration over ``spec``'s link.
+
+        The push leg carries ``push_wire_fraction`` of the dense payload
+        (codec-compressed gradients), the pull leg always the dense
+        weights.  Jitter draws happen push-first in both branches — the
+        same count and order as the uncompressed model, which keeps runs
+        with ``push_wire_fraction=1.0`` bit-for-bit reproducible.
+        """
+        push_scale = self.push_wire_fraction
         if self.shard_fractions == (1.0,):
-            return self.time_scale * spec.network.round_trip_time(
-                self.cost.parameter_bytes, rng=rng
+            push = spec.network.transfer_time(
+                self.cost.parameter_bytes * push_scale, rng=rng
             )
+            pull = spec.network.transfer_time(self.cost.parameter_bytes, rng=rng)
+            return self.time_scale * (push + pull)
         shard_bytes = [
             self.cost.parameter_bytes * fraction for fraction in self.shard_fractions
         ]
-        return self.time_scale * spec.network.sharded_round_trip_time(shard_bytes, rng=rng)
+        push = spec.network.sharded_transfer_time(
+            [nbytes * push_scale for nbytes in shard_bytes], rng=rng
+        )
+        pull = spec.network.sharded_transfer_time(shard_bytes, rng=rng)
+        return self.time_scale * (push + pull)
 
     def iteration_time(self, spec: WorkerSpec, rng: np.random.Generator | None = None) -> float:
         """Total busy time of one iteration (compute plus communication)."""

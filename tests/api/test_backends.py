@@ -224,6 +224,75 @@ class TestBackendParity:
         assert simulated == threaded
 
 
+class TestCompression:
+    """Push codecs thread through every backend (tentpole integration)."""
+
+    def test_transfers_reported_by_all_backends(
+        self, simulated_result, threaded_result, process_result
+    ):
+        for result in (simulated_result, threaded_result, process_result):
+            transfers = result.transfers
+            assert transfers.pushed_wire_bytes > 0
+            assert transfers.pushed_wire_bytes == transfers.pushed_raw_bytes
+            assert transfers.pulled_bytes > 0
+            assert transfers.compression_ratio == 1.0
+            assert set(transfers.pushed_wire_bytes_per_worker) == {
+                "worker-0",
+                "worker-1",
+            }
+            payload = result.to_dict()["transfers"]
+            assert payload["pushed_wire_bytes"] == transfers.pushed_wire_bytes
+            assert payload["compression_ratio"] == 1.0
+
+    def test_none_codec_equivalent_threaded(self, threaded_result):
+        # The threaded runtime is wall-clock scheduled, so run-to-run curves
+        # wobble slightly even without a codec; the bit-for-bit guarantee is
+        # asserted on the deterministic simulator and at the server level
+        # (tests/ps/test_compression.py).  Here: same work, same bytes, no
+        # inflation of the wire size.
+        result = run_experiment(TINY_SPEC.replace(compression="none"), "threaded")
+        assert result.errors == []
+        assert result.total_updates == threaded_result.total_updates
+        assert result.transfers.compression_ratio == 1.0
+        assert result.transfers.pushed_wire_bytes == (
+            threaded_result.transfers.pushed_wire_bytes
+        )
+
+    def test_none_codec_bit_for_bit_simulated(self, simulated_result):
+        result = run_experiment(TINY_SPEC.replace(compression="none"), "simulated")
+        np.testing.assert_array_equal(result.accuracies, simulated_result.accuracies)
+        np.testing.assert_array_equal(result.times, simulated_result.times)
+        assert result.total_time == simulated_result.total_time
+
+    def test_topk_cuts_wire_bytes_threaded(self, threaded_result):
+        result = run_experiment(TINY_SPEC.replace(compression="topk:0.05"), "threaded")
+        assert result.errors == []
+        assert result.transfers.compression_ratio > 8.0
+        assert result.transfers.pushed_raw_bytes == (
+            threaded_result.transfers.pushed_raw_bytes
+        )
+
+    def test_topk_cuts_wire_and_virtual_time_simulated(self, simulated_result):
+        result = run_experiment(TINY_SPEC.replace(compression="topk:0.05"), "simulated")
+        assert result.transfers.compression_ratio > 8.0
+        # The simulator charges the network for encoded bytes, so the
+        # virtual time shrinks relative to the dense run.
+        assert result.total_time < simulated_result.total_time
+
+    def test_codecs_run_on_process_backend(self, process_result):
+        result = run_experiment(TINY_SPEC.replace(compression="topk:0.05"), "process")
+        assert result.errors == []
+        assert result.total_updates == process_result.total_updates
+        assert result.transfers.compression_ratio > 8.0
+
+    def test_int8_process_pipe_transport(self):
+        result = run_experiment(
+            TINY_SPEC.replace(compression="int8"), ProcessBackend(transport="pipe")
+        )
+        assert result.errors == []
+        assert 6.0 < result.transfers.compression_ratio < 9.0
+
+
 class TestRunResultSerialization:
     def test_to_dict_json_safe(self, simulated_result):
         import json

@@ -95,12 +95,42 @@ class TestValidate:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCompressionFlag:
+    def test_run_with_compression_reports_ratio(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "threaded",
+             "--compression", "topk:0.05", "--output", str(output)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "compression       : topk:0.05" in printed
+        payload = json.loads(output.read_text())
+        assert payload["provenance"]["spec"]["compression"] == "topk:0.05"
+        transfers = payload["transfers"]
+        assert transfers["pushed_wire_bytes"] > 0
+        assert transfers["compression_ratio"] > 5.0
+
+    def test_unknown_codec_fails_cleanly(self, spec_path, capsys):
+        code = main(["run", str(spec_path), "--compression", "gzip"])
+        assert code == 2
+        # The error names the accepted codecs (satellite requirement).
+        assert "topk" in capsys.readouterr().err
+
+
 class TestRegistry:
     def test_lists_components(self, capsys):
         assert main(["registry"]) == 0
         printed = capsys.readouterr().out
         for expected in ("simulated", "threaded", "dssp", "alexnet", "resnet110", "p100"):
             assert expected in printed
+
+    def test_lists_codecs(self, capsys):
+        assert main(["registry"]) == 0
+        printed = capsys.readouterr().out
+        assert "codecs:" in printed
+        for codec in ("none", "fp16", "int8", "topk", "significance"):
+            assert codec in printed
 
     def test_lists_all_three_backends_in_registration_order(self, capsys):
         assert main(["registry"]) == 0

@@ -141,6 +141,19 @@ class TestSpecValidation:
             spec.replace(paradigm="nope")
         assert spec.replace(seed=7).seed == 7
 
+    def test_compression_validated(self):
+        assert ExperimentSpec(compression="topk:0.01").compression == "topk:0.01"
+        assert ExperimentSpec().compression is None
+        with pytest.raises(ValueError, match="available codecs"):
+            ExperimentSpec(compression="gzip")
+        with pytest.raises(ValueError, match="density"):
+            ExperimentSpec(compression="topk:1.5")
+
+    def test_compression_survives_round_trip(self):
+        spec = ExperimentSpec(compression="int8:chunk=512")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["compression"] == "int8:chunk=512"
+
 
 class TestSpecSerialization:
     @pytest.fixture()

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.optim.sgd import SGD
-from repro.ps.checkpoint import CheckpointMetadata, load_checkpoint, restore_into, save_checkpoint
+from repro.ps.checkpoint import (
+    CheckpointMetadata,
+    load_checkpoint,
+    load_codec_states,
+    restore_into,
+    save_checkpoint,
+)
+from repro.ps.compression import TopKCodec, decode_shard
 from repro.ps.kvstore import KeyValueStore
 from repro.ps.sharding import ShardedKeyValueStore
 from repro.utils.serialization import states_allclose
@@ -158,3 +165,74 @@ class TestShardedCheckpoints:
         assert other.version == 3
         assert other.shard_versions == [3, 3]
         assert states_allclose(other.weights_snapshot(), store.weights_snapshot())
+
+
+class TestCodecStates:
+    """Error-feedback residuals ride along in checkpoints (satellite task)."""
+
+    def test_codec_states_round_trip(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        rng = np.random.default_rng(4)
+        codecs = {worker: TopKCodec(density=0.1) for worker in ("w0", "w1")}
+        for codec in codecs.values():
+            for shard in (0, 1):
+                codec.encode(shard, rng.normal(size=50))
+        path = save_checkpoint(
+            tmp_path / "ckpt", store, optimizer,
+            codec_states={w: c.state_dict() for w, c in codecs.items()},
+        )
+
+        states = load_codec_states(path)
+        assert set(states) == {"w0", "w1"}
+        for worker, codec in codecs.items():
+            expected = codec.state_dict()
+            assert set(states[worker]) == set(expected) == {"0", "1"}
+            for key in expected:
+                np.testing.assert_array_equal(states[worker][key], expected[key])
+
+    def test_checkpoint_without_codec_states_loads_empty(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+        assert load_codec_states(path) == {}
+        # The codec arrays must not pollute the regular sections either.
+        weights, buffers, velocity, _ = load_checkpoint(path)
+        assert set(weights) == set(INITIAL_SHAPES)
+
+    def test_separator_in_worker_id_rejected(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        with pytest.raises(ValueError, match="::"):
+            save_checkpoint(
+                tmp_path / "ckpt", store, optimizer,
+                codec_states={"w::0": {"0": np.zeros(3)}},
+            )
+
+    def test_restore_then_continue_matches_uninterrupted(self, tmp_path):
+        """A restored codec picks up exactly where the saved one left off."""
+        rng = np.random.default_rng(11)
+        pushes = [rng.normal(size=80) for _ in range(6)]
+
+        uninterrupted = TopKCodec(density=0.05)
+        shipped_expected = [
+            decode_shard(uninterrupted.encode(0, g.copy()), out=np.empty(80)).copy()
+            for g in pushes
+        ]
+
+        # Train for three pushes, checkpoint, "crash", restore, continue.
+        store, optimizer = make_store_and_optimizer()
+        first_half = TopKCodec(density=0.05)
+        shipped = [
+            decode_shard(first_half.encode(0, g.copy()), out=np.empty(80)).copy()
+            for g in pushes[:3]
+        ]
+        path = save_checkpoint(
+            tmp_path / "ckpt", store, optimizer,
+            codec_states={"w0": first_half.state_dict()},
+        )
+        restored = TopKCodec(density=0.05)
+        restored.load_state_dict(load_codec_states(path)["w0"])
+        shipped += [
+            decode_shard(restored.encode(0, g.copy()), out=np.empty(80)).copy()
+            for g in pushes[3:]
+        ]
+        for step, (got, want) in enumerate(zip(shipped, shipped_expected)):
+            np.testing.assert_array_equal(got, want, err_msg=f"push {step}")

@@ -9,8 +9,9 @@ result schema:
   budget + evaluation cadence + store layout, serializable to/from JSON;
 * :class:`Backend` — the execution protocol, with :class:`SimulatedBackend`
   (discrete-event simulator), :class:`ThreadedBackend` (thread-per-worker
-  parameter server) and :class:`ProcessBackend` (process-per-worker over
-  shared memory) shipped, and :func:`register_backend` for more;
+  parameter server), :class:`ProcessBackend` (process-per-worker over
+  shared memory) and :class:`TcpBackend` (socket parameter server with
+  elastic membership) shipped, and :func:`register_backend` for more;
 * :class:`RunResult` — curves on a common time axis, worker reports,
   throughput, staleness and provenance, identical for every backend.
 
@@ -26,6 +27,7 @@ from repro.api.backends import (
     Backend,
     ProcessBackend,
     SimulatedBackend,
+    TcpBackend,
     ThreadedBackend,
     available_backends,
     get_backend,
@@ -44,6 +46,7 @@ __all__ = [
     "SimulatedBackend",
     "ThreadedBackend",
     "ProcessBackend",
+    "TcpBackend",
     "available_backends",
     "get_backend",
     "register_backend",

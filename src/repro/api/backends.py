@@ -13,6 +13,12 @@ with the reproduction:
   worker plus a server process, shards shared zero-copy through
   ``multiprocessing.shared_memory`` (:mod:`repro.ps.shm`), synchronization
   over pipes — true parallel compute on multi-core machines.
+* :class:`TcpBackend` — the socket runtime: a standalone parameter server
+  speaking the length-prefixed TCP protocol of
+  :mod:`repro.ps.tcp_runtime`, workers connecting by address — elastic
+  membership, heartbeat liveness, checkpoint/restart.  Self-hosts over
+  localhost by default; point it at a running ``python -m repro serve``
+  server with ``TcpBackend(address=...)``.
 
 All adapt the existing engines (:mod:`repro.simulation.trainer` and
 :mod:`repro.ps`) rather than reimplementing them, and all produce
@@ -42,6 +48,7 @@ from repro.metrics.throughput import iteration_throughput
 from repro.ps.coordinator import DistributedTrainingConfig, assemble_training
 from repro.ps.messages import WorkerReport
 from repro.ps.process_runtime import ProcessTrainer, ProcessTrainingPlan
+from repro.ps.tcp_runtime import TcpTrainer, TcpTrainingPlan
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.trainer import SimulatedTraining, SimulationConfig
 from repro.version import __version__
@@ -51,10 +58,12 @@ __all__ = [
     "SimulatedBackend",
     "ThreadedBackend",
     "ProcessBackend",
+    "TcpBackend",
     "register_backend",
     "get_backend",
     "available_backends",
     "run_experiment",
+    "tcp_plan_from_spec",
 ]
 
 
@@ -177,6 +186,16 @@ def _reject_simulator_only_fields(spec: ExperimentSpec, backend_name: str) -> No
         )
 
 
+def _reject_transport(spec: ExperimentSpec, backend_name: str) -> None:
+    """Fail loudly when a spec pins a transport this backend cannot honour."""
+    if spec.transport is not None:
+        raise ValueError(
+            f"the {backend_name} backend does not use a synchronization "
+            f"transport; remove transport={spec.transport!r} from the spec "
+            "or run on the process or tcp backend"
+        )
+
+
 def _iterations_per_worker(
     spec: ExperimentSpec, workload: Workload, num_workers: int
 ) -> int:
@@ -203,6 +222,7 @@ class SimulatedBackend:
         profile: bool = False,
     ) -> RunResult:
         """Execute ``spec`` in the simulator."""
+        _reject_transport(spec, self.name)
         provenance = _provenance(spec, self.name, workload, cluster)
         workload = workload or _build_workload(spec)
         cluster = cluster or spec.cluster.build()
@@ -296,6 +316,7 @@ class ThreadedBackend:
     ) -> RunResult:
         """Execute ``spec`` on the threaded runtime."""
         _reject_simulator_only_fields(spec, self.name)
+        _reject_transport(spec, self.name)
         provenance = _provenance(spec, self.name, workload, cluster)
         workload = workload or _build_workload(spec)
         num_workers = cluster.num_workers if cluster is not None else (
@@ -417,7 +438,11 @@ class ProcessBackend:
     ``transport`` selects how pushed gradients reach the server process:
     ``"shm"`` (default) writes them straight into per-worker shared-memory
     mailboxes; ``"pipe"`` ships the packed per-shard buffers through the
-    worker's pipe.  ``context`` picks the multiprocessing start method
+    worker's pipe.  A spec that sets :attr:`ExperimentSpec.transport`
+    overrides the constructor's choice (``"tcp"`` is rejected with a
+    pointer at the ``tcp`` backend — sockets are a different execution
+    model, not a process-runtime mailbox).  ``context`` picks the
+    multiprocessing start method
     (default: :func:`repro.ps.process_runtime.default_context_name`).
     ``wait_timeout`` is the liveness guard on every blocking wait (OK
     signals, the server's idle polls, the start barrier); the runtime
@@ -472,6 +497,15 @@ class ProcessBackend:
         # iteration, so the guard must comfortably exceed it.
         max_slowdown = max((float(v) for v in spec.slowdowns.values()), default=0.0)
         wait_timeout = max(self.wait_timeout, 4.0 * max_slowdown + 60.0)
+        transport = self.transport
+        if spec.transport is not None:
+            if spec.transport == "tcp":
+                raise ValueError(
+                    "transport 'tcp' is the socket runtime, not a "
+                    "process-backend mailbox; run the spec with the tcp "
+                    "backend (python -m repro run SPEC --backend tcp)"
+                )
+            transport = spec.transport
         plan = ProcessTrainingPlan(
             workload=spec.workload,
             workload_kwargs=dict(spec.workload_kwargs),
@@ -492,7 +526,7 @@ class ProcessBackend:
             profile=profile,
             compression=spec.compression,
             seed=spec.seed,
-            transport=self.transport,
+            transport=transport,
             wait_timeout=wait_timeout,
         )
         trainer = ProcessTrainer(plan, context=self.context, workload=built_workload)
@@ -507,6 +541,184 @@ class ProcessBackend:
         # The server process evaluates the initial (t=0) and final model
         # itself, so the curve arrives complete — unlike the threaded
         # backend, where this adapter brackets the run with evaluations.
+        staleness = result.server_statistics.get("update_staleness")
+        if staleness is None:
+            staleness = StalenessTracker().summary()
+        return RunResult(
+            backend=self.name,
+            paradigm=spec.paradigm,
+            paradigm_label=spec.label,
+            times=np.asarray(result.evaluation_times, dtype=np.float64),
+            accuracies=np.asarray(result.evaluation_accuracies, dtype=np.float64),
+            losses=np.asarray(result.evaluation_losses, dtype=np.float64),
+            total_time=result.wall_time,
+            total_updates=total_updates,
+            throughput=throughput,
+            staleness=staleness,
+            wait_time_per_worker={
+                report.worker_id: report.total_wait_time
+                for report in result.worker_reports
+            },
+            worker_reports=list(result.worker_reports),
+            server_statistics=result.server_statistics,
+            provenance=provenance,
+            errors=list(result.errors),
+            profile=result.profile,
+        )
+
+
+def tcp_plan_from_spec(
+    spec: ExperimentSpec,
+    *,
+    num_workers: int | None = None,
+    profile: bool = False,
+    wait_timeout: float = 120.0,
+    address: str | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every_pushes: int = 0,
+) -> TcpTrainingPlan:
+    """Translate a spec into the :class:`TcpTrainingPlan` the server expects.
+
+    Shared by :class:`TcpBackend` and the ``serve`` subcommand so a
+    standalone server and the workers launched from the *same spec file*
+    always agree on membership, budget and hyper-parameters.  ``address``
+    overrides the spec cluster's bind address (the ``--bind`` flag);
+    ``checkpoint_path`` enables periodic atomic checkpoints and
+    restore-on-start.
+    """
+    if spec.workload not in available_workloads():
+        raise ValueError(
+            f"unknown workload {spec.workload!r}; known workloads: "
+            f"{sorted(available_workloads())}"
+        )
+    if spec.transport not in (None, "tcp"):
+        raise ValueError(
+            f"spec pins transport={spec.transport!r}; the tcp backend "
+            "speaks only its socket transport — drop the field or run on "
+            "the process backend"
+        )
+    if spec.num_shards != 1:
+        raise ValueError(
+            "the tcp backend serves a monolithic store (num_shards=1); "
+            "use the threaded or process backend for sharded stores"
+        )
+    built_workload = _build_workload(spec)
+    if num_workers is None:
+        num_workers = len(spec.cluster.worker_ids)
+    # Same liveness-guard stretching as the process backend: declared
+    # slowdowns are legitimate idleness, not hangs.
+    max_slowdown = max((float(v) for v in spec.slowdowns.values()), default=0.0)
+    wait_timeout = max(wait_timeout, 4.0 * max_slowdown + 60.0)
+    heartbeat_timeout = float(spec.cluster.heartbeat_timeout)
+    return TcpTrainingPlan(
+        workload=spec.workload,
+        workload_kwargs=dict(spec.workload_kwargs),
+        scale_fields=dataclasses.asdict(spec.resolved_scale()),
+        paradigm=spec.paradigm,
+        paradigm_kwargs=dict(spec.paradigm_kwargs),
+        num_workers=num_workers,
+        iterations_per_worker=_iterations_per_worker(spec, built_workload, num_workers),
+        batch_size=spec.resolved_batch_size(),
+        learning_rate=spec.learning_rate,
+        momentum=spec.momentum,
+        weight_decay=spec.weight_decay,
+        slowdowns={key: float(value) for key, value in spec.slowdowns.items()},
+        evaluate_every_pushes=spec.resolved_evaluate_every_updates(),
+        dtype=spec.dtype,
+        profile=profile,
+        compression=spec.compression,
+        seed=spec.seed,
+        address=address if address is not None else spec.cluster.address,
+        # One lost heartbeat must not kill a worker: probe at a quarter of
+        # the declared timeout (capped at the 1 s default cadence).
+        heartbeat_interval=min(1.0, heartbeat_timeout / 4.0),
+        heartbeat_timeout=heartbeat_timeout,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_pushes=checkpoint_every_pushes,
+        wait_timeout=wait_timeout,
+    )
+
+
+@register_backend("tcp")
+class TcpBackend:
+    """Socket parameter-server backend (wall-clock time, elastic membership).
+
+    Same contract as :class:`ProcessBackend` — one spec in, one
+    schema-identical :class:`~repro.api.RunResult` out, the same epoch →
+    per-worker-iteration conversion — but synchronization travels over a
+    length-prefixed TCP protocol (:mod:`repro.ps.tcp_runtime`): packed
+    flat-buffer shards and codec-encoded pushes are framed directly on the
+    socket, workers join and leave mid-run, a heartbeat declares silent
+    workers dead, and the server checkpoints/restarts gracefully.
+
+    Two modes:
+
+    * **self-hosted** (default): spawn the server on the spec cluster's
+      ``address`` (``127.0.0.1:0`` → ephemeral localhost port) plus one
+      process per worker — the multi-process localhost default of
+      ``python -m repro run SPEC --backend tcp``.
+    * **external** (``address="host:port"``): connect workers to an
+      already-running ``python -m repro serve`` server; only workers and
+      the result-watch connection are created here.
+
+    The workload restrictions of the process backend apply for the same
+    reason (every process rebuilds from the registry): injected workload
+    objects and unregistered workload names are rejected loudly.
+    """
+
+    def __init__(
+        self,
+        address: str | None = None,
+        context: str | None = None,
+        wait_timeout: float = 120.0,
+        checkpoint_path: str | None = None,
+        checkpoint_every_pushes: int = 0,
+    ) -> None:
+        """Create the backend; ``address`` switches to external-server mode."""
+        self.address = address
+        self.context = context
+        self.wait_timeout = float(wait_timeout)
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every_pushes = int(checkpoint_every_pushes)
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        workload: Workload | None = None,
+        cluster: ClusterSpec | None = None,
+        profile: bool = False,
+    ) -> RunResult:
+        """Execute ``spec`` over TCP."""
+        _reject_simulator_only_fields(spec, self.name)
+        if workload is not None:
+            raise ValueError(
+                "the tcp backend cannot honour an injected workload object: "
+                "the server and worker processes rebuild the workload from "
+                "the registry, so pass a registered workload name in the spec"
+            )
+        provenance = _provenance(spec, self.name, None, cluster)
+        num_workers = cluster.num_workers if cluster is not None else None
+        plan = tcp_plan_from_spec(
+            spec,
+            num_workers=num_workers,
+            profile=profile,
+            wait_timeout=self.wait_timeout,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every_pushes=self.checkpoint_every_pushes,
+        )
+        trainer = TcpTrainer(plan, context=self.context, external_address=self.address)
+        result = trainer.run()
+
+        batch_size = plan.batch_size
+        total_updates = int(result.server_statistics.get("store_version", 0))
+        throughput = iteration_throughput(
+            total_updates=total_updates,
+            total_time=max(result.wall_time, 1e-12),
+            samples_per_update=batch_size,
+        )
+        # Like the process backend, the server evaluates the initial (t=0)
+        # and final model itself, so the curve arrives complete.
         staleness = result.server_statistics.get("update_staleness")
         if staleness is None:
             staleness = StalenessTracker().summary()

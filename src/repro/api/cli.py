@@ -2,12 +2,18 @@
 
 Subcommands:
 
-* ``run SPEC.json [--backend simulated|threaded|process] [--output OUT.json]``
-  — execute one experiment spec and print its summary (optionally an ASCII
-  accuracy curve and a JSON result file).
+* ``run SPEC.json [--backend simulated|threaded|process|tcp]
+  [--output OUT.json]`` — execute one experiment spec and print its summary
+  (optionally an ASCII accuracy curve and a JSON result file).  With
+  ``--backend tcp`` the run self-hosts a socket parameter server over
+  localhost; add ``--address host:port`` to connect the workers to an
+  already-running ``serve`` server instead.
+* ``serve SPEC.json [--bind host:port] [--checkpoint CKPT.npz]`` — run a
+  standalone TCP parameter server for the spec and wait for workers.
 * ``validate SPEC.json`` — parse and validate a spec without running it.
 * ``registry`` — list the registered workloads, models, paradigms, backends,
-  scales, devices, networks and gradient codecs a spec may refer to.
+  transports, scales, devices, networks and gradient codecs a spec may
+  refer to.
 """
 
 from __future__ import annotations
@@ -17,13 +23,20 @@ import json
 import sys
 from pathlib import Path
 
-from repro.api.backends import available_backends, get_backend, run_experiment
+from repro.api.backends import (
+    TcpBackend,
+    available_backends,
+    get_backend,
+    run_experiment,
+    tcp_plan_from_spec,
+)
 from repro.api.spec import NAMED_SCALES, NETWORKS, ExperimentSpec
 from repro.core.factory import policy_registry
 from repro.experiments.workloads import available_workloads
 from repro.metrics.plotting import ascii_curves
 from repro.models.registry import available_models
 from repro.ps.compression import available_codecs
+from repro.ps.transport import available_transports
 from repro.simulation.profiles import GPU_CATALOGUE
 
 __all__ = ["main"]
@@ -63,6 +76,58 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the spec's gradient push codec, e.g. topk:0.01, fp16, "
         "int8, significance:2.0 or none (see 'registry' for the codec list)",
     )
+    run.add_argument(
+        "--transport",
+        default=None,
+        choices=available_transports(),
+        help="override the spec's synchronization transport (shm/pipe select "
+        "the process backend's gradient mailbox; tcp is implied by "
+        "--backend tcp)",
+    )
+    run.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="tcp backend only: connect workers to an already-running "
+        "'serve' server instead of self-hosting one over localhost",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run a standalone TCP parameter server for a spec"
+    )
+    serve.add_argument(
+        "spec", type=Path, help="path to an ExperimentSpec JSON file"
+    )
+    serve.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help="address to bind (default: the spec cluster's address; "
+        "port 0 asks the OS for an ephemeral port)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="checkpoint file: written atomically during the run and at "
+        "SIGTERM, restored at startup if it exists (graceful restart)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also checkpoint every N applied pushes (0: only at "
+        "completion and SIGTERM; requires --checkpoint)",
+    )
+    serve.add_argument(
+        "--output", type=Path, default=None,
+        help="write the raw training result JSON here on completion",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    serve.add_argument(
+        "--compression", default=None, help="override the spec's gradient push codec"
+    )
 
     validate = commands.add_parser("validate", help="validate a spec without running")
     validate.add_argument("spec", type=Path)
@@ -88,7 +153,17 @@ def _command_run(arguments: argparse.Namespace) -> int:
         spec = spec.replace(seed=arguments.seed)
     if arguments.compression is not None:
         spec = spec.replace(compression=arguments.compression)
-    backend = get_backend(arguments.backend)
+    if arguments.transport is not None:
+        spec = spec.replace(transport=arguments.transport)
+    if arguments.address is not None:
+        if arguments.backend != "tcp":
+            raise ValueError(
+                "--address connects workers to a running TCP server; "
+                "it requires --backend tcp"
+            )
+        backend = TcpBackend(address=arguments.address)
+    else:
+        backend = get_backend(arguments.backend)
     result = run_experiment(spec, backend, profile=arguments.profile)
 
     print(f"spec      : {spec.name} ({arguments.spec})")
@@ -138,6 +213,58 @@ def _command_run(arguments: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    """Run a standalone TCP parameter server until the run completes.
+
+    The server prints its bound address once listening (parse the last
+    token to discover an ephemeral port), serves joins/pushes/heartbeats
+    until every expected worker has finished, and exits 0.  SIGTERM
+    triggers a graceful restart: checkpoint (when ``--checkpoint`` is
+    set), tell connected workers to reconnect with backoff, exit 0 — a
+    relaunched ``serve`` on the same address resumes from the checkpoint.
+    """
+    spec = ExperimentSpec.load(arguments.spec)
+    if arguments.seed is not None:
+        spec = spec.replace(seed=arguments.seed)
+    if arguments.compression is not None:
+        spec = spec.replace(compression=arguments.compression)
+    if arguments.checkpoint_every and arguments.checkpoint is None:
+        raise ValueError("--checkpoint-every requires --checkpoint")
+    from repro.ps.tcp_runtime import TcpServer, result_to_wire
+
+    plan = tcp_plan_from_spec(
+        spec,
+        address=arguments.bind,
+        checkpoint_path=(
+            str(arguments.checkpoint) if arguments.checkpoint is not None else None
+        ),
+        checkpoint_every_pushes=arguments.checkpoint_every,
+    )
+
+    def ready(address: str) -> None:
+        print(
+            f"serving {spec.name!r} ({spec.workload}, {spec.label}) on {address} "
+            f"— expecting {plan.num_workers} worker(s)",
+            flush=True,
+        )
+
+    result = TcpServer(plan, ready_callback=ready).serve()
+    if result is None:
+        print("shutdown requested: state checkpointed, workers told to reconnect")
+        return 0
+    print(
+        f"run complete: {int(result.server_statistics.get('store_version', 0))} "
+        f"updates in {result.wall_time:.2f} s"
+    )
+    if result.errors:
+        print(f"errors: {result.errors}")
+    if arguments.output is not None:
+        arguments.output.parent.mkdir(parents=True, exist_ok=True)
+        arguments.output.write_text(json.dumps(result_to_wire(result), indent=2) + "\n")
+        print(f"result written to {arguments.output}")
+    return 1 if result.errors else 0
+
+
 def _command_validate(arguments: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(arguments.spec)
     scale = spec.resolved_scale()
@@ -173,6 +300,7 @@ def _command_registry() -> int:
     print("models:")
     for name, model in sorted(available_models().items()):
         print(f"  {name:<20} {model.description}")
+    print(f"transports: {', '.join(available_transports())}")
     print(f"scales:    {', '.join(sorted(NAMED_SCALES))}")
     print(f"devices:   {', '.join(sorted(GPU_CATALOGUE))}")
     print(f"networks:  {', '.join(sorted(NETWORKS))}")
@@ -187,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if arguments.command == "run":
             return _command_run(arguments)
+        if arguments.command == "serve":
+            return _command_serve(arguments)
         if arguments.command == "validate":
             return _command_validate(arguments)
         return _command_registry()

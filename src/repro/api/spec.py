@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.core.factory import paradigm_label, validate_paradigm
 from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale
 from repro.ps.compression import validate_codec_spec
+from repro.ps.transport import parse_address, validate_transport
 from repro.simulation.cluster import ClusterSpec, WorkerSpec
 from repro.simulation.network import (
     GIGABIT_ETHERNET,
@@ -71,6 +72,13 @@ class ClusterConfig:
     threaded and process backends use only the worker *count* (their
     heterogeneity comes from :attr:`ExperimentSpec.slowdowns`); the
     simulated backend uses the full device and network models.
+
+    ``address`` and ``heartbeat_timeout`` configure the socket-backed
+    (``tcp``) backend and are ignored by every other backend: ``address``
+    is the ``host:port`` the parameter server binds (port ``0`` asks the
+    OS for an ephemeral port, the self-hosted localhost default), and a
+    worker silent for ``heartbeat_timeout`` seconds is declared dead and
+    deregistered from the synchronization policy.
     """
 
     kind: str = "homogeneous"
@@ -79,6 +87,8 @@ class ClusterConfig:
     devices: tuple[str, ...] = ()
     network: str = "infiniband"
     gpus_per_worker: int = 1
+    address: str = "127.0.0.1:0"
+    heartbeat_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("homogeneous", "heterogeneous"):
@@ -91,6 +101,9 @@ class ClusterConfig:
             raise ValueError("a heterogeneous cluster needs a non-empty 'devices' list")
         if self.gpus_per_worker <= 0:
             raise ValueError("gpus_per_worker must be positive")
+        parse_address(self.address)  # raises on malformed host:port
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
         object.__setattr__(self, "devices", tuple(self.devices))
 
     @property
@@ -130,6 +143,8 @@ class ClusterConfig:
             "devices": list(self.devices),
             "network": self.network,
             "gpus_per_worker": self.gpus_per_worker,
+            "address": self.address,
+            "heartbeat_timeout": self.heartbeat_timeout,
         }
 
     @classmethod
@@ -228,6 +243,15 @@ class ExperimentSpec:
         path, and ``RunResult.transfers`` records the bytes on the wire.
         Unknown codec names or malformed parameters are rejected here, at
         spec construction.
+    transport:
+        Optional synchronization transport for the wall-clock runtimes
+        (:func:`repro.ps.transport.available_transports` lists the names).
+        ``"shm"``/``"pipe"`` select how the *process* backend ships pushed
+        gradients (shared-memory mailboxes vs pipes); ``"tcp"`` is the
+        socket transport and is implied by — and only valid with — the
+        ``tcp`` backend.  ``None`` (default) keeps each backend's native
+        default; the simulated and threaded backends reject specs that set
+        a transport rather than silently ignoring it.
     seed:
         Master seed for data order, initialization and timing jitter.
     """
@@ -254,12 +278,17 @@ class ExperimentSpec:
     dtype: str = "float64"
     slowdowns: dict = field(default_factory=dict)
     compression: str | None = None
+    transport: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "lr_milestones", tuple(self.lr_milestones))
         if self.compression is not None:
             validate_codec_spec(self.compression)
+        if self.transport is not None:
+            object.__setattr__(
+                self, "transport", validate_transport(self.transport)
+            )
         if isinstance(self.scale, ExperimentScale):
             object.__setattr__(self, "scale", dataclasses.asdict(self.scale))
         validate_paradigm(self.paradigm, self.paradigm_kwargs)
@@ -361,6 +390,7 @@ class ExperimentSpec:
             "dtype": self.dtype,
             "slowdowns": dict(self.slowdowns),
             "compression": self.compression,
+            "transport": self.transport,
             "seed": self.seed,
         }
 

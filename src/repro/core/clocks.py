@@ -62,11 +62,32 @@ class ClockTable:
     # ------------------------------------------------------------------
     # Registration and recording
     # ------------------------------------------------------------------
-    def register_worker(self, worker_id: str) -> None:
-        """Add a worker with clock zero; registering twice is an error."""
+    def register_worker(self, worker_id: str, initial_clock: int = 0) -> None:
+        """Add a worker; registering twice is an error.
+
+        ``initial_clock`` supports elastic membership: a worker joining a
+        run in progress starts at the current slowest clock (so it neither
+        blocks the cluster as an artificial straggler nor is granted the
+        staleness budget of a worker that has been pushing since step 0),
+        and a worker reconnecting after a server restart resumes at its
+        checkpointed clock.
+        """
         if worker_id in self._records:
             raise ValueError(f"worker {worker_id!r} is already registered")
-        self._records[worker_id] = PushRecord()
+        if initial_clock < 0:
+            raise ValueError(f"initial_clock must be >= 0, got {initial_clock}")
+        self._records[worker_id] = PushRecord(clock=int(initial_clock))
+
+    def deregister_worker(self, worker_id: str) -> None:
+        """Remove a worker (left, finished, or died); unknown id is an error.
+
+        Removing the slowest worker raises :meth:`slowest_clock`, which is
+        what lets the synchronization policies re-bound and release pushes
+        a dead straggler was holding back.
+        """
+        if worker_id not in self._records:
+            raise KeyError(f"worker {worker_id!r} is not registered")
+        del self._records[worker_id]
 
     def record_push(self, worker_id: str, timestamp: float) -> int:
         """Record a push from ``worker_id`` at ``timestamp``; return its new clock.

@@ -87,9 +87,13 @@ class DynamicStaleSynchronousParallel(SynchronizationPolicy):
     # ------------------------------------------------------------------
     # Policy interface
     # ------------------------------------------------------------------
-    def register_worker(self, worker_id: str) -> None:
-        super().register_worker(worker_id)
+    def register_worker(self, worker_id: str, initial_clock: int = 0) -> None:
+        super().register_worker(worker_id, initial_clock)
         self._credits[worker_id] = 0
+
+    def deregister_worker(self, worker_id: str) -> None:
+        super().deregister_worker(worker_id)
+        self._credits.pop(worker_id, None)
 
     def _decide(
         self, worker_id: str, clock: int, staleness: int, timestamp: float

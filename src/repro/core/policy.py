@@ -84,9 +84,26 @@ class SynchronizationPolicy:
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
-    def register_worker(self, worker_id: str) -> None:
-        """Register a worker before training starts."""
-        self.clock_table.register_worker(worker_id)
+    def register_worker(self, worker_id: str, initial_clock: int = 0) -> None:
+        """Register a worker, optionally at a non-zero starting clock.
+
+        A non-zero ``initial_clock`` is the elastic-membership path: late
+        joiners enter at the cluster's slowest clock and restart survivors
+        resume at their checkpointed clock (see
+        :meth:`repro.core.clocks.ClockTable.register_worker`).
+        """
+        self.clock_table.register_worker(worker_id, initial_clock)
+
+    def deregister_worker(self, worker_id: str) -> None:
+        """Remove a worker that left, finished, or died.
+
+        Drops its clock entry and any pending block, so the staleness bound
+        is recomputed over the remaining membership.  The runtime must call
+        :meth:`pop_releasable` afterwards: removing a straggler can satisfy
+        the wait condition of every blocked fast worker at once.
+        """
+        self.clock_table.deregister_worker(worker_id)
+        self._blocked.pop(worker_id, None)
 
     @property
     def num_workers(self) -> int:

@@ -74,6 +74,30 @@ class MiniBatchLoader:
             inputs = self.augmentation(inputs, self._rng)
         return inputs, labels
 
+    def skip(self, batches: int) -> None:
+        """Advance the stream past ``batches`` mini-batches without yielding them.
+
+        Fast-forward for deterministic replay: a worker rejoining a restarted
+        server rebuilds its loader from the seed and skips to the resumed
+        iteration, landing in exactly the state a worker that drew (and
+        trained on) those batches would be in.  With an ``augmentation``
+        hook the batches must be materialized anyway (the hook consumes RNG
+        draws per batch); otherwise only the cursor and the epoch reshuffles
+        advance.
+        """
+        if batches < 0:
+            raise ValueError("batches must be non-negative")
+        for _ in range(batches):
+            if self.augmentation is not None:
+                self.next_batch()
+                continue
+            if self._cursor >= len(self.dataset):
+                self._cursor = 0
+                self._epochs_completed += 1
+                if self.shuffle:
+                    self._rng.shuffle(self._order)
+            self._cursor = min(self._cursor + self.batch_size, len(self.dataset))
+
     def epoch(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Iterate over exactly one epoch of mini-batches."""
         order = np.arange(len(self.dataset), dtype=np.int64)

@@ -24,6 +24,11 @@ This subpackage provides that framework built from scratch:
   worker plus a server process, shards shared zero-copy through
   ``multiprocessing.shared_memory`` (:mod:`repro.ps.shm`), coordination
   over pipes — true parallelism beyond the GIL.
+* :class:`TcpServer` / :class:`TcpTrainer` — the socket runtime: a
+  standalone parameter server speaking a length-prefixed TCP protocol
+  (:mod:`repro.ps.transport`), workers connecting by address, elastic
+  membership with heartbeat liveness, and checkpoint-based graceful
+  restart.
 * :func:`train_distributed` — a convenience coordinator that assembles the
   pieces from plain configuration.
 """
@@ -46,6 +51,22 @@ from repro.ps.process_runtime import (
     ProcessTrainer,
     ProcessTrainingPlan,
     ProcessTrainingResult,
+)
+from repro.ps.tcp_runtime import (
+    TcpServer,
+    TcpTrainer,
+    TcpTrainingPlan,
+    TcpTrainingResult,
+)
+from repro.ps.transport import (
+    ConnectionClosed,
+    PipeConnection,
+    TcpConnection,
+    available_transports,
+    connect_tcp,
+    format_address,
+    parse_address,
+    validate_transport,
 )
 from repro.ps.shm import (
     SharedFlatShard,
@@ -98,6 +119,18 @@ __all__ = [
     "ProcessTrainer",
     "ProcessTrainingPlan",
     "ProcessTrainingResult",
+    "TcpServer",
+    "TcpTrainer",
+    "TcpTrainingPlan",
+    "TcpTrainingResult",
+    "ConnectionClosed",
+    "PipeConnection",
+    "TcpConnection",
+    "available_transports",
+    "connect_tcp",
+    "format_address",
+    "parse_address",
+    "validate_transport",
     "SharedSegment",
     "SharedStoreHandle",
     "SharedFlatShard",

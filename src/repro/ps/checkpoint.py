@@ -23,6 +23,8 @@ a restored run continues bit-for-bit where the interrupted one left off.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -116,8 +118,34 @@ def save_checkpoint(
         extra=header_extra,
     )
     arrays[_HEADER_KEY] = np.frombuffer(metadata.to_json().encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
     return path
+
+
+def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` to ``path`` so the file is always complete.
+
+    The npz is assembled in a temp file in the *same directory* (so the
+    final rename never crosses filesystems), fsynced, and moved into place
+    with ``os.replace``.  A server killed mid-save — a supported event for
+    the restartable TCP server — leaves either the previous checkpoint or
+    the new one, never a truncated archive.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.stem + ".tmp-", suffix=".npz", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            np.savez_compressed(stream, **arrays)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path: str | Path) -> tuple[dict, dict, dict, CheckpointMetadata]:

@@ -230,18 +230,25 @@ class KeyValueStore:
         The gradients are packed into contiguous runs of the flat buffer and
         applied as one fused vectorized update; a push that already carries
         the packed buffer (``flat_gradients`` from a layout-attached worker)
-        skips the gather entirely.  Returns the new version.
+        skips the gather entirely.  Like the shared-memory store, a push may
+        carry *only* the packed buffer (``gradients={}``) — that is what the
+        TCP runtime decodes straight off the wire.  Returns the new version.
         """
         if not self._weight_name_set.issuperset(gradients):
             unknown = set(gradients) - self._weight_name_set
             raise KeyError(f"gradients refer to unknown parameters: {sorted(unknown)[:5]}")
         self._flat.materialize()
         update = None
-        if flat_gradients is not None and len(gradients) == len(self._weight_names):
+        if flat_gradients is not None and len(gradients) in (0, len(self._weight_names)):
             packed = flat_gradients.get(0)
             if packed is not None and packed.size == self._flat.layout.weights_end:
                 update = self._flat.make_flat_update(packed)
         if update is None:
+            if not gradients:
+                raise ValueError(
+                    "push carried neither per-name gradients nor a full-size "
+                    "packed flat buffer"
+                )
             update = self._flat.make_update(gradients)
         optimizer.step_flat([update], scale=scale)
         self._version += 1

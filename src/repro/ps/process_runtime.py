@@ -71,6 +71,7 @@ from repro.ps.compression import (
 from repro.ps.messages import PushRequest, WorkerReport
 from repro.ps.runtime import ThreadedTrainingResult
 from repro.ps.server import ParameterServer
+from repro.ps.transport import ConnectionClosed, PipeConnection, validate_transport
 from repro.ps.shm import (
     SharedFlatStore,
     SharedSegment,
@@ -95,6 +96,8 @@ _LOGGER = get_logger("ps.process_runtime")
 #: from the moment every process clears the start barrier.
 ProcessTrainingResult = ThreadedTrainingResult
 
+#: Gradient paths this runtime supports, a subset of the transport registry
+#: (:mod:`repro.ps.transport`); ``"tcp"`` belongs to the socket runtime.
 _TRANSPORTS = ("shm", "pipe")
 
 
@@ -171,6 +174,11 @@ class ProcessTrainingPlan:
         Test-only fault injection: ``{worker_id: iteration}`` makes that
         worker die with ``os._exit(1)`` (no cleanup, as a real crash would)
         at the start of that iteration.
+    crash_after_push:
+        Test-only fault injection: ``{worker_id: iteration}`` makes that
+        worker die immediately *after sending* that iteration's push —
+        mid-protocol, while the server still owes it an OK.  Exercises the
+        death-during-push window the EOF handling must cover.
     """
 
     workload: str
@@ -197,6 +205,7 @@ class ProcessTrainingPlan:
     transport: str = "shm"
     wait_timeout: float = 120.0
     crash_at: Mapping[str, int] = field(default_factory=dict)
+    crash_after_push: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.compression is not None:
@@ -209,13 +218,12 @@ class ProcessTrainingPlan:
             raise ValueError("batch_size and micro_batches must be positive")
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        if self.transport not in _TRANSPORTS:
-            raise ValueError(
-                f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
-            )
+        validate_transport(self.transport, allowed=_TRANSPORTS)
         validate_paradigm(self.paradigm, self.paradigm_kwargs)
         valid_ids = {f"worker-{index}" for index in range(self.num_workers)}
-        unknown = sorted({*self.slowdowns, *self.crash_at} - valid_ids)
+        unknown = sorted(
+            {*self.slowdowns, *self.crash_at, *self.crash_after_push} - valid_ids
+        )
         if unknown:
             raise ValueError(
                 f"slowdowns/crash_at name nonexistent workers {unknown}; "
@@ -409,7 +417,9 @@ def _server_main(
         barrier.wait(timeout=plan.wait_timeout)
         start = time.monotonic()
 
-        live: dict = {conn: index for index, conn in enumerate(conns)}
+        live: dict = {
+            PipeConnection(conn): index for index, conn in enumerate(conns)
+        }
         reports: dict[int, WorkerReport] = {}
         errors: list[str] = []
         worker_profile: dict | None = None
@@ -433,6 +443,7 @@ def _server_main(
 
         index_of = {f"worker-{index}": index for index in range(plan.num_workers)}
         fatal = False
+        dead: set[int] = set()
         # Liveness guard: "no push for this long" aborts the run as hung.
         # The threshold adapts to the workload — a heavy model legitimately
         # goes quiet for a whole iteration (e.g. every BSP round starts with
@@ -440,7 +451,7 @@ def _server_main(
         # observed the guard stretches to comfortably exceed them.
         idle_timeout = plan.wait_timeout
         last_push_time: dict[int, float] = {}
-        while len(reports) < plan.num_workers and not fatal:
+        while len(reports) + len(dead) < plan.num_workers and not fatal:
             ready = selector.select(timeout=idle_timeout)
             if not ready:
                 errors.append(
@@ -453,16 +464,34 @@ def _server_main(
                 index = key.data
                 worker_id = f"worker-{index}"
                 try:
-                    message = conn.recv()
-                except (EOFError, OSError):
+                    header, payload = conn.recv()
+                except ConnectionClosed:
                     drop(conn)
                     errors.append(f"{worker_id}: process died (connection lost)")
+                    if plan.transport == "pipe":
+                        # Elastic death on the pipe transport: everything the
+                        # dead worker owned travelled through this (now
+                        # closed) pipe, so deregistering it and re-bounding
+                        # the policy over the survivors is safe — blocked
+                        # fast workers whose wait condition the membership
+                        # change satisfied wake up immediately.  The shm
+                        # transport keeps its abort contract: a worker dying
+                        # inside the shared-memory store cannot be declared
+                        # harmless from here.
+                        dead.add(index)
+                        if worker_id in server.worker_ids:
+                            for released in server.deregister_worker(worker_id):
+                                oks[index_of[released]].release()
+                        continue
                     abort_all()
                     fatal = True
                     break
-                kind = message[0]
+                kind = header["type"]
                 if kind == "push":
-                    _, _, base_version, timestamp, loss, _, buffers, payload = message
+                    base_version = header["base_version"]
+                    timestamp = header["timestamp"]
+                    loss = header["loss"]
+                    buffers = header["buffers"]
                     previous = last_push_time.get(index)
                     last_push_time[index] = timestamp
                     if previous is not None:
@@ -513,13 +542,12 @@ def _server_main(
                         eval_accuracies.append(accuracy)
                         eval_losses.append(loss)
                 elif kind == "done":
-                    _, _, report, profile = message
-                    reports[index] = WorkerReport(**report)
-                    if profile is not None:
-                        worker_profile = profile
+                    reports[index] = WorkerReport(**header["report"])
+                    if payload is not None:
+                        worker_profile = payload
                     drop(conn)
                 elif kind == "error":
-                    errors.append(f"{worker_id}: {message[2]}")
+                    errors.append(f"{worker_id}: {header['message']}")
                     drop(conn)
                     abort_all()
                     fatal = True
@@ -600,6 +628,7 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
     """
     _close_unrelated(unrelated)
     worker_id = f"worker-{index}"
+    conn = PipeConnection(conn)
     client = None
     mailbox = None
     try:
@@ -658,6 +687,7 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
         start = time.monotonic()
         slowdown = plan.slowdowns.get(worker_id, 0.0)
         crash_iteration = plan.crash_at.get(worker_id)
+        crash_after = plan.crash_after_push.get(worker_id)
         total_wait = 0.0
         total_compute = 0.0
 
@@ -684,17 +714,19 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
             else:
                 payload = dict(flat_gradients or {})
             conn.send(
-                (
-                    "push",
-                    index,
-                    computation.base_version,
-                    time.monotonic() - start,
-                    computation.loss,
-                    computation.samples,
-                    dict(computation.buffers) or None,
-                    payload,
-                )
+                {
+                    "type": "push",
+                    "worker": index,
+                    "base_version": computation.base_version,
+                    "timestamp": time.monotonic() - start,
+                    "loss": computation.loss,
+                    "samples": computation.samples,
+                    "buffers": dict(computation.buffers) or None,
+                },
+                payload,
             )
+            if crash_after is not None and iteration >= crash_after:
+                os._exit(1)  # test hook: die mid-protocol, push sent but no OK taken
 
             # Peers run the same per-iteration workload, so this worker's
             # own compute time bounds how long a healthy OK can take to
@@ -719,10 +751,10 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
             profiler.detach()
             profile = {"worker_id": worker_id, **profiler.as_dict()}
         conn.send(
-            (
-                "done",
-                index,
-                {
+            {
+                "type": "done",
+                "worker": index,
+                "report": {
                     "worker_id": worker_id,
                     "iterations": worker.iterations,
                     "samples_processed": worker.samples_processed,
@@ -733,14 +765,14 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
                     "pushed_raw_bytes": worker.pushed_raw_bytes,
                     "pulled_bytes": worker.pulled_bytes,
                 },
-                profile,
-            )
+            },
+            profile,
         )
     except Exception as error:  # noqa: BLE001 - report, then die quietly
         _LOGGER.exception("worker %s failed", worker_id)
         try:
-            conn.send(("error", index, str(error)))
-        except (BrokenPipeError, OSError):
+            conn.send({"type": "error", "worker": index, "message": str(error)})
+        except (BrokenPipeError, ConnectionError, OSError):
             pass
     finally:
         if client is not None:

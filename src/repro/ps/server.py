@@ -105,12 +105,33 @@ class ParameterServer:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def register_worker(self, worker_id: str) -> None:
-        """Register a worker with both the server and the policy."""
+    def register_worker(self, worker_id: str, initial_clock: int = 0) -> None:
+        """Register a worker with both the server and the policy.
+
+        ``initial_clock`` is the elastic-membership hook: a worker joining
+        mid-run registers at the cluster's current slowest clock, and a
+        worker rejoining after a server restart resumes at its checkpointed
+        clock.
+        """
         if worker_id in self._registered_workers:
             raise ValueError(f"worker {worker_id!r} already registered")
         self._registered_workers.append(worker_id)
-        self.policy.register_worker(worker_id)
+        self.policy.register_worker(worker_id, initial_clock)
+
+    def deregister_worker(self, worker_id: str) -> tuple[str, ...]:
+        """Remove a worker (left, finished, or died) and re-bound the policy.
+
+        Returns previously blocked workers whose wait condition became
+        satisfied by the membership change — the runtime must send them OK,
+        exactly as it does for :attr:`PushResponse.released_workers`.
+        """
+        if worker_id not in self._registered_workers:
+            raise KeyError(f"worker {worker_id!r} is not registered")
+        self._registered_workers.remove(worker_id)
+        self.policy.deregister_worker(worker_id)
+        released = tuple(self.policy.pop_releasable())
+        _LOGGER.debug("deregistered %s: unblocked=%s", worker_id, released)
+        return released
 
     @property
     def worker_ids(self) -> list[str]:

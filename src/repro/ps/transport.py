@@ -1,0 +1,396 @@
+"""Transport layer: how parameter-server messages cross process boundaries.
+
+Every runtime in the repo moves the same two kinds of traffic:
+
+* **control messages** — small tagged dictionaries (joins, pushes headers,
+  OK signals, reports, heartbeats); and
+* **shard payloads** — the per-shard packed flat buffers of
+  :mod:`repro.ps.flatbuffer`, possibly codec-encoded
+  (:mod:`repro.ps.compression`).
+
+This module gives both a uniform :class:`Connection` shape so the runtimes
+stop open-coding their plumbing:
+
+* :class:`PipeConnection` — a thin adapter over a ``multiprocessing`` pipe
+  end.  Control dictionaries and payloads travel pickled, which is fine on
+  one machine between trusted processes; the shm transport of
+  :mod:`repro.ps.process_runtime` uses the pipe for control only and moves
+  gradients through shared memory.
+* :class:`TcpConnection` — a length-prefixed binary protocol over a socket.
+  Control messages are a JSON envelope; shard payloads are framed with the
+  *same self-describing format the shared-memory mailboxes already use*
+  (:func:`repro.ps.compression.write_encoded`), so a packed gradient buffer
+  or a codec-encoded push goes from worker memory onto the wire with one
+  vectorized copy and **no pickle on the hot path**.
+
+Wire format of one TCP message (all integers little-endian)::
+
+    [u64 body_len] body
+    body  := [u64 header_len][header: UTF-8 JSON][pad to 8]  frame*
+    frame := [u64 shard][u64 region_len][region: write_encoded bytes]
+
+``region_len`` is always a multiple of 8 (``write_encoded`` pads its
+payload arrays to 8-byte boundaries) and every frame starts 8-byte aligned
+within the body, so the receiver parses frames as zero-copy NumPy views of
+the received buffer (:func:`repro.ps.compression.read_encoded`).
+
+The module also owns the transport *registry* the spec layer validates
+against (``"shm"``/``"pipe"`` select the gradient path of the process
+backend; ``"tcp"`` is the socket backend's wire transport).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+
+from repro.ps.compression import EncodedShard, frame_capacity, read_encoded, write_encoded
+
+__all__ = [
+    "TRANSPORTS",
+    "available_transports",
+    "validate_transport",
+    "ConnectionClosed",
+    "PipeConnection",
+    "TcpConnection",
+    "connect_tcp",
+    "parse_address",
+    "format_address",
+]
+
+#: Registered transport names and what selects them.  ``shm``/``pipe`` are
+#: gradient paths of the process backend (``--backend process``); ``tcp``
+#: is the wire transport of the socket backend (``--backend tcp``).
+TRANSPORTS: dict[str, str] = {
+    "shm": "process backend: gradients in shared-memory mailboxes (default)",
+    "pipe": "process backend: packed gradients pickled through the worker pipe",
+    "tcp": "tcp backend: length-prefixed socket framing, elastic membership",
+}
+
+
+def available_transports() -> tuple[str, ...]:
+    """Registered transport names, in registration order."""
+    return tuple(TRANSPORTS)
+
+
+def validate_transport(name: str, allowed: tuple[str, ...] | None = None) -> str:
+    """Check ``name`` against the registry (and optionally ``allowed``).
+
+    Returns the normalized name; raises ``ValueError`` naming the accepted
+    transports otherwise, so a typo in a spec or CLI flag fails loudly
+    before any training work starts.
+    """
+    key = str(name).strip().lower()
+    if key not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {name!r}; available transports: "
+            f"{', '.join(available_transports())}"
+        )
+    if allowed is not None and key not in allowed:
+        raise ValueError(
+            f"transport {key!r} is not supported here; choose one of "
+            f"{', '.join(allowed)}"
+        )
+    return key
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (EOF, reset, or mid-frame death)."""
+
+
+# ----------------------------------------------------------------------
+# Addresses
+# ----------------------------------------------------------------------
+def parse_address(address: str) -> tuple[str, int]:
+    """Parse ``"host:port"`` into ``(host, port)``; port 0 means ephemeral."""
+    if not isinstance(address, str) or ":" not in address:
+        raise ValueError(
+            f"address must look like 'host:port', got {address!r}"
+        )
+    host, _, port_text = address.rpartition(":")
+    host = host.strip() or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"address port {port_text!r} is not an integer") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"address port {port} out of range [0, 65535]")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    """Inverse of :func:`parse_address`."""
+    return f"{host}:{int(port)}"
+
+
+# ----------------------------------------------------------------------
+# Pipe transport
+# ----------------------------------------------------------------------
+class PipeConnection:
+    """A :class:`Connection` over one end of a ``multiprocessing`` pipe.
+
+    Messages are ``(header, frames)`` pairs exactly like the TCP transport's,
+    but travel pickled — acceptable between trusted processes on one box,
+    and what keeps the process runtime's control plane simple.  ``frames``
+    may hold any picklable payload (:class:`EncodedShard` tuples, packed
+    gradient dicts, ``None``).
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, header: dict, frames=None) -> None:
+        """Ship one ``(header, frames)`` message."""
+        self._conn.send((header, frames))
+
+    def recv(self):
+        """Receive one ``(header, frames)`` message; EOF raises :class:`ConnectionClosed`."""
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise ConnectionClosed(str(error) or "pipe closed") from error
+
+    def fileno(self) -> int:
+        """Underlying file descriptor (selector-compatible)."""
+        return self._conn.fileno()
+
+    def close(self) -> None:
+        """Close this end of the pipe."""
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+_LEN = struct.Struct("<Q")
+_FRAME_HEAD = struct.Struct("<QQ")
+_RECV_CHUNK = 1 << 18
+
+
+def _aligned8(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+class TcpConnection:
+    """Length-prefixed message framing over one TCP socket.
+
+    One connection is owned by one logical peer (a worker, a coordinator
+    watching for results, or the server's view of either).  Sending is
+    thread-safe (a worker's heartbeat thread shares the socket with its
+    training loop); receiving must stay on a single thread.
+
+    Two receive styles serve the two sides of the protocol:
+
+    * :meth:`recv` — blocking, for workers and watchers ("wait for my OK").
+    * :meth:`read_ready` — buffered, for the server's selector loop: called
+      when ``select`` reports readability, it consumes what the kernel has
+      and returns every *complete* message, keeping partial frames buffered
+      until the next readiness event.  A worker dying mid-frame therefore
+      surfaces as :class:`ConnectionClosed`, never as a torn message.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (e.g. a socketpair in tests)
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._buffer = bytearray()
+        self._bytes_sent = 0
+        self._bytes_received = 0
+
+    # -- encoding ------------------------------------------------------
+    @staticmethod
+    def _encode(header: dict, shards: tuple[EncodedShard, ...]) -> bytearray:
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        header_block = _aligned8(len(header_bytes))
+        regions = [
+            frame_capacity(tuple(array.nbytes for array in shard.arrays))
+            for shard in shards
+        ]
+        body_len = 8 + header_block + sum(
+            _FRAME_HEAD.size + region for region in regions
+        )
+        message = bytearray(_LEN.size + body_len)
+        _LEN.pack_into(message, 0, body_len)
+        offset = _LEN.size
+        _LEN.pack_into(message, offset, len(header_bytes))
+        offset += 8
+        message[offset : offset + len(header_bytes)] = header_bytes
+        offset += header_block
+        view = np.frombuffer(message, dtype=np.uint8)
+        for shard, region in zip(shards, regions):
+            _FRAME_HEAD.pack_into(message, offset, shard.shard, region)
+            offset += _FRAME_HEAD.size
+            write_encoded(shard, view[offset : offset + region])
+            offset += region
+        return message
+
+    @staticmethod
+    def _decode(body: bytes) -> tuple[dict, tuple[EncodedShard, ...]]:
+        view = np.frombuffer(body, dtype=np.uint8)
+        (header_len,) = _LEN.unpack_from(body, 0)
+        header = json.loads(bytes(body[8 : 8 + header_len]).decode("utf-8"))
+        offset = 8 + _aligned8(header_len)
+        shards = []
+        while offset < len(body):
+            shard, region = _FRAME_HEAD.unpack_from(body, offset)
+            offset += _FRAME_HEAD.size
+            shards.append(read_encoded(view[offset : offset + region], int(shard)))
+            offset += region
+        return header, tuple(shards)
+
+    # -- sending -------------------------------------------------------
+    def send(self, header: dict, shards: tuple[EncodedShard, ...] = ()) -> int:
+        """Ship one message; returns its size in bytes on the wire.
+
+        ``shards`` are framed with :func:`~repro.ps.compression.write_encoded`
+        — one vectorized copy per payload array into the outgoing buffer,
+        then a single ``sendall``.  A peer that died raises
+        :class:`ConnectionClosed`.
+        """
+        message = self._encode(header, tuple(shards))
+        try:
+            with self._send_lock:
+                self._sock.sendall(message)
+        except (BrokenPipeError, ConnectionError, OSError) as error:
+            raise ConnectionClosed(str(error) or "send failed") from error
+        self._bytes_sent += len(message)
+        return len(message)
+
+    # -- blocking receive ----------------------------------------------
+    def recv(self, timeout: float | None = None):
+        """Block until one complete message arrives and return it.
+
+        Raises :class:`ConnectionClosed` on EOF (including EOF in the middle
+        of a frame — a crashed peer) and ``socket.timeout`` when ``timeout``
+        elapses with no complete message.
+        """
+        self._sock.settimeout(timeout)
+        while True:
+            message = self._pop_message()
+            if message is not None:
+                return message
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                raise ConnectionClosed("peer closed the connection")
+            self._buffer.extend(chunk)
+            self._bytes_received += len(chunk)
+
+    # -- selector-driven receive ---------------------------------------
+    def read_ready(self) -> list:
+        """Consume readable bytes and return every complete buffered message.
+
+        For use after ``select``/``selectors`` reported this socket
+        readable: performs one ``recv`` (never blocking in that situation),
+        then drains the reassembly buffer.  Returns ``[]`` while a message
+        is still partial.
+        """
+        try:
+            chunk = self._sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError, TimeoutError):  # pragma: no cover
+            # Spurious readiness on a non-blocking or timeout-armed socket:
+            # no data this round, keep the buffered partials.
+            chunk = b"\x00"[:0]
+        except OSError as error:
+            raise ConnectionClosed(str(error) or "recv failed") from error
+        if not chunk:
+            raise ConnectionClosed("peer closed the connection")
+        self._buffer.extend(chunk)
+        self._bytes_received += len(chunk)
+        messages = []
+        while True:
+            message = self._pop_message()
+            if message is None:
+                return messages
+            messages.append(message)
+
+    def _pop_message(self):
+        buffer = self._buffer
+        if len(buffer) < _LEN.size:
+            return None
+        (body_len,) = _LEN.unpack_from(buffer, 0)
+        total = _LEN.size + body_len
+        if len(buffer) < total:
+            return None
+        body = bytes(buffer[_LEN.size : total])
+        del buffer[:total]
+        return self._decode(body)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Arm a socket-level timeout (guards server-side sends from hanging)."""
+        self._sock.settimeout(timeout)
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def bytes_sent(self) -> int:
+        """Total message bytes shipped through this connection."""
+        return self._bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        """Total bytes received (including still-buffered partials)."""
+        return self._bytes_received
+
+    def fileno(self) -> int:
+        """Underlying socket descriptor (selector-compatible)."""
+        return self._sock.fileno()
+
+    def peername(self) -> str:
+        """Peer address for logs, or ``"?"`` once the socket is gone."""
+        try:
+            host, port = self._sock.getpeername()[:2]
+            return format_address(host, port)
+        except OSError:
+            return "?"
+
+    def close(self) -> None:
+        """Shut down and close the socket (idempotent)."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def connect_tcp(
+    address: str,
+    timeout: float = 30.0,
+    retry_interval: float = 0.1,
+) -> TcpConnection:
+    """Connect to ``address`` with retry/backoff until ``timeout`` elapses.
+
+    Workers use this both at startup (the server may not be listening yet)
+    and when reconnecting after a server restart; the interval doubles up
+    to one second between attempts.  Raises ``ConnectionError`` with the
+    last underlying error once the budget is exhausted.
+    """
+    import time
+
+    host, port = parse_address(address)
+    deadline = time.monotonic() + timeout
+    interval = retry_interval
+    last_error: Exception | None = None
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            return TcpConnection(sock)
+        except OSError as error:
+            last_error = error
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    f"could not connect to {address} within {timeout:.0f}s: {error}"
+                ) from error
+            time.sleep(interval)
+            interval = min(interval * 2, 1.0)

@@ -48,12 +48,13 @@ def process_result():
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ["simulated", "threaded", "process"]
+        assert available_backends() == ["simulated", "threaded", "process", "tcp"]
 
     def test_get_backend_instances_protocol(self):
         assert isinstance(get_backend("simulated"), Backend)
         assert isinstance(get_backend("threaded"), Backend)
         assert isinstance(get_backend("process"), Backend)
+        assert isinstance(get_backend("tcp"), Backend)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -171,6 +172,63 @@ class TestProcessBackend:
     def test_staleness_and_wait_times_reported(self, process_result):
         assert process_result.staleness.count == process_result.total_updates
         assert set(process_result.wait_time_per_worker) == {"worker-0", "worker-1"}
+
+
+class TestTcpBackend:
+    @pytest.fixture(scope="class")
+    def tcp_result(self):
+        return run_experiment(TINY_SPEC, "tcp")
+
+    def test_runs_and_reports(self, tcp_result):
+        result = tcp_result
+        assert result.backend == "tcp"
+        assert result.errors == []
+        assert result.total_updates == 20  # 2 workers x 10 iterations
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(result.total_time)
+        assert result.iterations_per_worker == {"worker-0": 10, "worker-1": 10}
+        assert result.staleness.count == result.total_updates
+
+    def test_schema_matches_process(self, tcp_result, process_result):
+        assert TestBackendParity.schema(tcp_result.to_dict()) == (
+            TestBackendParity.schema(process_result.to_dict())
+        )
+
+    def test_transport_field_tcp_accepted(self):
+        result = run_experiment(TINY_SPEC.replace(transport="tcp"), "tcp")
+        assert result.errors == []
+
+    def test_transport_field_mailbox_rejected(self):
+        with pytest.raises(ValueError, match="tcp backend"):
+            run_experiment(TINY_SPEC.replace(transport="shm"), "tcp")
+
+    def test_sharding_rejected(self):
+        with pytest.raises(ValueError, match="monolithic"):
+            run_experiment(TINY_SPEC.replace(num_shards=4), "tcp")
+
+    def test_injected_workload_rejected(self):
+        from repro.experiments.workloads import build_workload
+
+        workload = build_workload("mlp", TINY_SPEC.resolved_scale())
+        with pytest.raises(ValueError, match="injected workload"):
+            run_experiment(TINY_SPEC, "tcp", workload=workload)
+
+
+class TestTransportSpecField:
+    def test_spec_transport_overrides_process_default(self):
+        # ProcessBackend defaults to shm; the spec can demand pipe.
+        result = run_experiment(TINY_SPEC.replace(transport="pipe"), "process")
+        assert result.errors == []
+        assert result.total_updates == 20
+
+    def test_spec_transport_tcp_rejected_on_process(self):
+        with pytest.raises(ValueError, match="tcp backend"):
+            run_experiment(TINY_SPEC.replace(transport="tcp"), "process")
+
+    @pytest.mark.parametrize("backend", ["simulated", "threaded"])
+    def test_spec_transport_rejected_on_non_process(self, backend):
+        with pytest.raises(ValueError, match="transport"):
+            run_experiment(TINY_SPEC.replace(transport="shm"), backend)
 
 
 class TestBackendParity:

@@ -1,6 +1,8 @@
 """Tests for the ``python -m repro`` command line."""
 
 import json
+import socket
+import threading
 
 import pytest
 
@@ -132,13 +134,17 @@ class TestRegistry:
         for codec in ("none", "fp16", "int8", "topk", "significance"):
             assert codec in printed
 
-    def test_lists_all_three_backends_in_registration_order(self, capsys):
+    def test_lists_all_backends_in_registration_order(self, capsys):
         assert main(["registry"]) == 0
         printed = capsys.readouterr().out
         backends_block = printed.split("paradigms:")[0]
         assert backends_block.startswith("backends:")
         listed = [line.strip() for line in backends_block.splitlines()[1:] if line.strip()]
-        assert listed == ["simulated", "threaded", "process"]
+        assert listed == ["simulated", "threaded", "process", "tcp"]
+
+    def test_lists_transports(self, capsys):
+        assert main(["registry"]) == 0
+        assert "transports: shm, pipe, tcp" in capsys.readouterr().out
 
 
 class TestRunProcessBackend:
@@ -158,3 +164,86 @@ class TestRunProcessBackend:
         with pytest.raises(SystemExit):
             main(["run", "spec.json", "--backend", "quantum"])
         assert "process" in capsys.readouterr().err
+
+
+class TestTransportFlag:
+    def test_run_process_with_pipe_transport(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "process",
+             "--transport", "pipe", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["errors"] == []
+        assert payload["provenance"]["spec"]["transport"] == "pipe"
+
+    def test_tcp_transport_on_process_backend_redirects(self, spec_path, capsys):
+        code = main(
+            ["run", str(spec_path), "--backend", "process", "--transport", "tcp"]
+        )
+        assert code == 2
+        # The error points at the right invocation, not just "invalid".
+        assert "--backend tcp" in capsys.readouterr().err
+
+    def test_transport_rejected_on_simulated_backend(self, spec_path, capsys):
+        code = main(
+            ["run", str(spec_path), "--backend", "simulated", "--transport", "shm"]
+        )
+        assert code == 2
+        assert "transport" in capsys.readouterr().err
+
+    def test_address_requires_tcp_backend(self, spec_path, capsys):
+        code = main(
+            ["run", str(spec_path), "--backend", "process",
+             "--address", "127.0.0.1:5555"]
+        )
+        assert code == 2
+        assert "--backend tcp" in capsys.readouterr().err
+
+
+class TestTcpBackendCli:
+    def test_run_tcp_writes_result(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(["run", str(spec_path), "--backend", "tcp", "--output", str(output)])
+        assert code == 0
+        assert "backend   : tcp" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "tcp"
+        assert payload["errors"] == []
+        assert payload["transfers"]["pushed_wire_bytes"] > 0
+
+    def test_serve_then_run_against_it(self, spec_path, tmp_path, capsys):
+        # Full CLI loop: 'serve' hosts the parameter server, 'run
+        # --backend tcp --address' points the workers at it.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            address = "127.0.0.1:%d" % probe.getsockname()[1]
+        serve_code = []
+        server = threading.Thread(
+            target=lambda: serve_code.append(
+                main(["serve", str(spec_path), "--bind", address])
+            ),
+            daemon=True,
+        )
+        server.start()
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "tcp",
+             "--address", address, "--output", str(output)]
+        )
+        server.join(timeout=60.0)
+        assert not server.is_alive(), "serve never returned"
+        assert code == 0
+        assert serve_code == [0]
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "tcp"
+        assert payload["errors"] == []
+        printed = capsys.readouterr().out
+        assert f"on {address}" in printed
+        assert "run complete" in printed
+
+    def test_serve_checkpoint_every_requires_checkpoint(self, spec_path, capsys):
+        code = main(["serve", str(spec_path), "--checkpoint-every", "5"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err

@@ -154,6 +154,30 @@ class TestSpecValidation:
         assert ExperimentSpec.from_dict(spec.to_dict()) == spec
         assert spec.to_dict()["compression"] == "int8:chunk=512"
 
+    def test_transport_validated(self):
+        assert ExperimentSpec(transport="pipe").transport == "pipe"
+        assert ExperimentSpec(transport="  SHM ").transport == "shm"
+        assert ExperimentSpec().transport is None
+        with pytest.raises(ValueError, match="carrier-pigeon"):
+            ExperimentSpec(transport="carrier-pigeon")
+
+    def test_transport_survives_round_trip(self):
+        spec = ExperimentSpec(transport="pipe")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["transport"] == "pipe"
+
+    def test_cluster_address_and_heartbeat_validated(self):
+        cluster = ClusterConfig(address="0.0.0.0:5555", heartbeat_timeout=3.0)
+        assert cluster.address == "0.0.0.0:5555"
+        with pytest.raises(ValueError, match="host:port"):
+            ClusterConfig(address="localhost")
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            ClusterConfig(heartbeat_timeout=0.0)
+
+    def test_cluster_address_survives_round_trip(self):
+        config = ClusterConfig(address="127.0.0.1:7777", heartbeat_timeout=2.5)
+        assert ClusterConfig.from_dict(config.to_dict()) == config
+
 
 class TestSpecSerialization:
     @pytest.fixture()

@@ -101,3 +101,36 @@ class TestQueries:
         table.record_push("a", 1.0)
         table.record_push("a", 2.0)
         assert table.record("a").push_history == [1.0, 2.0]
+
+
+class TestElasticMembership:
+    def test_late_joiner_starts_at_given_clock(self, table):
+        table.register_worker("d", initial_clock=5)
+        assert table.clocks()["d"] == 5
+        assert table.slowest_clock() == 0  # existing members unaffected
+
+    def test_negative_initial_clock_rejected(self, table):
+        with pytest.raises(ValueError, match="initial_clock"):
+            table.register_worker("d", initial_clock=-1)
+
+    def test_deregistering_the_straggler_raises_slowest_clock(self, table):
+        for _ in range(3):
+            table.record_push("a", 1.0)
+        for _ in range(2):
+            table.record_push("c", 1.0)
+        table.record_push("b", 1.0)
+        assert table.slowest_clock() == 1
+        table.deregister_worker("b")
+        assert table.slowest_clock() == 2
+        assert sorted(table.clocks()) == ["a", "c"]
+
+    def test_deregister_unknown_worker_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.deregister_worker("ghost")
+
+    def test_deregistered_id_may_register_again(self, table):
+        # The restart path: a reconnecting worker re-registers at its
+        # checkpointed clock.
+        table.deregister_worker("a")
+        table.register_worker("a", initial_clock=7)
+        assert table.clocks()["a"] == 7

@@ -125,3 +125,46 @@ class TestSsp:
         policy = make_policy(StaleSynchronousParallel, staleness=4)
         assert policy.statistics()["paradigm"] == "ssp"
         assert policy.effective_threshold() == 4
+
+
+class TestElasticMembership:
+    """Membership changes re-bound the policies (the tcp runtime's path)."""
+
+    def test_ssp_dead_straggler_releases_blocked_fast_worker(self):
+        policy = make_policy(StaleSynchronousParallel, num_workers=2, staleness=1)
+        assert not policy.on_push("w0", 1.0).blocked  # lead 1 == threshold
+        assert policy.on_push("w0", 2.0).blocked  # lead 2 over w1 at clock 0
+        assert policy.pop_releasable() == []
+        policy.deregister_worker("w1")
+        # The straggler is gone: the bound is recomputed over the survivor.
+        assert policy.pop_releasable() == ["w0"]
+
+    def test_ssp_late_joiner_at_slowest_clock_is_not_a_straggler(self):
+        policy = make_policy(StaleSynchronousParallel, num_workers=2, staleness=1)
+        for _ in range(3):
+            policy.on_push("w0", 1.0)
+            policy.on_push("w1", 1.0)
+        policy.register_worker("w9", initial_clock=policy.clock_table.slowest_clock())
+        # Joining at the slowest clock, it neither blocks the cluster nor
+        # blocks itself: its first push sits within the staleness bound.
+        assert not policy.on_push("w9", 2.0).blocked
+        assert not policy.on_push("w0", 2.0).blocked
+
+    def test_bsp_dead_worker_shrinks_the_round(self):
+        policy = make_policy(BulkSynchronousParallel, num_workers=3)
+        assert policy.on_push("w0", 1.0).blocked
+        assert policy.on_push("w1", 1.0).blocked
+        policy.deregister_worker("w2")
+        # The round barrier is now two-wide and both members have pushed.
+        assert sorted(policy.pop_releasable()) == ["w0", "w1"]
+
+    def test_dssp_deregister_forgets_credits(self):
+        from repro.core.dssp import DynamicStaleSynchronousParallel
+
+        policy = make_policy(
+            DynamicStaleSynchronousParallel, num_workers=2, s_lower=1, s_upper=4
+        )
+        policy.on_push("w0", 1.0)
+        policy.deregister_worker("w0")
+        policy.register_worker("w0", initial_clock=policy.clock_table.slowest_clock())
+        assert not policy.on_push("w0", 2.0).blocked

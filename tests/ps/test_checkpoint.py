@@ -83,6 +83,30 @@ class TestSaveLoad:
         fresh_store.apply_gradients(dict(gradient), fresh_optimizer)
         assert states_allclose(fresh_store.weights_snapshot(), store.weights_snapshot())
 
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        # A crash mid-save must leave the previous checkpoint readable and
+        # no temp debris behind — the restartable TCP server relies on it.
+        store, optimizer = make_store_and_optimizer()
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer, paradigm="bsp")
+        before = path.read_bytes()
+
+        def explode(stream, **arrays):
+            stream.write(b"half a checkpoint")
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(np, "savez_compressed", explode)
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(tmp_path / "ckpt", store, optimizer, paradigm="bsp")
+        assert path.read_bytes() == before  # old checkpoint untouched
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+        load_checkpoint(path)  # still a valid archive
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store, optimizer = make_store_and_optimizer()
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)
+        path = save_checkpoint(tmp_path / "ckpt", store, optimizer)  # overwrite
+        assert list(tmp_path.iterdir()) == [path]
+
     def test_missing_checkpoint_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_checkpoint(tmp_path / "nothing.npz")

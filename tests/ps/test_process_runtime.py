@@ -136,3 +136,27 @@ class TestCrashRobustness:
 
     def test_default_context_name_resolves(self):
         assert default_context_name() in multiprocessing.get_all_start_methods()
+
+
+class TestPipeTransportDeath:
+    def test_death_after_push_on_pipe_rebounds_policy(self):
+        # worker-1 dies immediately after its first push goes into the pipe
+        # (EOF mid-protocol, possibly mid-message).  The server must surface
+        # the death, deregister the worker so the SSP bound is recomputed
+        # over the survivor, and let worker-0 finish its full budget —
+        # without it, worker-0 blocks forever at lead > staleness over a
+        # corpse.  Nothing may leak.
+        plan = tiny_plan(
+            transport="pipe",
+            paradigm="ssp",
+            paradigm_kwargs={"staleness": 2},
+            crash_after_push={"worker-1": 1},
+            wait_timeout=30.0,
+        )
+        result = ProcessTrainer(plan).run()
+        assert any("worker-1" in error for error in result.errors), result.errors
+        by_id = {report.worker_id: report for report in result.worker_reports}
+        assert by_id["worker-0"].iterations == 4
+        # Survivor's 4 pushes plus whatever worker-1 landed before dying.
+        assert result.server_statistics["store_version"] >= 5
+        assert leaked_segments() == []

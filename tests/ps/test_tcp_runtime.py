@@ -1,0 +1,293 @@
+"""Integration tests for the socket runtime (repro.ps.tcp_runtime).
+
+Real sockets, real processes, tiny plans.  The membership-race tests run
+the server in a thread and speak the wire protocol by hand so the races
+(duplicate join, join after abort) are deterministic rather than
+timing-dependent; the restart test exercises the full SIGTERM →
+checkpoint → relaunch → reconnect cycle with OS processes and asserts
+bit-for-bit resumption.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.staleness import StalenessSummary
+from repro.experiments.config import TINY
+from repro.ps.messages import WorkerReport
+from repro.ps.tcp_runtime import (
+    TcpServer,
+    TcpTrainer,
+    TcpTrainingPlan,
+    _serve_entry,
+    _worker_entry,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.ps.transport import connect_tcp
+
+
+def tiny_plan(**overrides) -> TcpTrainingPlan:
+    base = dict(
+        workload="mlp",
+        scale_fields=dataclasses.asdict(TINY),
+        paradigm="dssp",
+        paradigm_kwargs={"s_lower": 1, "s_upper": 4},
+        num_workers=2,
+        iterations_per_worker=4,
+        batch_size=16,
+        evaluate_every_pushes=0,
+        seed=0,
+        wait_timeout=60.0,
+    )
+    base.update(overrides)
+    return TcpTrainingPlan(**base)
+
+
+class ServerThread:
+    """Run a TcpServer on an ephemeral port in a background thread."""
+
+    def __init__(self, plan: TcpTrainingPlan):
+        self.ready = threading.Event()
+        self.address = None
+        self.result = None
+
+        def run():
+            def on_ready(address):
+                self.address = address
+                self.ready.set()
+
+            self.result = TcpServer(plan, ready_callback=on_ready).serve()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.ready.wait(30.0), "server never bound"
+        return self
+
+    def __exit__(self, *exc):
+        self.thread.join(timeout=60.0)
+        assert not self.thread.is_alive(), "server thread leaked"
+
+
+class TestPlanValidation:
+    def test_heartbeat_timeout_must_exceed_twice_interval(self):
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            tiny_plan(heartbeat_interval=1.0, heartbeat_timeout=2.0)
+
+    def test_malformed_address_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            tiny_plan(address="localhost")
+
+    def test_unknown_crash_worker_rejected(self):
+        with pytest.raises(ValueError, match="nonexistent workers"):
+            tiny_plan(crash_after_push={"worker-9": 1})
+
+    def test_bad_codec_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_plan(compression="gzip")
+
+
+class TestWireResult:
+    def test_round_trip_preserves_everything(self):
+        from repro.ps.runtime import ThreadedTrainingResult
+
+        original = ThreadedTrainingResult(
+            wall_time=1.25,
+            worker_reports=[
+                WorkerReport(
+                    worker_id="worker-0",
+                    iterations=4,
+                    samples_processed=64,
+                    total_wait_time=0.5,
+                    total_compute_time=0.7,
+                    mean_loss=float("nan"),
+                    pushed_wire_bytes=123,
+                )
+            ],
+            server_statistics={
+                "store_version": 8,
+                "update_staleness": StalenessSummary(
+                    count=8, mean=0.5, maximum=2, p50=0.0, p95=2.0
+                ),
+            },
+            evaluation_times=[0.0, 1.25],
+            evaluation_accuracies=[0.1, 0.6],
+            evaluation_losses=[2.3, float("nan")],
+            errors=["worker-1: process died"],
+            profile=None,
+        )
+        wire = result_to_wire(original)
+        import json
+
+        json.dumps(wire)  # must already be JSON-safe
+        restored = result_from_wire(wire)
+        assert restored.wall_time == original.wall_time
+        assert restored.errors == original.errors
+        assert restored.server_statistics["update_staleness"] == (
+            original.server_statistics["update_staleness"]
+        )
+        report = restored.worker_reports[0]
+        assert report.worker_id == "worker-0"
+        assert report.pushed_wire_bytes == 123
+        assert np.isnan(report.mean_loss)
+        assert np.isnan(restored.evaluation_losses[1])
+
+
+class TestEndToEnd:
+    def test_two_worker_run_reports_everything(self):
+        result = TcpTrainer(tiny_plan(evaluate_every_pushes=4)).run()
+        assert result.errors == []
+        assert result.wall_time > 0
+        assert len(result.worker_reports) == 2
+        for report in result.worker_reports:
+            assert report.iterations == 4
+            assert report.samples_processed == 4 * 16
+            assert report.pushed_wire_bytes > 0
+        assert result.server_statistics["store_version"] == 8
+        assert result.server_statistics["paradigm"] == "dssp"
+        assert result.server_statistics["tcp_bytes_sent"] > 0
+        assert result.server_statistics["tcp_bytes_received"] > 0
+        # Curve: initial model at t=0, periodic evals, final model at wall.
+        assert result.evaluation_times[0] == 0.0
+        assert result.evaluation_times[-1] == pytest.approx(result.wall_time)
+        assert len(result.evaluation_times) >= 3
+
+    def test_codec_run_shrinks_wire_bytes(self):
+        dense = TcpTrainer(tiny_plan()).run()
+        coded = TcpTrainer(tiny_plan(compression="topk:0.25")).run()
+        assert coded.errors == []
+        assert coded.server_statistics["store_version"] == 8
+        dense_pushed = sum(r.pushed_wire_bytes for r in dense.worker_reports)
+        coded_pushed = sum(r.pushed_wire_bytes for r in coded.worker_reports)
+        assert 0 < coded_pushed < dense_pushed
+
+
+class TestElasticMembership:
+    def test_worker_death_mid_run_detected_and_survived(self):
+        # worker-1 dies right after its first push lands (EOF mid-protocol);
+        # the heartbeat/EOF path deregisters it, the SSP bound is recomputed
+        # over the survivor, and worker-0 finishes its full budget.
+        result = TcpTrainer(
+            tiny_plan(
+                paradigm="ssp",
+                paradigm_kwargs={"staleness": 2},
+                crash_after_push={"worker-1": 1},
+            )
+        ).run()
+        assert any("worker-1" in error for error in result.errors)
+        by_id = {report.worker_id: report for report in result.worker_reports}
+        assert by_id["worker-0"].iterations == 4
+        # 4 survivor pushes plus however many worker-1 landed before dying.
+        assert result.server_statistics["store_version"] >= 5
+
+    def test_duplicate_join_then_abort_then_late_join(self):
+        # Protocol-level race coverage, deterministic because we are the
+        # workers: (1) a second 'worker-0' is rejected while the first is
+        # alive; (2) an expected worker dying before the start barrier
+        # aborts the run; (3) a join racing the abort gets an explicit
+        # reject during the linger window, not a connection refused.
+        plan = tiny_plan(num_workers=2, wait_timeout=10.0)
+        with ServerThread(plan) as server:
+            first = connect_tcp(server.address, timeout=10.0)
+            first.send({"type": "join", "worker": "worker-0", "codec": None})
+            header, frames = first.recv(timeout=10.0)
+            assert header["type"] == "welcome"
+            assert header["clock"] == 0 and header["started"] is False
+            assert len(frames) >= 1  # initial weights ride along
+
+            duplicate = connect_tcp(server.address, timeout=10.0)
+            duplicate.send({"type": "join", "worker": "worker-0", "codec": None})
+            header, _ = duplicate.recv(timeout=10.0)
+            assert header["type"] == "reject"
+            assert "duplicate" in header["reason"]
+            duplicate.close()
+
+            # EOF from an expected worker before the start barrier: abort.
+            first.close()
+            deadline = time.monotonic() + 5.0
+            late = None
+            while time.monotonic() < deadline:
+                late = connect_tcp(server.address, timeout=5.0)
+                late.send({"type": "join", "worker": "worker-7", "codec": None})
+                header, _ = late.recv(timeout=10.0)
+                if header["type"] == "reject" and "abort" in header["reason"]:
+                    break
+                late.close()  # raced ahead of the EOF; try again
+            assert header["type"] == "reject"
+            assert "abort" in header["reason"]
+            late.close()
+        assert server.result is not None
+        assert any("died before start" in error for error in server.result.errors)
+
+
+class TestGracefulRestart:
+    def _spawn_server(self, ctx, plan):
+        ready_recv, ready_send = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_serve_entry, args=(plan, ready_send), daemon=True)
+        process.start()
+        ready_send.close()
+        assert ready_recv.poll(30.0), "server never reported its address"
+        address = ready_recv.recv()
+        ready_recv.close()
+        return process, address
+
+    def test_sigterm_restart_resumes_bit_for_bit(self, tmp_path):
+        # SIGTERM mid-run → checkpoint (weights, momentum, worker clocks) →
+        # new server on the same port → worker reconnects with backoff and
+        # replays deterministically.  On the 'none' codec the final model
+        # must be byte-identical to an uninterrupted run of the same plan.
+        ctx = multiprocessing.get_context("spawn" if os.name == "nt" else "fork")
+        base = dict(
+            paradigm="bsp",
+            paradigm_kwargs={},
+            num_workers=1,
+            iterations_per_worker=6,
+            # Slow enough that the SIGTERM below lands mid-run: the whole
+            # budget takes ~2.4s and the signal arrives at ~1s.
+            slowdowns={"worker-0": 0.4},
+            checkpoint_every_pushes=1,
+            wait_timeout=30.0,
+        )
+
+        reference = tiny_plan(
+            checkpoint_path=str(tmp_path / "reference.npz"), **base
+        )
+        result = TcpTrainer(reference, context=ctx).run()
+        assert result.errors == []
+
+        interrupted = tiny_plan(
+            checkpoint_path=str(tmp_path / "interrupted.npz"), **base
+        )
+        server, address = self._spawn_server(ctx, interrupted)
+        worker = ctx.Process(
+            target=_worker_entry, args=(interrupted, 0, address), daemon=True
+        )
+        worker.start()
+        time.sleep(1.0)  # a few pushes land, then the server dies
+        os.kill(server.pid, signal.SIGTERM)
+        server.join(timeout=30.0)
+        assert server.exitcode == 0
+
+        relaunched = dataclasses.replace(interrupted, address=address)
+        server2, address2 = self._spawn_server(ctx, relaunched)
+        assert address2 == address  # SO_REUSEADDR: same port, worker finds it
+        server2.join(timeout=60.0)
+        worker.join(timeout=60.0)
+        assert server2.exitcode == 0 and worker.exitcode == 0
+
+        with np.load(tmp_path / "reference.npz") as ref, np.load(
+            tmp_path / "interrupted.npz"
+        ) as got:
+            ref_arrays = {k: ref[k] for k in ref.files if "::" in k}
+            got_arrays = {k: got[k] for k in got.files if "::" in k}
+            assert set(ref_arrays) == set(got_arrays)
+            for key, value in ref_arrays.items():
+                assert np.array_equal(value, got_arrays[key]), key

@@ -1,0 +1,178 @@
+"""Unit tests for the transport layer (repro.ps.transport).
+
+The TCP framing tests run over a local ``socketpair`` — real sockets, no
+listener — so they exercise the exact byte path of the tcp backend
+(length prefix, aligned JSON envelope, ``write_encoded`` frames) in
+microseconds.
+"""
+
+import multiprocessing
+import socket
+
+import numpy as np
+import pytest
+
+from repro.ps.compression import EncodedShard, decode_shard, make_codec
+from repro.ps.transport import (
+    ConnectionClosed,
+    PipeConnection,
+    TcpConnection,
+    available_transports,
+    format_address,
+    parse_address,
+    validate_transport,
+)
+
+
+def dense(shard: int, array: np.ndarray) -> EncodedShard:
+    flat = np.ascontiguousarray(array).reshape(-1)
+    return EncodedShard(shard=shard, size=flat.size, scheme="dense", arrays=(flat,))
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    a, b = TcpConnection(left), TcpConnection(right)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRegistry:
+    def test_registry_lists_all_three(self):
+        assert available_transports() == ("shm", "pipe", "tcp")
+
+    def test_validate_normalizes(self):
+        assert validate_transport("  TCP ") == "tcp"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="carrier-pigeon"):
+            validate_transport("carrier-pigeon")
+
+    def test_allowed_subset_enforced(self):
+        assert validate_transport("pipe", allowed=("shm", "pipe")) == "pipe"
+        with pytest.raises(ValueError, match="not supported here"):
+            validate_transport("tcp", allowed=("shm", "pipe"))
+
+
+class TestAddresses:
+    def test_round_trip(self):
+        assert parse_address(format_address("10.0.0.7", 5555)) == ("10.0.0.7", 5555)
+
+    def test_ephemeral_port_zero(self):
+        assert parse_address("127.0.0.1:0") == ("127.0.0.1", 0)
+
+    def test_empty_host_defaults_to_loopback(self):
+        assert parse_address(":8000") == ("127.0.0.1", 8000)
+
+    @pytest.mark.parametrize("bad", ["localhost", "host:port", "host:70000", 1234])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestTcpFraming:
+    def test_header_only_round_trip(self, pair):
+        a, b = pair
+        a.send({"type": "heartbeat", "worker": "worker-3"})
+        header, frames = b.recv(timeout=5.0)
+        assert header == {"type": "heartbeat", "worker": "worker-3"}
+        assert frames == ()
+
+    def test_dense_frames_round_trip(self, pair):
+        a, b = pair
+        rng = np.random.default_rng(0)
+        payloads = {0: rng.standard_normal(37), 1: rng.standard_normal(256)}
+        a.send(
+            {"type": "push", "base_version": 9},
+            tuple(dense(shard, array) for shard, array in payloads.items()),
+        )
+        header, frames = b.recv(timeout=5.0)
+        assert header["base_version"] == 9
+        assert [frame.shard for frame in frames] == [0, 1]
+        for frame in frames:
+            np.testing.assert_array_equal(decode_shard(frame), payloads[frame.shard])
+
+    def test_codec_frames_survive_the_wire(self, pair):
+        a, b = pair
+        codec = make_codec("topk:0.25")
+        gradient = np.linspace(-1.0, 1.0, 64)
+        encoded = codec.encode(0, gradient.copy())
+        a.send({"type": "push", "codec": "topk:0.25"}, (encoded,))
+        _, frames = b.recv(timeout=5.0)
+        assert frames[0].scheme == encoded.scheme
+        np.testing.assert_array_equal(decode_shard(frames[0]), decode_shard(encoded))
+
+    def test_messages_preserve_order_and_boundaries(self, pair):
+        a, b = pair
+        for index in range(20):
+            a.send({"seq": index}, (dense(index, np.full(index + 1, float(index))),))
+        for index in range(20):
+            header, frames = b.recv(timeout=5.0)
+            assert header["seq"] == index
+            assert frames[0].shard == index
+            assert frames[0].size == index + 1
+
+    def test_read_ready_drains_coalesced_messages(self, pair):
+        a, b = pair
+        for index in range(5):
+            a.send({"seq": index})
+        collected = []
+        b._sock.settimeout(5.0)
+        while len(collected) < 5:
+            collected.extend(b.read_ready())
+        assert [header["seq"] for header, _ in collected] == list(range(5))
+
+    def test_peer_close_raises_connection_closed(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            b.recv(timeout=5.0)
+
+    def test_eof_mid_frame_is_closed_not_torn(self):
+        # A crashed worker's last message may be half-sent: the receiver
+        # must raise, never deliver a truncated frame.
+        left, right = socket.socketpair()
+        a, b = TcpConnection(left), TcpConnection(right)
+        message = TcpConnection._encode({"type": "push"}, (dense(0, np.ones(1000)),))
+        left.sendall(bytes(message[: len(message) // 2]))
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            b.recv(timeout=5.0)
+        b.close()
+
+    def test_recv_timeout_raises(self, pair):
+        _, b = pair
+        with pytest.raises(TimeoutError):
+            b.recv(timeout=0.05)
+
+    def test_byte_counters_match_across_ends(self, pair):
+        a, b = pair
+        sent = a.send({"type": "push"}, (dense(0, np.arange(16.0)),))
+        b.recv(timeout=5.0)
+        assert a.bytes_sent == sent == b.bytes_received
+
+    def test_frames_are_eight_byte_aligned(self):
+        # Alignment is what makes zero-copy float64 views legal on receive.
+        message = TcpConnection._encode(
+            {"k": "x" * 13}, (dense(0, np.ones(3)), dense(1, np.ones(5)))
+        )
+        header, frames = TcpConnection._decode(bytes(message[8:]))
+        for frame in frames:
+            assert all(array.nbytes % 8 == 0 or array.dtype == np.float64
+                       for array in frame.arrays)
+        np.testing.assert_array_equal(decode_shard(frames[1]), np.ones(5))
+
+
+class TestPipeConnection:
+    def test_round_trip_and_eof(self):
+        left, right = multiprocessing.Pipe()
+        a, b = PipeConnection(left), PipeConnection(right)
+        a.send({"type": "ok", "version": 3}, frames={"w": np.ones(4)})
+        header, frames = b.recv()
+        assert header == {"type": "ok", "version": 3}
+        np.testing.assert_array_equal(frames["w"], np.ones(4))
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            b.recv()
+        b.close()

@@ -12,6 +12,7 @@ the whole suite finishes in a few minutes on a laptop CPU).
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -25,6 +26,30 @@ if str(_SRC) not in sys.path:
 from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale  # noqa: E402
 
 _SCALES = {"tiny": TINY, "small": SMALL, "default": DEFAULT}
+
+#: Record mode: set ``REPRO_BENCH_RECORD=1`` to (re)write the ``BENCH_*.json``
+#: trajectory files at the repository root and enforce the strict wall-clock
+#: gates.  Plain pytest runs — the tier-1 suite, CI smoke jobs, contributors'
+#: checkouts — run the same measurements but never touch the committed
+#: trajectory and only apply loose collapse guards to wall-clock ratios: on a
+#: shared or single-core host those ratios time the machine, not the code,
+#: and a contended run must be able neither to fail the suite nor to leave a
+#: noisy refresh sitting in the working tree.  Deterministic gates (bytes on
+#: the wire, bit-for-bit equality, allocation counters, simulated-time
+#: convergence) are enforced in every mode.
+RECORDING = os.environ.get("REPRO_BENCH_RECORD", "").strip() == "1"
+
+
+def record_result(path: Path, payload: dict) -> None:
+    """Write a BENCH_*.json trajectory file, in record mode only.
+
+    Refreshing the committed trajectory is an explicit act: run the module
+    with ``REPRO_BENCH_RECORD=1`` on a quiet machine (no concurrent load,
+    full scale) and commit the result only if the suite passes.
+    """
+    if RECORDING:
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        assert path.exists()
 
 
 def selected_scale() -> ExperimentScale:

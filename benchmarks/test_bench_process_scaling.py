@@ -25,7 +25,6 @@ part of the suite; ``REPRO_BENCH_SCALE=tiny`` keeps the sweep small for CI.
 from __future__ import annotations
 
 import dataclasses
-import json
 import multiprocessing
 import os
 import statistics
@@ -33,6 +32,7 @@ from pathlib import Path
 
 import pytest
 
+from benchmarks.conftest import RECORDING, record_result
 from repro.experiments.config import ExperimentScale
 from repro.experiments.workloads import build_workload
 from repro.ps.coordinator import DistributedTrainingConfig, assemble_training
@@ -153,8 +153,7 @@ def test_sweep_and_record(sweep_results):
         "start_method": multiprocessing.get_start_method(allow_none=True) or "default",
         "sweep": sweep_results,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    assert RESULT_PATH.exists()
+    record_result(RESULT_PATH, payload)
 
 
 def test_process_backend_not_regressing(sweep_results):
@@ -167,9 +166,14 @@ def test_process_backend_not_regressing(sweep_results):
     """
     by_workers = {entry["num_workers"]: entry for entry in sweep_results}
     at_scale = by_workers[max(WORKER_COUNTS)]
-    # Quick mode measures a single short trial on a possibly-loaded CI
-    # runner; the gate there only catches order-of-magnitude regressions.
-    tolerance = 0.6 if QUICK else 0.85
+    # The strict tolerance applies at record time on a quiet host.  Plain
+    # pytest runs (and quick mode's single short trial) happen on shared
+    # runners where the process-vs-thread ratio is dominated by scheduler
+    # contention, so they only catch order-of-magnitude regressions.
+    if not RECORDING:
+        tolerance = 0.35
+    else:
+        tolerance = 0.6 if QUICK else 0.85
     assert at_scale["process_steps_per_second"] >= (
         tolerance * at_scale["threaded_steps_per_second"]
     ), at_scale

@@ -24,7 +24,6 @@ of the suite; ``REPRO_BENCH_SCALE=tiny`` keeps the sweep small for CI.
 from __future__ import annotations
 
 import dataclasses
-import json
 import multiprocessing
 import os
 import statistics
@@ -32,6 +31,7 @@ from pathlib import Path
 
 import pytest
 
+from benchmarks.conftest import record_result
 from repro.experiments.config import ExperimentScale
 from repro.ps.process_runtime import ProcessTrainer, ProcessTrainingPlan
 from repro.ps.tcp_runtime import TcpTrainer, TcpTrainingPlan
@@ -150,8 +150,7 @@ def test_sweep_and_record(sweep_results):
         "start_method": multiprocessing.get_start_method(allow_none=True) or "default",
         "sweep": sweep_results,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    assert RESULT_PATH.exists()
+    record_result(RESULT_PATH, payload)
 
 
 def test_codec_cuts_bytes_on_every_transport(sweep_results):

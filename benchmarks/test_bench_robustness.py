@@ -1,0 +1,222 @@
+"""Robust aggregation under fault injection: the paradigm x aggregator x
+fault matrix.
+
+Runs every registered aggregator under every fault scenario on the
+deterministic simulated backend, for BSP, SSP and DSSP, and records the
+resulting convergence matrix to ``BENCH_robustness.json`` at the repository
+root.  Three scenarios per cell:
+
+* ``clean``      -- no fault plan at all;
+* ``byzantine``  -- one worker flips the sign of every gradient it pushes
+  (``sign_flip``) from the very first clock;
+* ``crash``      -- one worker dies permanently mid-run.
+
+Gates (the chaos-smoke CI job runs this module at ``REPRO_BENCH_SCALE=tiny``):
+
+* ``mean`` with no fault plan is bit-for-bit identical to a run with no
+  ``aggregation`` spec at all, on every paradigm, with zero buffered
+  windows applied -- the registry must not tax the default path.
+* Under sign-flip byzantine the plain ``mean`` degrades materially
+  (``final accuracy <= clean - BYZANTINE_DAMAGE``) while every robust
+  aggregator (``trimmed_mean``, ``median``, ``geomed``) stays within
+  ``ROBUST_TOLERANCE`` of the clean unaggregated baseline -- the headline
+  robustness claim.
+* Every crash run completes without errors, reports exactly one ``crash``
+  event, and lands within ``CRASH_TOLERANCE`` of its clean counterpart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import ClusterConfig, ExperimentSpec, run_experiment
+
+from benchmarks.conftest import record_result, selected_scale
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+
+NUM_WORKERS = 4
+#: None is the aggregation-less baseline the mean fast path is gated against.
+AGGREGATORS = (None, "mean", "trimmed_mean:1", "median", "geomed", "clip:1.0")
+ROBUST = ("trimmed_mean:1", "median", "geomed")
+PARADIGMS = {
+    "bsp": {},
+    "ssp": {"staleness": 3},
+    "dssp": {"s_lower": 3, "s_upper": 15},
+}
+FAULT_SCENARIOS = {
+    "clean": (),
+    "byzantine": (
+        {
+            "worker": 1,
+            "kind": "byzantine",
+            "mode": "sign_flip",
+            "scale": 1.0,
+            "after_clock": 0,
+        },
+    ),
+    "crash": ({"worker": 3, "kind": "crash", "after_clock": 4},),
+}
+#: Sign-flip byzantine must cost the plain mean at least this much accuracy
+#: relative to its own clean run (documented in docs/robustness.md).
+BYZANTINE_DAMAGE = 0.10
+#: ...while every robust aggregator must stay within this many points of the
+#: clean unaggregated baseline despite the attacker.
+ROBUST_TOLERANCE = 0.12
+#: A permanent single-worker crash may cost at most this much accuracy.
+CRASH_TOLERANCE = 0.10
+
+
+def _quick_mode() -> bool:
+    return selected_scale().name == "tiny"
+
+
+def run_cell(paradigm: str, aggregation: str | None, scenario: str) -> dict:
+    """One simulated run of the matrix cell; returns a JSON-safe summary."""
+    spec = ExperimentSpec(
+        name=f"robustness-{paradigm}-{aggregation or 'baseline'}-{scenario}",
+        workload="mlp",
+        scale=selected_scale(),
+        cluster=ClusterConfig(num_workers=NUM_WORKERS, gpus_per_worker=1),
+        paradigm=paradigm,
+        paradigm_kwargs=PARADIGMS[paradigm],
+        aggregation=aggregation,
+        faults=tuple(dict(fault) for fault in FAULT_SCENARIOS[scenario]),
+        seed=0,
+    )
+    result = run_experiment(spec, "simulated")
+    event_kinds: dict[str, int] = {}
+    for event in result.events:
+        event_kinds[event["kind"]] = event_kinds.get(event["kind"], 0) + 1
+    aggregation_stats = result.server_statistics.get("aggregation")
+    return {
+        "paradigm": paradigm,
+        "aggregation": aggregation,
+        "scenario": scenario,
+        "accuracies": [round(float(a), 4) for a in result.accuracies],
+        "final_accuracy": result.final_accuracy,
+        "best_accuracy": result.best_accuracy,
+        "total_time": round(result.total_time, 4),
+        "total_updates": result.total_updates,
+        "errors": list(result.errors),
+        "event_kinds": event_kinds,
+        "num_events": len(result.events),
+        "windows_applied": (
+            aggregation_stats["windows_applied"] if aggregation_stats else 0
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def robustness_results():
+    cells = [
+        run_cell(paradigm, aggregation, scenario)
+        for paradigm in PARADIGMS
+        for aggregation in AGGREGATORS
+        for scenario in FAULT_SCENARIOS
+    ]
+    return {
+        "scale": selected_scale().name,
+        "workload": "mlp",
+        "num_workers": NUM_WORKERS,
+        "paradigms": {name: dict(kwargs) for name, kwargs in PARADIGMS.items()},
+        "fault_scenarios": {
+            name: [dict(fault) for fault in faults]
+            for name, faults in FAULT_SCENARIOS.items()
+        },
+        "cells": cells,
+    }
+
+
+def _cell(results, paradigm, aggregation, scenario):
+    for cell in results["cells"]:
+        if (
+            cell["paradigm"] == paradigm
+            and cell["aggregation"] == aggregation
+            and cell["scenario"] == scenario
+        ):
+            return cell
+    raise KeyError((paradigm, aggregation, scenario))
+
+
+def test_robustness_and_record(robustness_results):
+    """Gate the matrix and record the trajectory."""
+    results = robustness_results
+    payload = {
+        "benchmark": "robust_aggregation",
+        "byzantine_damage": BYZANTINE_DAMAGE,
+        "robust_tolerance": ROBUST_TOLERANCE,
+        "crash_tolerance": CRASH_TOLERANCE,
+        **results,
+    }
+    record_result(RESULT_PATH, payload)
+
+    print()
+    print(f"{'paradigm':<6} {'aggregator':<16} {'clean':>7} {'byzantine':>10} "
+          f"{'crash':>7}")
+    for paradigm in PARADIGMS:
+        for aggregation in AGGREGATORS:
+            row = {
+                scenario: _cell(results, paradigm, aggregation, scenario)
+                for scenario in FAULT_SCENARIOS
+            }
+            print(f"{paradigm:<6} {str(aggregation):<16} "
+                  f"{row['clean']['final_accuracy']:>7.3f} "
+                  f"{row['byzantine']['final_accuracy']:>10.3f} "
+                  f"{row['crash']['final_accuracy']:>7.3f}")
+
+    for cell in results["cells"]:
+        # No cell may abort: every run finishes its evaluation curve.
+        assert not cell["errors"], cell
+        assert cell["accuracies"], cell
+        # Fault events surface exactly where fault plans were injected.
+        if cell["scenario"] == "clean":
+            assert cell["num_events"] == 0, cell
+        elif cell["scenario"] == "crash":
+            assert cell["event_kinds"].get("crash") == 1, cell
+        else:
+            assert cell["event_kinds"].get("corrupted_push", 0) > 0, cell
+        # Only buffered aggregators open windows; mean keeps the fast path.
+        if cell["aggregation"] in (None, "mean"):
+            assert cell["windows_applied"] == 0, cell
+        else:
+            assert cell["windows_applied"] > 0, cell
+
+    for paradigm in PARADIGMS:
+        baseline = {
+            scenario: _cell(results, paradigm, None, scenario)
+            for scenario in FAULT_SCENARIOS
+        }
+
+        # Gate 1: mean + no faults is bit-for-bit the aggregation-less run
+        # (the simulator is deterministic, so exact equality is meaningful).
+        mean_clean = _cell(results, paradigm, "mean", "clean")
+        assert mean_clean["accuracies"] == baseline["clean"]["accuracies"], paradigm
+        assert mean_clean["total_time"] == baseline["clean"]["total_time"], paradigm
+        assert mean_clean["total_updates"] == baseline["clean"]["total_updates"]
+
+        # Gate 2 (headline): sign-flip byzantine wrecks the plain mean but
+        # not the robust aggregators.
+        mean_byz = _cell(results, paradigm, "mean", "byzantine")
+        assert mean_byz["final_accuracy"] <= (
+            mean_clean["final_accuracy"] - BYZANTINE_DAMAGE
+        ), (paradigm, mean_byz, mean_clean)
+        for aggregation in ROBUST:
+            robust_byz = _cell(results, paradigm, aggregation, "byzantine")
+            assert robust_byz["final_accuracy"] >= (
+                baseline["clean"]["final_accuracy"] - ROBUST_TOLERANCE
+            ), (paradigm, aggregation, robust_byz, baseline["clean"])
+            assert robust_byz["final_accuracy"] > mean_byz["final_accuracy"], (
+                paradigm,
+                aggregation,
+            )
+
+        # Gate 3: a permanent crash degrades gracefully for every aggregator.
+        for aggregation in AGGREGATORS:
+            clean = _cell(results, paradigm, aggregation, "clean")
+            crash = _cell(results, paradigm, aggregation, "crash")
+            assert crash["final_accuracy"] >= (
+                clean["final_accuracy"] - CRASH_TOLERANCE
+            ), (paradigm, aggregation, crash, clean)

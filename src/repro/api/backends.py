@@ -256,6 +256,8 @@ class SimulatedBackend:
             dtype=spec.dtype,
             profile=profile,
             compression=spec.compression,
+            aggregation=spec.aggregation,
+            faults=spec.faults,
             seed=spec.seed,
         )
         sim = SimulatedTraining(
@@ -298,6 +300,7 @@ class SimulatedBackend:
             server_statistics=sim.server_statistics,
             provenance=provenance,
             errors=[],
+            events=list(sim.events),
             profile=sim.profile,
         )
 
@@ -340,6 +343,8 @@ class ThreadedBackend:
             shard_strategy=spec.shard_strategy,
             dtype=spec.dtype,
             compression=spec.compression,
+            aggregation=spec.aggregation,
+            faults=spec.faults,
             seed=spec.seed,
         )
         trainer = assemble_training(
@@ -411,6 +416,7 @@ class ThreadedBackend:
             server_statistics=result.server_statistics,
             provenance=provenance,
             errors=list(result.errors),
+            events=list(result.events),
             profile=profile_data,
         )
 
@@ -525,6 +531,8 @@ class ProcessBackend:
             dtype=spec.dtype,
             profile=profile,
             compression=spec.compression,
+            aggregation=spec.aggregation,
+            faults=spec.faults,
             seed=spec.seed,
             transport=transport,
             wait_timeout=wait_timeout,
@@ -563,6 +571,7 @@ class ProcessBackend:
             server_statistics=result.server_statistics,
             provenance=provenance,
             errors=list(result.errors),
+            events=list(result.events),
             profile=result.profile,
         )
 
@@ -627,6 +636,8 @@ def tcp_plan_from_spec(
         dtype=spec.dtype,
         profile=profile,
         compression=spec.compression,
+        aggregation=spec.aggregation,
+        faults=spec.faults,
         seed=spec.seed,
         address=address if address is not None else spec.cluster.address,
         # One lost heartbeat must not kill a worker: probe at a quarter of
@@ -741,5 +752,6 @@ class TcpBackend:
             server_statistics=result.server_statistics,
             provenance=provenance,
             errors=list(result.errors),
+            events=list(result.events),
             profile=result.profile,
         )

@@ -35,6 +35,7 @@ from repro.core.factory import policy_registry
 from repro.experiments.workloads import available_workloads
 from repro.metrics.plotting import ascii_curves
 from repro.models.registry import available_models
+from repro.ps.aggregation import available_aggregators
 from repro.ps.compression import available_codecs
 from repro.ps.transport import available_transports
 from repro.simulation.profiles import GPU_CATALOGUE
@@ -186,6 +187,22 @@ def _command_run(arguments: argparse.Namespace) -> int:
         print(f"compression       : {spec.compression} "
               f"({result.transfers.pushed_wire_bytes} push bytes on the wire, "
               f"{result.transfers.compression_ratio:.1f}x vs dense)")
+    if spec.aggregation is not None:
+        aggregation = result.server_statistics.get("aggregation", {})
+        windows = aggregation.get("windows_applied")
+        detail = f" ({windows} buffered windows)" if windows is not None else ""
+        print(f"aggregation       : {spec.aggregation}{detail}")
+    if result.events:
+        print(f"fault events      : {len(result.events)}")
+        for event in result.events[:20]:
+            fields = " ".join(
+                f"{key}={value}"
+                for key, value in event.items()
+                if key not in ("kind", "worker")
+            )
+            print(f"  {event.get('kind', '?'):<20} {event.get('worker', '?'):<12} {fields}")
+        if len(result.events) > 20:
+            print(f"  ... and {len(result.events) - 20} more")
     if result.errors:
         print(f"errors            : {result.errors}")
     print()
@@ -256,6 +273,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         f"run complete: {int(result.server_statistics.get('store_version', 0))} "
         f"updates in {result.wall_time:.2f} s"
     )
+    if result.events:
+        print(f"fault events: {len(result.events)}")
     if result.errors:
         print(f"errors: {result.errors}")
     if arguments.output is not None:
@@ -305,6 +324,7 @@ def _command_registry() -> int:
     print(f"devices:   {', '.join(sorted(GPU_CATALOGUE))}")
     print(f"networks:  {', '.join(sorted(NETWORKS))}")
     print(f"codecs:    {', '.join(available_codecs())}")
+    print(f"aggregators: {', '.join(available_aggregators())}")
     return 0
 
 

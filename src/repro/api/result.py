@@ -98,6 +98,11 @@ class RunResult:
     server_statistics: dict
     provenance: Provenance
     errors: list[str] = field(default_factory=list)
+    #: Structured fault/membership history: crashes, rejoins, corrupted-push
+    #: injections, aggregator rejections — each a plain dict with at least
+    #: ``kind`` and ``worker`` keys, in the order the server observed them.
+    #: Empty for a clean run; populated identically by every backend.
+    events: list = field(default_factory=list)
     #: Push/pull transfer accounting (bytes on the wire, dense-equivalent
     #: bytes, compression ratio); derived from ``worker_reports`` when not
     #: supplied, so every backend carries it.
@@ -190,5 +195,6 @@ class RunResult:
             },
             "provenance": self.provenance.to_dict(),
             "errors": list(self.errors),
+            "events": [dict(event) for event in self.events],
             "profile": self.profile,
         }

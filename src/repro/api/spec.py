@@ -29,7 +29,9 @@ from pathlib import Path
 
 from repro.core.factory import paradigm_label, validate_paradigm
 from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale
+from repro.ps.aggregation import validate_aggregation_spec
 from repro.ps.compression import validate_codec_spec
+from repro.ps.faults import validate_fault_specs
 from repro.ps.transport import parse_address, validate_transport
 from repro.simulation.cluster import ClusterSpec, WorkerSpec
 from repro.simulation.network import (
@@ -243,6 +245,22 @@ class ExperimentSpec:
         path, and ``RunResult.transfers`` records the bytes on the wire.
         Unknown codec names or malformed parameters are rejected here, at
         spec construction.
+    aggregation:
+        Optional server-side aggregator spec, e.g. ``"trimmed_mean:1"``,
+        ``"median"``, ``"geomed"``, ``"clip:0.5"`` or ``"mean"`` (see
+        :mod:`repro.ps.aggregation`).  ``None`` and ``"mean"`` keep the
+        immediate-apply path — bit-for-bit identical to today's behavior;
+        robust aggregators buffer each clock window of pushes on the
+        server and apply their combination as one update.  Identical
+        semantics on every backend.
+    faults:
+        Optional chaos plan: a list of per-worker fault entries
+        (:mod:`repro.ps.faults`), e.g.
+        ``[{"worker": 2, "kind": "byzantine", "mode": "sign_flip"}]``.
+        Crashes, transient/persistent gradient corruption and slow-node
+        flapping are injected deterministically from ``seed``; the run's
+        chaos history is returned as ``RunResult.events``.  Entries are
+        validated against the cluster here, at spec construction.
     transport:
         Optional synchronization transport for the wall-clock runtimes
         (:func:`repro.ps.transport.available_transports` lists the names).
@@ -278,6 +296,8 @@ class ExperimentSpec:
     dtype: str = "float64"
     slowdowns: dict = field(default_factory=dict)
     compression: str | None = None
+    aggregation: str | None = None
+    faults: tuple = ()
     transport: str | None = None
     seed: int = 0
 
@@ -285,6 +305,11 @@ class ExperimentSpec:
         object.__setattr__(self, "lr_milestones", tuple(self.lr_milestones))
         if self.compression is not None:
             validate_codec_spec(self.compression)
+        if self.aggregation is not None:
+            validate_aggregation_spec(self.aggregation)
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.faults:
+            validate_fault_specs(self.faults, self.cluster.worker_ids)
         if self.transport is not None:
             object.__setattr__(
                 self, "transport", validate_transport(self.transport)
@@ -390,6 +415,8 @@ class ExperimentSpec:
             "dtype": self.dtype,
             "slowdowns": dict(self.slowdowns),
             "compression": self.compression,
+            "aggregation": self.aggregation,
+            "faults": [dict(entry) for entry in self.faults],
             "transport": self.transport,
             "seed": self.seed,
         }
@@ -408,6 +435,8 @@ class ExperimentSpec:
             kwargs["cluster"] = ClusterConfig.from_dict(kwargs["cluster"])
         if "lr_milestones" in kwargs:
             kwargs["lr_milestones"] = tuple(kwargs["lr_milestones"])
+        if "faults" in kwargs:
+            kwargs["faults"] = tuple(kwargs["faults"])
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:

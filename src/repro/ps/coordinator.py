@@ -29,7 +29,9 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
 from repro.optim.schedules import ConstantSchedule
 from repro.optim.sgd import SGD
+from repro.ps.aggregation import make_aggregator, validate_aggregation_spec
 from repro.ps.compression import make_codec, validate_codec_spec
+from repro.ps.faults import FaultInjector, parse_fault_specs
 from repro.ps.runtime import ThreadedTrainer, ThreadedTrainingResult
 from repro.ps.sharding import make_store
 from repro.ps.server import ParameterServer
@@ -138,6 +140,15 @@ class DistributedTrainingConfig:
         :mod:`repro.ps.compression`).  Each worker gets its own codec
         instance (error-feedback residuals are per worker) and the server
         decodes the payload back into the fused flat update path.
+    aggregation:
+        Optional robust-aggregation spec (e.g. ``"trimmed_mean:1"``,
+        ``"median"``; see :mod:`repro.ps.aggregation`).  ``None`` and
+        ``"mean"`` keep the immediate-apply fast path; any other
+        aggregator buffers a window of pushes server-side and applies
+        their robust combination at once.
+    faults:
+        Optional fault plan (see :mod:`repro.ps.faults`): per-worker
+        crash / byzantine / corrupt / flaky entries injected into the run.
     seed:
         Master seed for data order and weight initialization.
     """
@@ -158,11 +169,16 @@ class DistributedTrainingConfig:
     dtype: str = "float64"
     use_workspace: bool = True
     compression: str | None = None
+    aggregation: str | None = None
+    faults: tuple = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.compression is not None:
             validate_codec_spec(self.compression)
+        if self.aggregation is not None:
+            validate_aggregation_spec(self.aggregation)
+        self.faults = tuple(self.faults)
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.iterations_per_worker <= 0:
@@ -182,6 +198,9 @@ class DistributedTrainingConfig:
                 f"slowdowns name nonexistent workers {unknown}; "
                 f"valid ids: {sorted(valid_ids)}"
             )
+        if self.faults:
+            worker_ids = [f"worker-{index}" for index in range(self.num_workers)]
+            parse_fault_specs(self.faults, worker_ids)
 
 
 def assemble_training(
@@ -204,6 +223,10 @@ def assemble_training(
     streams = RngStream(config.seed)
     policy = make_policy(config.paradigm, **config.paradigm_kwargs)
 
+    worker_ids = [f"worker-{index}" for index in range(config.num_workers)]
+    fault_plan = parse_fault_specs(config.faults, worker_ids)
+    injector = FaultInjector(fault_plan, streams) if fault_plan else None
+
     global_model = model_builder(streams.get("init"))
     store = make_store(
         initial_weights={name: p.data for name, p in global_model.named_parameters()},
@@ -222,6 +245,12 @@ def assemble_training(
         optimizer=optimizer,
         policy=policy,
         learning_rate_schedule=ConstantSchedule(config.learning_rate),
+        aggregator=(
+            make_aggregator(config.aggregation)
+            if config.aggregation is not None
+            else None
+        ),
+        fault_injector=injector,
     )
 
     partitions = partition_for_workers(streams, train_dataset, config.num_workers)
@@ -264,6 +293,7 @@ def assemble_training(
         slowdowns=config.slowdowns,
         evaluate_fn=evaluate_fn,
         evaluate_every_pushes=config.evaluate_every_pushes,
+        fault_plan=fault_plan if fault_plan else None,
     )
 
 

@@ -62,12 +62,14 @@ from repro.core.factory import make_policy, validate_paradigm
 from repro.metrics.accuracy import evaluate_model
 from repro.optim.schedules import ConstantSchedule
 from repro.optim.sgd import SGD
+from repro.ps.aggregation import make_aggregator, validate_aggregation_spec
 from repro.ps.compression import (
     make_codec,
     read_encoded,
     validate_codec_spec,
     write_encoded,
 )
+from repro.ps.faults import FaultInjector, parse_fault_specs
 from repro.ps.messages import PushRequest, WorkerReport
 from repro.ps.runtime import ThreadedTrainingResult
 from repro.ps.server import ParameterServer
@@ -161,6 +163,17 @@ class ProcessTrainingPlan:
         buffers in the push message.  ``None`` and the identity ``"none"``
         codec both take the uncoded fast path (the dense mailbox already
         ships exactly the bytes ``none`` would frame).
+    aggregation:
+        Optional robust-aggregation spec (:mod:`repro.ps.aggregation`,
+        e.g. ``"trimmed_mean:1"``).  The server process buffers a window
+        of pushes and applies their robust combination; ``None``/``"mean"``
+        keep the immediate-apply fast path.
+    faults:
+        Optional fault plan (:mod:`repro.ps.faults`).  Injected crashes
+        leave gracefully — the worker announces its death over the pipe
+        and exits, so membership re-bounds elastically on *both*
+        transports — unlike the hard ``crash_at`` test hooks below, which
+        exercise the unannounced-death protocol windows.
     seed:
         Master seed shared by every process's :class:`~repro.utils.rng.RngStream`.
     transport:
@@ -201,6 +214,8 @@ class ProcessTrainingPlan:
     use_workspace: bool = True
     profile: bool = False
     compression: str | None = None
+    aggregation: str | None = None
+    faults: tuple = ()
     seed: int = 0
     transport: str = "shm"
     wait_timeout: float = 120.0
@@ -210,6 +225,13 @@ class ProcessTrainingPlan:
     def __post_init__(self) -> None:
         if self.compression is not None:
             validate_codec_spec(self.compression)
+        if self.aggregation is not None:
+            validate_aggregation_spec(self.aggregation)
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.faults:
+            parse_fault_specs(
+                self.faults, [f"worker-{index}" for index in range(self.num_workers)]
+            )
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.iterations_per_worker <= 0:
@@ -364,6 +386,10 @@ def _server_main(
     try:
         store = SharedFlatStore(handle, writer=True)
         policy = make_policy(plan.paradigm, **plan.paradigm_kwargs)
+        worker_ids = [f"worker-{index}" for index in range(plan.num_workers)]
+        streams = RngStream(plan.seed)
+        fault_plan = parse_fault_specs(plan.faults, worker_ids)
+        injector = FaultInjector(fault_plan, streams) if fault_plan else None
         server = ParameterServer(
             store=store,
             optimizer=SGD(
@@ -373,8 +399,13 @@ def _server_main(
             ),
             policy=policy,
             learning_rate_schedule=ConstantSchedule(plan.learning_rate),
+            aggregator=(
+                make_aggregator(plan.aggregation)
+                if plan.aggregation is not None
+                else None
+            ),
+            fault_injector=injector,
         )
-        worker_ids = [f"worker-{index}" for index in range(plan.num_workers)]
         for worker_id in worker_ids:
             server.register_worker(worker_id)
 
@@ -394,7 +425,6 @@ def _server_main(
                     grad_views[index] = _mailbox_views(handle, segment)
 
         workload = plan.build_workload()
-        streams = RngStream(plan.seed)
         eval_model = workload.model_builder(streams.get("eval"))
         if plan.use_workspace:
             eval_model.enable_workspace()
@@ -467,6 +497,10 @@ def _server_main(
                     header, payload = conn.recv()
                 except ConnectionClosed:
                     drop(conn)
+                    if index in dead:
+                        # Announced its injected crash already ("leave"
+                        # message); this EOF is just the pipe closing.
+                        continue
                     errors.append(f"{worker_id}: process died (connection lost)")
                     if plan.transport == "pipe":
                         # Elastic death on the pipe transport: everything the
@@ -541,6 +575,19 @@ def _server_main(
                         eval_times.append(time.monotonic() - start)
                         eval_accuracies.append(accuracy)
                         eval_losses.append(loss)
+                elif kind == "leave":
+                    # Injected crash: the worker announced its death and
+                    # exited.  Elastic on both transports — nothing of the
+                    # dead worker's is left in flight on the shared store.
+                    dead.add(index)
+                    if injector is not None:
+                        injector.record(
+                            "crash", worker_id, clock=header.get("clock", 0)
+                        )
+                    server.discard_staged(worker_id)
+                    if worker_id in server.worker_ids:
+                        for released in server.deregister_worker(worker_id):
+                            oks[index_of[released]].release()
                 elif kind == "done":
                     reports[index] = WorkerReport(**header["report"])
                     if payload is not None:
@@ -553,6 +600,10 @@ def _server_main(
                     fatal = True
                     break
         selector.close()
+
+        # Apply the tail window of a buffered robust aggregator before the
+        # final evaluation sees the weights.
+        server.flush_staged()
 
         wall_time = time.monotonic() - start
         for index, report in reports.items():
@@ -589,6 +640,7 @@ def _server_main(
                 evaluation_accuracies=eval_accuracies,
                 evaluation_losses=eval_losses,
                 errors=errors,
+                events=list(injector.events) if injector is not None else [],
                 profile=worker_profile,
             )
         )
@@ -688,6 +740,11 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
         slowdown = plan.slowdowns.get(worker_id, 0.0)
         crash_iteration = plan.crash_at.get(worker_id)
         crash_after = plan.crash_after_push.get(worker_id)
+        fault_plan = parse_fault_specs(
+            plan.faults, [f"worker-{i}" for i in range(plan.num_workers)]
+        )
+        fault_crash = fault_plan.crash_at().get(worker_id)
+        flaky = fault_plan.flaky_for(worker_id)
         total_wait = 0.0
         total_compute = 0.0
 
@@ -696,10 +753,17 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
                 return
             if crash_iteration is not None and iteration >= crash_iteration:
                 os._exit(1)  # test hook: die like a real crash, no cleanup
+            if fault_crash is not None and iteration >= fault_crash:
+                # Injected crash: announce the death so the server can
+                # deregister elastically, then exit without a report.
+                conn.send({"type": "leave", "worker": index, "clock": iteration})
+                return
             compute_start = time.monotonic()
             computation = worker.compute_gradients()
             if slowdown > 0:
                 time.sleep(slowdown)
+            if flaky is not None and flaky.slow(iteration):
+                time.sleep(flaky.delay)
             total_compute += time.monotonic() - compute_start
 
             flat_gradients, encoded, _ = worker.prepare_push(computation)

@@ -33,6 +33,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.ps.callbacks import Callback, CallbackList
+from repro.ps.faults import FaultPlan
 from repro.ps.messages import PullRequest, PushRequest, WorkerReport
 from repro.ps.server import ParameterServer
 from repro.ps.worker import Worker
@@ -54,6 +55,9 @@ class ThreadedTrainingResult:
     evaluation_accuracies: list[float] = field(default_factory=list)
     evaluation_losses: list[float] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    #: Structured fault/membership events (crashes, rejoins, corrupted
+    #: pushes, aggregator rejections) in server observation order.
+    events: list = field(default_factory=list)
     #: Per-layer forward/backward timing breakdown of one worker's replica
     #: (see repro.utils.profiler); None unless profiling was requested.
     profile: dict | None = None
@@ -82,6 +86,7 @@ class ThreadedTrainer:
         evaluate_every_pushes: int = 0,
         callbacks: list[Callback] | None = None,
         wait_timeout: float = 120.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         """Create a threaded trainer.
 
@@ -101,6 +106,12 @@ class ThreadedTrainer:
         wait_timeout:
             Safety timeout for a blocked worker; exceeding it aborts the run
             with an error instead of hanging the test suite.
+        fault_plan:
+            Optional :class:`repro.ps.faults.FaultPlan` governing crashes
+            (a worker thread exits mid-run after ``after_clock`` pushes and
+            is deregistered, releasing anyone it was blocking) and flaky
+            slow phases (extra per-iteration sleep).  Gradient corruption
+            lives server-side (``ParameterServer.fault_injector``), not here.
         """
         if iterations_per_worker <= 0:
             raise ValueError("iterations_per_worker must be positive")
@@ -116,6 +127,8 @@ class ThreadedTrainer:
         self.evaluate_every_pushes = int(evaluate_every_pushes)
         self.callbacks = CallbackList(callbacks)
         self.wait_timeout = float(wait_timeout)
+        self.fault_plan = fault_plan
+        self._crash_at = fault_plan.crash_at() if fault_plan is not None else {}
 
         self._lock = threading.Lock()
         self._concurrent_apply = bool(
@@ -134,6 +147,9 @@ class ThreadedTrainer:
         self._errors: list[str] = []
         self._result: ThreadedTrainingResult | None = None
         self._compute_times: dict[str, float] = {}
+        # Wait time survives here even after a crashed worker is
+        # deregistered from the clock table.
+        self._wait_times: dict[str, float] = {}
         self._eval_times: list[float] = []
         self._eval_accuracies: list[float] = []
         self._eval_losses: list[float] = []
@@ -157,8 +173,13 @@ class ThreadedTrainer:
         for thread in threads:
             thread.join()
 
+        # Apply the tail window of a buffered robust aggregator: with the
+        # run over, no further pushes will complete the window.
+        self.server.flush_staged()
+
         wall_time = time.monotonic() - self._start_time
         reports = [self._make_report(worker) for worker in self.workers]
+        injector = self.server.fault_injector
         result = ThreadedTrainingResult(
             wall_time=wall_time,
             worker_reports=reports,
@@ -167,6 +188,7 @@ class ThreadedTrainer:
             evaluation_accuracies=self._eval_accuracies,
             evaluation_losses=self._eval_losses,
             errors=list(self._errors),
+            events=list(injector.events) if injector is not None else [],
         )
         self.callbacks.on_training_end({"result": result})
         self._result = result
@@ -178,6 +200,8 @@ class ThreadedTrainer:
     def _worker_loop(self, worker: Worker) -> None:
         worker_id = worker.worker_id
         slowdown = self.slowdowns.get(worker_id, 0.0)
+        crash_clock = self._crash_at.get(worker_id)
+        flaky = self.fault_plan.flaky_for(worker_id) if self.fault_plan else None
         total_wait = 0.0
         total_compute = 0.0
         try:
@@ -188,10 +212,15 @@ class ThreadedTrainer:
             for iteration in range(self.iterations_per_worker):
                 if self._abort.is_set():
                     return
+                if crash_clock is not None and iteration >= crash_clock:
+                    self._crash_worker(worker_id, iteration)
+                    return
                 compute_start = time.monotonic()
                 computation = worker.compute_gradients()
                 if slowdown > 0:
                     time.sleep(slowdown)
+                if flaky is not None and flaky.slow(iteration):
+                    time.sleep(flaky.delay)
                 total_compute += time.monotonic() - compute_start
 
                 flat_gradients, encoded, codec_name = worker.prepare_push(computation)
@@ -249,6 +278,22 @@ class ThreadedTrainer:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _crash_worker(self, worker_id: str, clock: int) -> None:
+        """Simulate a worker death: discard staged work, deregister, release.
+
+        The thread exits without error — a crash is an injected fault, not
+        a run failure — and the membership change re-bounds the policy so
+        workers the dead straggler was blocking get their OK.
+        """
+        with self._lock:
+            injector = self.server.fault_injector
+            if injector is not None:
+                injector.record("crash", worker_id, clock=clock)
+            _LOGGER.info("injected crash: worker %s after %d pushes", worker_id, clock)
+            self.server.discard_staged(worker_id)
+            for released in self.server.deregister_worker(worker_id):
+                self._ok_events[released].set()
+
     def _pull_request(self, worker: Worker) -> PullRequest | None:
         """Delta pull request for ``worker`` (None when the store is full-pull)."""
         if not self._delta_pulls:
@@ -257,8 +302,12 @@ class ThreadedTrainer:
 
     def _record_worker_times(self, worker_id: str, wait: float, compute: float) -> None:
         with self._lock:
-            self.server.policy.clock_table.record_wait(worker_id, wait)
+            self._wait_times[worker_id] = wait
             self._compute_times[worker_id] = compute
+            try:
+                self.server.policy.clock_table.record_wait(worker_id, wait)
+            except KeyError:
+                pass  # crashed out mid-run and already deregistered
 
     def _maybe_evaluate(self) -> None:
         """Evaluate the global weights every ``evaluate_every_pushes`` pushes.
@@ -280,11 +329,17 @@ class ThreadedTrainer:
 
     def _make_report(self, worker: Worker) -> WorkerReport:
         compute_times = self._compute_times
+        try:
+            total_wait = self.server.policy.clock_table.total_wait_time(worker.worker_id)
+        except KeyError:
+            # Crashed workers are gone from the clock table; fall back to
+            # the trainer-side record taken as the thread unwound.
+            total_wait = self._wait_times.get(worker.worker_id, 0.0)
         return WorkerReport(
             worker_id=worker.worker_id,
             iterations=worker.iterations,
             samples_processed=worker.samples_processed,
-            total_wait_time=self.server.policy.clock_table.total_wait_time(worker.worker_id),
+            total_wait_time=total_wait,
             total_compute_time=compute_times.get(worker.worker_id, 0.0),
             mean_loss=worker.mean_loss,
             pushed_wire_bytes=worker.pushed_wire_bytes,

@@ -16,7 +16,9 @@ import numpy as np
 from repro.core.policy import SynchronizationPolicy
 from repro.core.staleness import StalenessTracker
 from repro.optim.optimizer import Optimizer
+from repro.ps.aggregation import Aggregator
 from repro.ps.compression import decode_shard
+from repro.ps.faults import FaultInjector
 from repro.ps.kvstore import KeyValueStore
 from repro.ps.messages import PullReply, PullRequest, PushRequest
 from repro.utils.logging import get_logger
@@ -68,6 +70,8 @@ class ParameterServer:
         policy: SynchronizationPolicy,
         gradient_scale: float | None = None,
         learning_rate_schedule=None,
+        aggregator: Aggregator | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         """Create a server.
 
@@ -88,6 +92,18 @@ class ParameterServer:
             Optional schedule object with a ``learning_rate(progress)``
             method; when set, :meth:`set_progress` adjusts the optimizer's
             learning rate (the paper decays the rate at fixed epochs).
+        aggregator:
+            Server-side combiner for pushed gradients
+            (:mod:`repro.ps.aggregation`).  ``None`` or a non-buffered
+            aggregator (``mean``) keeps the immediate-apply fast path:
+            every push becomes one optimizer step the moment it arrives.
+            A buffered aggregator stages the pushes of one clock window
+            into pooled scratch and applies their robust combination as a
+            single update.
+        fault_injector:
+            Optional chaos hook (:mod:`repro.ps.faults`): consulted on
+            every push to corrupt byzantine workers' gradients and to
+            collect the structured fault event log.
         """
         self.store = store
         self.optimizer = optimizer
@@ -101,6 +117,18 @@ class ParameterServer:
         # stores apply concurrent pushes from multiple runtime threads, so
         # a shared scratch would race.
         self._decode_scratch = threading.local()
+        self.fault_injector = fault_injector
+        self.aggregator = aggregator
+        self._buffered = aggregator is not None and aggregator.buffered
+        # Buffered-aggregation state: staged per-worker copies of the
+        # window's pushes (pooled, reused across windows), the per-shard
+        # combine scratch, and the lock serializing staging with flushes
+        # (concurrent-apply stores call apply_push from many threads).
+        self._agg_lock = threading.Lock()
+        self._staged: "dict[str, dict[int, np.ndarray]]" = {}
+        self._stage_pool: dict[str, dict[int, np.ndarray]] = {}
+        self._combine_scratch: dict[int, np.ndarray] = {}
+        self._windows_applied = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -130,6 +158,15 @@ class ParameterServer:
         self._registered_workers.remove(worker_id)
         self.policy.deregister_worker(worker_id)
         released = tuple(self.policy.pop_releasable())
+        if self._buffered:
+            # The departed worker's staged push (if any) still counts; what
+            # shrank is the window target.  Flush when the staged set now
+            # covers every remaining worker — including the case where the
+            # last worker left and the tail window must be applied.
+            with self._agg_lock:
+                self._stage_pool.pop(worker_id, None)
+                if self._staged and len(self._staged) >= max(self.num_workers, 1):
+                    self._flush_window_locked()
         _LOGGER.debug("deregistered %s: unblocked=%s", worker_id, released)
         return released
 
@@ -191,21 +228,32 @@ class ParameterServer:
         flat_gradients = request.flat_gradients
         if request.encoded_gradients is not None:
             flat_gradients = self._decode_push(request.encoded_gradients)
-        new_version = self.store.apply_gradients(
-            request.gradients,
-            self.optimizer,
-            scale=self.gradient_scale(),
-            flat_gradients=flat_gradients,
-        )
+        if self.fault_injector is not None:
+            corrupted = self.fault_injector.corrupt_push(
+                request.worker_id, flat_gradients
+            )
+            if corrupted is not None:
+                flat_gradients = corrupted
+        if self._buffered:
+            applied = self._stage_push(request, flat_gradients)
+        else:
+            new_version = self.store.apply_gradients(
+                request.gradients,
+                self.optimizer,
+                scale=self.gradient_scale(),
+                flat_gradients=flat_gradients,
+            )
+            # Staleness is measured against the *global* version regardless
+            # of sharding: how many updates landed between the worker's pull
+            # and the version its own update produced.
+            applied = AppliedPush(
+                worker_id=request.worker_id,
+                new_version=new_version,
+                staleness=new_version - 1 - request.base_version,
+            )
         if request.buffers:
             self.store.update_buffers(request.buffers)
-        # Staleness is measured against the *global* version regardless of
-        # sharding: how many updates landed between the worker's pull and the
-        # version its own update produced.
-        staleness = new_version - 1 - request.base_version
-        return AppliedPush(
-            worker_id=request.worker_id, new_version=new_version, staleness=staleness
-        )
+        return applied
 
     def _decode_push(self, encoded) -> dict:
         """Decode codec-compressed shard payloads into flat gradients.
@@ -229,6 +277,122 @@ class ParameterServer:
                 scratch = pool[payload.shard] = np.empty(payload.size, dtype=np.float64)
             flat_gradients[payload.shard] = decode_shard(payload, out=scratch)
         return flat_gradients
+
+    # ------------------------------------------------------------------
+    # Buffered aggregation
+    # ------------------------------------------------------------------
+    def _shard_sizes(self) -> dict[int, int]:
+        """Weight-block element count per shard (what a full push carries)."""
+        return {
+            shard: (segments[-1].hi if segments else 0)
+            for shard, segments in self.store.flat_layouts
+        }
+
+    def _stage_push(self, request: PushRequest, flat_gradients) -> AppliedPush:
+        """Stage one push into the current clock window (buffered path).
+
+        The pushed buffers are copied into pooled per-worker scratch — the
+        dense push path aliases live worker memory — and the window is
+        applied once every currently registered worker has contributed.  A
+        worker lapping the window (ASP/SSP fast nodes) flushes the partial
+        window first, so no contribution is ever overwritten.
+        """
+        sizes = self._shard_sizes()
+        covered = flat_gradients is not None and all(
+            size == 0
+            or (
+                flat_gradients.get(shard) is not None
+                and flat_gradients[shard].size == size
+            )
+            for shard, size in sizes.items()
+        )
+        if not covered:
+            raise ValueError(
+                "buffered aggregation requires pushes carrying the full "
+                "packed flat gradient of every shard"
+            )
+        worker_id = request.worker_id
+        with self._agg_lock:
+            if worker_id in self._staged:
+                self._flush_window_locked()
+            pool = self._stage_pool.setdefault(worker_id, {})
+            staged: dict[int, np.ndarray] = {}
+            for shard, size in sizes.items():
+                if size == 0:
+                    continue
+                scratch = pool.get(shard)
+                if scratch is None or scratch.size != size:
+                    scratch = pool[shard] = np.empty(size, dtype=np.float64)
+                np.copyto(scratch, flat_gradients[shard], casting="unsafe")
+                staged[shard] = scratch
+            self._staged[worker_id] = staged
+            staleness = self.store.version - request.base_version
+            if len(self._staged) >= max(self.num_workers, 1):
+                self._flush_window_locked()
+            return AppliedPush(
+                worker_id=worker_id,
+                new_version=self.store.version,
+                staleness=staleness,
+            )
+
+    def _flush_window_locked(self) -> None:
+        """Aggregate and apply the staged window (``_agg_lock`` held).
+
+        Rows stack in sorted worker-id order so floating-point reduction
+        order — and therefore the stored weights — is independent of
+        runtime scheduling.  The combined gradient is applied with scale
+        ``gradient_scale() * window_size``, which reduces to exactly one
+        round's worth of mean updates under the default ``1/num_workers``
+        scale.
+        """
+        if not self._staged:
+            return
+        order = sorted(self._staged)
+        combined: dict[int, np.ndarray] = {}
+        for shard, size in self._shard_sizes().items():
+            if size == 0:
+                continue
+            stacked = np.stack([self._staged[worker][shard] for worker in order])
+            out = self._combine_scratch.get(shard)
+            if out is None or out.size != size:
+                out = self._combine_scratch[shard] = np.empty(size, dtype=np.float64)
+            combined[shard] = self.aggregator.combine(stacked, out)
+        count = len(order)
+        self._staged.clear()
+        self.store.apply_gradients(
+            {},
+            self.optimizer,
+            scale=self.gradient_scale() * count,
+            flat_gradients=combined,
+        )
+        self._windows_applied += 1
+
+    def flush_staged(self) -> None:
+        """Apply any partially-filled window (end-of-run tail)."""
+        if not self._buffered:
+            return
+        with self._agg_lock:
+            self._flush_window_locked()
+
+    def discard_staged(self, worker_id: str) -> bool:
+        """Drop a dead worker's staged, not-yet-applied push.
+
+        Called by the runtimes when a worker *dies* (as opposed to
+        finishing): its staged contribution may be the very corruption a
+        robust aggregator exists to reject.  Returns whether anything was
+        dropped; the drop is recorded in the fault event log.
+        """
+        if not self._buffered:
+            return False
+        with self._agg_lock:
+            dropped = self._staged.pop(worker_id, None) is not None
+        if dropped and self.fault_injector is not None:
+            self.fault_injector.record(
+                "aggregator_rejection",
+                worker_id,
+                reason="worker died with a staged push",
+            )
+        return dropped
 
     def finish_push(self, request: PushRequest, applied: AppliedPush) -> PushResponse:
         """Synchronization half of a push: record staleness, consult policy."""
@@ -276,4 +440,10 @@ class ParameterServer:
         stats["store_nbytes"] = int(self.store.nbytes)
         stats["update_staleness"] = self.staleness_tracker.summary()
         stats["learning_rate"] = self.optimizer.learning_rate
+        if self.aggregator is not None:
+            stats["aggregation"] = {
+                "name": self.aggregator.name,
+                "buffered": bool(self._buffered),
+                "windows_applied": self._windows_applied,
+            }
         return stats

@@ -517,12 +517,15 @@ class ShardedKeyValueStore:
         :meth:`~repro.optim.Optimizer.step_flat` call for the whole push); a
         full-model push that already carries the per-shard packed buffers
         (``flat_gradients`` from a layout-attached worker) skips both the
-        per-name routing and the gather.  Returns the new global version.
+        per-name routing and the gather.  Like the monolithic store, a push
+        may carry *only* the packed buffers (``gradients={}``) — the shape
+        the server's buffered aggregation path applies.  Returns the new
+        global version.
         """
         names = list(gradients)
         use_flat = (
             flat_gradients is not None
-            and len(names) == len(self._weight_names)
+            and len(names) in (0, len(self._weight_names))
             and self._weight_name_set.issuperset(names)
             and all(
                 shard.flat.layout.weights_end == 0
@@ -539,6 +542,11 @@ class ShardedKeyValueStore:
                 shard for shard in self._shards if shard.flat.layout.weights_end
             ]
         else:
+            if not names:
+                raise ValueError(
+                    "push carried neither per-name gradients nor full-size "
+                    "packed flat buffers for every shard"
+                )
             weight_names = self._weight_name_set
             by_shard: dict[int, dict[str, np.ndarray]] = {}
             for name in names:

@@ -71,7 +71,9 @@ from repro.core.staleness import StalenessSummary
 from repro.metrics.accuracy import evaluate_model
 from repro.optim.schedules import ConstantSchedule
 from repro.optim.sgd import SGD
+from repro.ps.aggregation import make_aggregator, validate_aggregation_spec
 from repro.ps.checkpoint import load_codec_states, restore_into, save_checkpoint
+from repro.ps.faults import FaultInjector, parse_fault_specs
 from repro.ps.compression import (
     EncodedShard,
     decode_shard,
@@ -163,6 +165,8 @@ class TcpTrainingPlan:
     use_workspace: bool = True
     profile: bool = False
     compression: str | None = None
+    aggregation: str | None = None
+    faults: tuple = ()
     seed: int = 0
     address: str = "127.0.0.1:0"
     heartbeat_interval: float = 1.0
@@ -176,6 +180,13 @@ class TcpTrainingPlan:
     def __post_init__(self) -> None:
         if self.compression is not None:
             validate_codec_spec(self.compression)
+        if self.aggregation is not None:
+            validate_aggregation_spec(self.aggregation)
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.faults:
+            parse_fault_specs(
+                self.faults, [f"worker-{index}" for index in range(self.num_workers)]
+            )
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.iterations_per_worker <= 0:
@@ -293,6 +304,7 @@ def result_to_wire(result: TcpTrainingResult) -> dict:
             "evaluation_accuracies": list(result.evaluation_accuracies),
             "evaluation_losses": list(result.evaluation_losses),
             "errors": list(result.errors),
+            "events": [dict(event) for event in result.events],
             "profile": result.profile,
         }
     )
@@ -317,6 +329,7 @@ def result_from_wire(data: dict) -> TcpTrainingResult:
         evaluation_accuracies=[float(a) for a in data.get("evaluation_accuracies", [])],
         evaluation_losses=[_float_or_nan(v) for v in data.get("evaluation_losses", [])],
         errors=[str(e) for e in data.get("errors", [])],
+        events=[dict(event) for event in data.get("events", [])],
         profile=data.get("profile"),
     )
 
@@ -372,11 +385,21 @@ class TcpServer:
             weight_decay=plan.weight_decay,
         )
         policy = make_policy(plan.paradigm, **plan.paradigm_kwargs)
+        fault_plan = parse_fault_specs(
+            plan.faults, [f"worker-{index}" for index in range(plan.num_workers)]
+        )
+        self._injector = FaultInjector(fault_plan, streams) if fault_plan else None
         server = ParameterServer(
             store=store,
             optimizer=optimizer,
             policy=policy,
             learning_rate_schedule=ConstantSchedule(plan.learning_rate),
+            aggregator=(
+                make_aggregator(plan.aggregation)
+                if plan.aggregation is not None
+                else None
+            ),
+            fault_injector=self._injector,
         )
         self._store, self._server, self._policy = store, server, policy
 
@@ -621,6 +644,8 @@ class TcpServer:
             clock = self._policy.clock_table.slowest_clock()
         else:
             clock = 0
+        if self._injector is not None and self._started and worker_id in self._joined_ever:
+            self._injector.record("rejoin", worker_id, clock=clock)
         self._server.register_worker(worker_id, clock)
         self._joined_ever.add(worker_id)
         now = time.monotonic()
@@ -669,8 +694,22 @@ class TcpServer:
         if peer is None:
             return
         self._retire(peer.conn)
-        self._errors.append(f"{worker_id}: {reason}")
+        # A death the fault plan scheduled is chaos, not failure: it becomes
+        # a "crash" event (same as every other backend), not a run error.
+        planned = (
+            self._injector is not None
+            and worker_id in self._injector.plan.crash_at()
+        )
+        if not planned:
+            self._errors.append(f"{worker_id}: {reason}")
         self._last_progress = time.monotonic()
+        if self._injector is not None:
+            try:
+                clock = self._policy.clock_table.clock(worker_id)
+            except KeyError:
+                clock = 0
+            self._injector.record("crash", worker_id, clock=clock, reason=reason)
+        self._server.discard_staged(worker_id)
         if worker_id in self._server.worker_ids:
             released = self._server.deregister_worker(worker_id)
             for other in released:
@@ -834,6 +873,9 @@ class TcpServer:
         wall_time = (
             time.monotonic() - self._start_time if self._start_time is not None else 0.0
         )
+        # Apply the tail window of a buffered robust aggregator before the
+        # final evaluation sees the weights.
+        self._server.flush_staged()
         for worker_id, report in self._reports.items():
             try:
                 self._policy.clock_table.record_wait(worker_id, report.total_wait_time)
@@ -873,6 +915,7 @@ class TcpServer:
             evaluation_accuracies=self._eval_accuracies,
             evaluation_losses=self._eval_losses,
             errors=self._errors,
+            events=list(self._injector.events) if self._injector is not None else [],
             profile=self._profile,
         )
         wire = result_to_wire(result)
@@ -1079,17 +1122,39 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
         slowdown = plan.slowdowns.get(worker_id, 0.0)
         crash_iteration = plan.crash_at.get(worker_id)
         crash_after = plan.crash_after_push.get(worker_id)
+        fault_plan = parse_fault_specs(
+            plan.faults, [f"worker-{i}" for i in range(plan.num_workers)]
+        )
+        fault_crash = fault_plan.crash_at().get(worker_id)
+        fault_rejoin = fault_plan.rejoin_after().get(worker_id)
+        flaky = fault_plan.flaky_for(worker_id)
         total_wait = 0.0
         total_compute = 0.0
 
         while completed < plan.iterations_per_worker:
             if crash_iteration is not None and completed >= crash_iteration:
                 os._exit(1)  # test hook: die like a real crash, no cleanup
+            if fault_crash is not None and completed >= fault_crash:
+                # Injected crash: drop the socket like a real death.  The
+                # server sees EOF, records the crash, deregisters us and
+                # re-bounds the policy over the survivors.
+                fault_crash = None  # fires once
+                if heartbeat is not None:
+                    heartbeat.stop()
+                conn.close()
+                if fault_rejoin is None:
+                    _LOGGER.info("worker %s: injected crash (permanent)", worker_id)
+                    return
+                time.sleep(fault_rejoin * plan.heartbeat_interval)
+                rejoin()  # elastic membership: resume at the server's clock
+                continue
             compute_start = time.monotonic()
             computation = worker.compute_gradients()
             drawn += 1
             if slowdown > 0:
                 time.sleep(slowdown)
+            if flaky is not None and flaky.slow(completed):
+                time.sleep(flaky.delay)
             compute_elapsed = time.monotonic() - compute_start
             total_compute += compute_elapsed
 

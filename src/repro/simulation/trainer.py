@@ -46,7 +46,9 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
 from repro.optim.schedules import ConstantSchedule, MultiStepSchedule
 from repro.optim.sgd import SGD
+from repro.ps.aggregation import make_aggregator, validate_aggregation_spec
 from repro.ps.compression import make_codec, validate_codec_spec
+from repro.ps.faults import FaultInjector, parse_fault_specs
 from repro.ps.messages import PullRequest, PushRequest
 from repro.ps.server import ParameterServer
 from repro.ps.sharding import make_store
@@ -146,6 +148,19 @@ class SimulationConfig:
         and the virtual clock charges the *push* leg of every iteration for
         the codec's wire fraction of the dense payload instead of the full
         parameter bytes.
+    aggregation:
+        Optional server-side aggregator spec (e.g. ``"trimmed_mean:1"``;
+        see :mod:`repro.ps.aggregation`).  ``None``/``"mean"`` keep the
+        immediate-apply path; robust aggregators buffer each clock window
+        of pushes before applying their combination as one update.
+    faults:
+        Optional chaos plan — per-worker fault entries as in
+        :mod:`repro.ps.faults`.  Crashes deregister the worker at its fault
+        clock (the policy re-bounds, exactly as for a real death), gradient
+        corruption is injected at the server boundary, and flaky workers
+        have their iteration time multiplied by ``scale`` during slow
+        phases.  Every fault draws from the run's named RNG streams, so a
+        chaos run replays identically from the seed.
     profile:
         Attach a per-layer forward/backward profiler
         (:class:`repro.utils.profiler.LayerProfiler`) to the first worker's
@@ -178,11 +193,20 @@ class SimulationConfig:
     use_workspace: bool = True
     profile: bool = False
     compression: str | None = None
+    aggregation: str | None = None
+    faults: tuple = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.compression is not None:
             validate_codec_spec(self.compression)
+        if self.aggregation is not None:
+            validate_aggregation_spec(self.aggregation)
+        self.faults = tuple(self.faults)
+        if self.faults:
+            parse_fault_specs(
+                self.faults, [spec.worker_id for spec in self.cluster.workers]
+            )
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.num_server_shards <= 0:
@@ -228,6 +252,9 @@ class SimulationResult:
     #: Per-layer timing breakdown of the first worker's replica (real
     #: wall-clock compute, not virtual time); None unless profiling was on.
     profile: dict | None = None
+    #: Structured fault/membership events (crashes, corrupted pushes,
+    #: aggregator rejections) in server observation order; empty when clean.
+    events: list = field(default_factory=list)
 
     @property
     def final_accuracy(self) -> float:
@@ -264,6 +291,14 @@ class SimulatedTraining:
         self.train_dataset = train_dataset
         self.test_dataset = test_dataset
         self._streams = RngStream(config.seed)
+        self._fault_plan = parse_fault_specs(
+            config.faults, [spec.worker_id for spec in config.cluster.workers]
+        )
+        self._injector = (
+            FaultInjector(self._fault_plan, self._streams)
+            if config.faults
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Assembly
@@ -289,8 +324,18 @@ class SimulatedTraining:
         else:
             schedule = ConstantSchedule(config.learning_rate)
         policy = make_policy(config.paradigm, **config.paradigm_kwargs)
+        aggregator = (
+            make_aggregator(config.aggregation)
+            if config.aggregation is not None
+            else None
+        )
         return ParameterServer(
-            store=store, optimizer=optimizer, policy=policy, learning_rate_schedule=schedule
+            store=store,
+            optimizer=optimizer,
+            policy=policy,
+            learning_rate_schedule=schedule,
+            aggregator=aggregator,
+            fault_injector=self._injector,
         )
 
     def _build_workers(self, global_model: Module, server: ParameterServer) -> dict[str, Worker]:
@@ -400,6 +445,8 @@ class SimulatedTraining:
         samples_processed = 0
         last_eval_update = -1
 
+        crash_at = self._fault_plan.crash_at()
+
         def iteration_time(worker_id: str, now: float) -> float:
             spec = config.cluster.worker(worker_id)
             duration = time_model.iteration_time(spec, rng=timing_rng)
@@ -411,6 +458,9 @@ class SimulatedTraining:
                         f"for worker {worker_id!r}"
                     )
                 duration *= factor
+            flaky = self._fault_plan.flaky_for(worker_id)
+            if flaky is not None and flaky.slow(iterations_done[worker_id]):
+                duration *= flaky.scale
             return duration
 
         def evaluate(now: float) -> None:
@@ -477,6 +527,20 @@ class SimulatedTraining:
             if event.kind is not EventKind.PUSH_ARRIVAL:
                 continue
             worker_id = event.worker_id
+            crash_clock = crash_at.get(worker_id)
+            if crash_clock is not None and iterations_done[worker_id] >= crash_clock:
+                # The worker dies at its fault clock: its push never lands,
+                # any staged (unapplied) contribution is rejected, and the
+                # policy re-bounds exactly as for a real runtime death.
+                self._injector.record(
+                    "crash", worker_id, clock=iterations_done[worker_id], time=now
+                )
+                trace.record(now, "crash", worker_id=worker_id)
+                server.discard_staged(worker_id)
+                for released_id in server.deregister_worker(worker_id):
+                    waited = now - blocked_since.pop(released_id, now)
+                    release_worker(released_id, now, waited)
+                continue
             worker = workers[worker_id]
 
             computation = worker.compute_gradients()
@@ -532,6 +596,9 @@ class SimulatedTraining:
         final_time = clock.now
         for worker_id, since in list(blocked_since.items()):
             wait_time[worker_id] += final_time - since
+        # A buffered aggregator may hold a partially-filled tail window;
+        # apply it so the final evaluation sees every surviving push.
+        server.flush_staged()
         if server.store.version != last_eval_update:
             evaluate(final_time)
 
@@ -598,6 +665,7 @@ class SimulatedTraining:
                 for worker_id, worker in workers.items()
             },
             profile=profile,
+            events=list(self._injector.events) if self._injector else [],
         )
 
 

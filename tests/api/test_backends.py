@@ -365,6 +365,62 @@ class TestRunResultSerialization:
         assert simulated_result.staleness_summary is simulated_result.staleness
 
 
+class TestRobustness:
+    """The aggregation/faults spec surface through the backends."""
+
+    CHAOS = TINY_SPEC.replace(
+        cluster=ClusterConfig(num_workers=3, gpus_per_worker=1),
+        aggregation="trimmed_mean:1",
+        faults=(
+            {"worker": 1, "kind": "byzantine", "mode": "sign_flip", "after_clock": 2},
+            {"worker": 2, "kind": "crash", "after_clock": 4},
+        ),
+    )
+
+    def test_clean_runs_have_empty_events(self, simulated_result, threaded_result):
+        assert simulated_result.events == []
+        assert threaded_result.events == []
+
+    def test_mean_aggregator_bit_for_bit_no_op_simulated(self, simulated_result):
+        # The simulator is deterministic, so this is an exact gate: a spec
+        # with aggregation="mean" must replay the aggregation-less run.
+        result = run_experiment(TINY_SPEC.replace(aggregation="mean"), "simulated")
+        assert np.array_equal(result.accuracies, simulated_result.accuracies)
+        assert np.array_equal(result.losses, simulated_result.losses)
+        assert result.total_updates == simulated_result.total_updates
+        assert result.server_statistics["aggregation"]["windows_applied"] == 0
+
+    def test_mean_aggregator_keeps_the_fast_path_threaded(self, threaded_result):
+        # Thread scheduling makes wall-clock runs non-replayable, so the
+        # gate here is structural: no buffering, no events, same totals.
+        result = run_experiment(TINY_SPEC.replace(aggregation="mean"), "threaded")
+        assert result.errors == [] and result.events == []
+        assert result.total_updates == threaded_result.total_updates
+        assert result.server_statistics["aggregation"]["windows_applied"] == 0
+
+    @pytest.mark.parametrize("backend", ["simulated", "threaded", "process", "tcp"])
+    def test_chaos_run_reports_events(self, backend):
+        result = run_experiment(self.CHAOS, backend)
+        kinds = {event["kind"] for event in result.events}
+        assert "crash" in kinds
+        assert "corrupted_push" in kinds
+        assert all({"kind", "worker"} <= set(event) for event in result.events)
+        # An injected crash is chaos, not failure — on every backend,
+        # including tcp where the server sees the dropped connection.
+        assert result.errors == []
+        # The crashed worker stops early; the survivors finish their quota.
+        iterations = result.iterations_per_worker
+        assert iterations["worker-2"] < max(iterations.values())
+        assert result.server_statistics["aggregation"]["windows_applied"] > 0
+
+    def test_events_survive_wire_serialization(self):
+        result = run_experiment(self.CHAOS, "process")
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["events"] == result.events
+
+
 class TestProfilePlumbing:
     """``profile=True`` records a per-layer breakdown on every backend."""
 

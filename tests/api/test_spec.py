@@ -154,6 +154,41 @@ class TestSpecValidation:
         assert ExperimentSpec.from_dict(spec.to_dict()) == spec
         assert spec.to_dict()["compression"] == "int8:chunk=512"
 
+    def test_aggregation_validated(self):
+        assert ExperimentSpec(aggregation="trimmed_mean:1").aggregation == "trimmed_mean:1"
+        assert ExperimentSpec().aggregation is None
+        with pytest.raises(ValueError, match="available aggregators"):
+            ExperimentSpec(aggregation="krum")
+        with pytest.raises(ValueError, match="tau"):
+            ExperimentSpec(aggregation="clip:0")
+
+    def test_faults_validated_against_cluster(self):
+        spec = ExperimentSpec(
+            cluster=ClusterConfig(num_workers=2),
+            faults=({"worker": 1, "kind": "crash", "after_clock": 3},),
+        )
+        assert spec.faults == ({"worker": 1, "kind": "crash", "after_clock": 3},)
+        with pytest.raises(ValueError, match="out of range"):
+            ExperimentSpec(
+                cluster=ClusterConfig(num_workers=2),
+                faults=({"worker": 5, "kind": "crash"},),
+            )
+        with pytest.raises(ValueError, match="corruption mode"):
+            ExperimentSpec(faults=({"worker": 0, "kind": "byzantine"},))
+
+    def test_aggregation_and_faults_survive_round_trip(self):
+        spec = ExperimentSpec(
+            aggregation="median",
+            faults=(
+                {"worker": 0, "kind": "byzantine", "mode": "sign_flip"},
+                {"worker": 1, "kind": "flaky", "scale": 2.0, "period": 3},
+            ),
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.to_dict()["aggregation"] == "median"
+        assert restored.faults[0]["mode"] == "sign_flip"
+
     def test_transport_validated(self):
         assert ExperimentSpec(transport="pipe").transport == "pipe"
         assert ExperimentSpec(transport="  SHM ").transport == "shm"

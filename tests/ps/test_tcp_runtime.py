@@ -122,6 +122,7 @@ class TestWireResult:
             evaluation_accuracies=[0.1, 0.6],
             evaluation_losses=[2.3, float("nan")],
             errors=["worker-1: process died"],
+            events=[{"kind": "crash", "worker": "worker-1", "clock": 3}],
             profile=None,
         )
         wire = result_to_wire(original)
@@ -131,6 +132,7 @@ class TestWireResult:
         restored = result_from_wire(wire)
         assert restored.wall_time == original.wall_time
         assert restored.errors == original.errors
+        assert restored.events == original.events
         assert restored.server_statistics["update_staleness"] == (
             original.server_statistics["update_staleness"]
         )
@@ -188,6 +190,110 @@ class TestElasticMembership:
         # 4 survivor pushes plus however many worker-1 landed before dying.
         assert result.server_statistics["store_version"] >= 5
 
+    def test_membership_flapping_leaks_nothing(self):
+        # A worker repeatedly joining and leaving mid-run: every cycle must
+        # deregister it from the clock table, re-bound the policy over the
+        # survivor (whose pushes keep being released), and leak neither
+        # copy-on-write leases nor clock-table entries.
+        from repro.ps.tcp_runtime import TcpServer, _dense_frame
+
+        plan = tiny_plan(
+            paradigm="ssp",
+            paradigm_kwargs={"staleness": 2},
+            iterations_per_worker=64,
+            wait_timeout=30.0,
+        )
+        ready = threading.Event()
+        box = {}
+
+        def run_server():
+            def on_ready(address):
+                box["address"] = address
+                ready.set()
+
+            box["server"] = server = TcpServer(plan, ready_callback=on_ready)
+            box["result"] = server.serve()
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert ready.wait(30.0)
+
+        def wait_until(predicate, timeout=10.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if predicate():
+                    return True
+                time.sleep(0.01)
+            return False
+
+        def join(worker_id):
+            conn = connect_tcp(box["address"], timeout=10.0)
+            conn.send({"type": "join", "worker": worker_id, "codec": None})
+            header, _ = conn.recv(timeout=10.0)
+            assert header["type"] == "welcome"
+            return conn, header
+
+        survivor, header = join("worker-0")
+        flapper, _ = join("worker-1")
+        header, _ = survivor.recv(timeout=10.0)  # both present: start
+        assert header["type"] == "start"
+        flapper.recv(timeout=10.0)
+
+        server = box["server"]
+        store, policy = server._store, server._policy
+        records = policy.clock_table._records
+        size = store.flat_layouts[0][1][-1].hi
+        pushes = 0
+
+        def push_ok():
+            nonlocal pushes
+            survivor.send(
+                {
+                    "type": "push",
+                    "worker": "worker-0",
+                    "base_version": 0,
+                    "timestamp": 0.0,
+                    "loss": 1.0,
+                    "samples": 16,
+                    "codec": None,
+                },
+                (_dense_frame(0, np.zeros(size)),),
+            )
+            while True:
+                reply, _ = survivor.recv(timeout=10.0)
+                if reply["type"] == "ok":
+                    break
+            pushes += 1
+
+        for cycle in range(3):
+            flapper.close()
+            assert wait_until(lambda: "worker-1" not in records)
+            assert set(records) == {"worker-0"}
+            assert server._server.worker_ids == ["worker-0"]
+            # The SSP bound re-computed over the survivor: its pushes keep
+            # being released even far past the flapper's last clock.
+            push_ok()
+            push_ok()
+            # Every pull lease (join welcomes, push OKs) must drain; the
+            # release runs just after the reply hits the wire, hence the
+            # wait.  Growth here would be a copy-on-write leak per cycle.
+            assert wait_until(lambda: store._flat._leases == 0), (
+                f"leaked lease on cycle {cycle}: {store._flat._leases}"
+            )
+            flapper, welcome = join("worker-1")
+            assert welcome["started"] is True
+            # Rejoined at the survivor's clock, not at zero.
+            assert wait_until(lambda: "worker-1" in records)
+            assert records["worker-1"].clock == pushes
+
+        flapper.close()
+        assert wait_until(lambda: set(records) == {"worker-0"})
+        survivor.close()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        result = box["result"]
+        assert result.server_statistics["store_version"] == pushes
+
     def test_duplicate_join_then_abort_then_late_join(self):
         # Protocol-level race coverage, deterministic because we are the
         # workers: (1) a second 'worker-0' is rejected while the first is
@@ -226,6 +332,44 @@ class TestElasticMembership:
             late.close()
         assert server.result is not None
         assert any("died before start" in error for error in server.result.errors)
+
+
+class TestFaultInjection:
+    def test_injected_crash_rejoins_through_elastic_membership(self):
+        # worker-1's fault plan drops its socket after 2 pushes and rejoins
+        # one heartbeat period later; the slowed-down survivor keeps the run
+        # alive long enough that the rejoin lands mid-run.  Both the crash
+        # and the rejoin must come out as structured events, and the
+        # rejoined worker must still complete its full push budget.
+        result = TcpTrainer(
+            tiny_plan(
+                paradigm="ssp",
+                paradigm_kwargs={"staleness": 2},
+                iterations_per_worker=8,
+                heartbeat_interval=0.2,
+                heartbeat_timeout=1.0,
+                slowdowns={"worker-0": 0.2},
+                faults=(
+                    {
+                        "worker": 1,
+                        "kind": "crash",
+                        "after_clock": 2,
+                        "rejoin_after": 1,
+                    },
+                ),
+            )
+        ).run()
+        kinds = [event["kind"] for event in result.events]
+        assert "crash" in kinds
+        assert "rejoin" in kinds
+        crash = next(e for e in result.events if e["kind"] == "crash")
+        assert crash["worker"] == "worker-1"
+        by_id = {report.worker_id: report for report in result.worker_reports}
+        assert by_id["worker-0"].iterations == 8
+        # The rejoiner resumes at the cluster's slowest clock, which may be
+        # past its own crash point — it completes the *remaining* budget.
+        assert 4 <= by_id["worker-1"].iterations <= 8
+        assert by_id["worker-1"].samples_processed == by_id["worker-1"].iterations * 16
 
 
 class TestGracefulRestart:

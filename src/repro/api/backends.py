@@ -196,6 +196,26 @@ def _reject_transport(spec: ExperimentSpec, backend_name: str) -> None:
         )
 
 
+def _reject_topology(spec: ExperimentSpec, backend_name: str) -> None:
+    """Fail loudly on topology/pattern fields only the simulator can honour.
+
+    The wall-clock runtimes time real transfers on real hardware; silently
+    ignoring a declared topology or collective pattern would make the same
+    spec mean different things per backend.
+    """
+    if spec.cluster.topology is not None:
+        raise ValueError(
+            f"the {backend_name} backend cannot model a network topology; "
+            "remove cluster.topology from the spec or use the simulated backend"
+        )
+    if spec.comm_pattern != "ps":
+        raise ValueError(
+            f"the {backend_name} backend only implements the 'ps' pattern; "
+            f"remove comm_pattern={spec.comm_pattern!r} from the spec or use "
+            "the simulated backend"
+        )
+
+
 def _iterations_per_worker(
     spec: ExperimentSpec, workload: Workload, num_workers: int
 ) -> int:
@@ -258,6 +278,8 @@ class SimulatedBackend:
             compression=spec.compression,
             aggregation=spec.aggregation,
             faults=spec.faults,
+            topology=spec.cluster.topology,
+            comm_pattern=spec.comm_pattern,
             seed=spec.seed,
         )
         sim = SimulatedTraining(
@@ -302,6 +324,7 @@ class SimulatedBackend:
             errors=[],
             events=list(sim.events),
             profile=sim.profile,
+            iteration_time_percentiles=sim.iteration_time_summary,
         )
 
 
@@ -320,6 +343,7 @@ class ThreadedBackend:
         """Execute ``spec`` on the threaded runtime."""
         _reject_simulator_only_fields(spec, self.name)
         _reject_transport(spec, self.name)
+        _reject_topology(spec, self.name)
         provenance = _provenance(spec, self.name, workload, cluster)
         workload = workload or _build_workload(spec)
         num_workers = cluster.num_workers if cluster is not None else (
@@ -479,6 +503,7 @@ class ProcessBackend:
     ) -> RunResult:
         """Execute ``spec`` on the multi-process runtime."""
         _reject_simulator_only_fields(spec, self.name)
+        _reject_topology(spec, self.name)
         if workload is not None:
             raise ValueError(
                 "the process backend cannot honour an injected workload "
@@ -606,6 +631,7 @@ def tcp_plan_from_spec(
             "speaks only its socket transport — drop the field or run on "
             "the process backend"
         )
+    _reject_topology(spec, "tcp")
     if spec.num_shards != 1:
         raise ValueError(
             "the tcp backend serves a monolithic store (num_shards=1); "

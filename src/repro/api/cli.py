@@ -12,7 +12,8 @@ Subcommands:
   standalone TCP parameter server for the spec and wait for workers.
 * ``validate SPEC.json`` — parse and validate a spec without running it.
 * ``registry`` — list the registered workloads, models, paradigms, backends,
-  transports, scales, devices, networks and gradient codecs a spec may
+  transports, scales, devices, networks, topology presets, jitter
+  distributions, communication patterns and gradient codecs a spec may
   refer to.
 """
 
@@ -39,6 +40,11 @@ from repro.ps.aggregation import available_aggregators
 from repro.ps.compression import available_codecs
 from repro.ps.transport import available_transports
 from repro.simulation.profiles import GPU_CATALOGUE
+from repro.simulation.topology import (
+    COMM_PATTERNS,
+    available_jitters,
+    available_topology_presets,
+)
 
 __all__ = ["main"]
 
@@ -91,6 +97,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="tcp backend only: connect workers to an already-running "
         "'serve' server instead of self-hosting one over localhost",
+    )
+    run.add_argument(
+        "--topology",
+        default=None,
+        help="simulated backend only: override the cluster's network "
+        "topology preset (flat, two-rack, tail-heavy; see 'registry')",
+    )
+    run.add_argument(
+        "--comm-pattern",
+        default=None,
+        choices=list(COMM_PATTERNS),
+        help="simulated backend only: override the communication pattern "
+        "(ps or ring_allreduce; ring requires paradigm bsp)",
     )
 
     serve = commands.add_parser(
@@ -156,6 +175,10 @@ def _command_run(arguments: argparse.Namespace) -> int:
         spec = spec.replace(compression=arguments.compression)
     if arguments.transport is not None:
         spec = spec.replace(transport=arguments.transport)
+    if arguments.topology is not None:
+        spec = spec.replace(cluster=spec.cluster.replace(topology=arguments.topology))
+    if arguments.comm_pattern is not None:
+        spec = spec.replace(comm_pattern=arguments.comm_pattern)
     if arguments.address is not None:
         if arguments.backend != "tcp":
             raise ValueError(
@@ -183,6 +206,11 @@ def _command_run(arguments: argparse.Namespace) -> int:
     print(f"total wait time   : {result.total_wait_time:.2f} s")
     print(f"mean staleness    : {result.staleness.mean:.2f} "
           f"(max {result.staleness.maximum})")
+    percentiles = result.iteration_time_percentiles
+    if percentiles.count:
+        print(f"iteration times   : p50 {percentiles.p50:.4f} s, "
+              f"p90 {percentiles.p90:.4f} s, p99 {percentiles.p99:.4f} s "
+              f"({percentiles.count} intervals)")
     if spec.compression is not None and result.transfers is not None:
         print(f"compression       : {spec.compression} "
               f"({result.transfers.pushed_wire_bytes} push bytes on the wire, "
@@ -323,6 +351,9 @@ def _command_registry() -> int:
     print(f"scales:    {', '.join(sorted(NAMED_SCALES))}")
     print(f"devices:   {', '.join(sorted(GPU_CATALOGUE))}")
     print(f"networks:  {', '.join(sorted(NETWORKS))}")
+    print(f"topologies: {', '.join(available_topology_presets())}")
+    print(f"jitters:   {', '.join(available_jitters())}")
+    print(f"comm patterns: {', '.join(COMM_PATTERNS)}")
     print(f"codecs:    {', '.join(available_codecs())}")
     print(f"aggregators: {', '.join(available_aggregators())}")
     return 0

@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.core.staleness import StalenessSummary
 from repro.metrics.convergence import time_to_accuracy
-from repro.metrics.throughput import ThroughputSummary, TransferSummary, transfer_summary
+from repro.metrics.throughput import (
+    EMPTY_PERCENTILES,
+    PercentileSummary,
+    ThroughputSummary,
+    TransferSummary,
+    transfer_summary,
+)
 from repro.ps.messages import WorkerReport
 from repro.version import __version__
 
@@ -111,6 +117,11 @@ class RunResult:
     #: (``repro.utils.profiler``); None unless the run was profiled
     #: (``python -m repro run SPEC --profile``).
     profile: dict | None = None
+    #: Tail statistics of per-iteration times (p50/p90/p99 of push-to-push
+    #: intervals, waits included).  Only the simulated backend can observe
+    #: every iteration boundary, so the wall-clock backends report the
+    #: schema-stable empty summary (``count == 0``).
+    iteration_time_percentiles: PercentileSummary = EMPTY_PERCENTILES
 
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=np.float64)
@@ -193,6 +204,7 @@ class RunResult:
                 **dataclasses.asdict(self.transfers),
                 "compression_ratio": float(self.transfers.compression_ratio),
             },
+            "iteration_time_percentiles": self.iteration_time_percentiles.to_dict(),
             "provenance": self.provenance.to_dict(),
             "errors": list(self.errors),
             "events": [dict(event) for event in self.events],

@@ -41,6 +41,10 @@ from repro.simulation.network import (
     NetworkModel,
 )
 from repro.simulation.profiles import get_device_profile
+from repro.simulation.topology import (
+    canonical_topology_spec,
+    validate_comm_pattern,
+)
 
 __all__ = ["ClusterConfig", "ExperimentSpec", "NAMED_SCALES", "NETWORKS"]
 
@@ -81,6 +85,15 @@ class ClusterConfig:
     OS for an ephemeral port, the self-hosted localhost default), and a
     worker silent for ``heartbeat_timeout`` seconds is declared dead and
     deregistered from the synchronization policy.
+
+    ``topology`` selects the simulated backend's network topology: a
+    preset name (``"flat"``, ``"two-rack"``, ``"tail-heavy"``) or an
+    inline topology dict (see
+    :func:`repro.simulation.topology.canonical_topology_spec`).  ``None``
+    keeps the flat :class:`NetworkModel` path; the ``"flat"`` preset is
+    its bit-for-bit-identical degenerate topology.  Only the simulated
+    backend models topologies — the wall-clock backends reject specs that
+    set one rather than silently timing on real hardware.
     """
 
     kind: str = "homogeneous"
@@ -91,8 +104,11 @@ class ClusterConfig:
     gpus_per_worker: int = 1
     address: str = "127.0.0.1:0"
     heartbeat_timeout: float = 10.0
+    topology: str | dict | None = None
 
     def __post_init__(self) -> None:
+        if self.topology is not None:
+            canonical_topology_spec(self.topology)  # raises on malformed specs
         if self.kind not in ("homogeneous", "heterogeneous"):
             raise ValueError(
                 f"cluster kind must be 'homogeneous' or 'heterogeneous', got {self.kind!r}"
@@ -113,6 +129,10 @@ class ClusterConfig:
         """Worker identifiers this cluster will create."""
         count = self.num_workers if self.kind == "homogeneous" else len(self.devices)
         return [f"worker-{index}" for index in range(count)]
+
+    def replace(self, **overrides) -> "ClusterConfig":
+        """A copy of this cluster config with ``overrides`` applied."""
+        return dataclasses.replace(self, **overrides)
 
     def build(self) -> ClusterSpec:
         """Materialize the simulated :class:`ClusterSpec`."""
@@ -147,6 +167,9 @@ class ClusterConfig:
             "gpus_per_worker": self.gpus_per_worker,
             "address": self.address,
             "heartbeat_timeout": self.heartbeat_timeout,
+            "topology": self.topology
+            if self.topology is None or isinstance(self.topology, str)
+            else dict(self.topology),
         }
 
     @classmethod
@@ -261,6 +284,16 @@ class ExperimentSpec:
         flapping are injected deterministically from ``seed``; the run's
         chaos history is returned as ``RunResult.events``.  Entries are
         validated against the cluster here, at spec construction.
+    comm_pattern:
+        Communication pattern the simulated backend costs: ``"ps"``
+        (default — push/pull against the parameter server) or
+        ``"ring_allreduce"`` (``2*(n-1)`` chunked ring steps per
+        synchronous round; requires the BSP paradigm, a single shard, and
+        no compression/aggregation/faults).  The gradient math is
+        unchanged — a ring reduce-scatter's sequential chunk sums equal
+        the server's sequential aggregate bit-for-bit on identical
+        pushes — only the costed time and wire bytes differ.  The
+        wall-clock backends reject non-default patterns.
     transport:
         Optional synchronization transport for the wall-clock runtimes
         (:func:`repro.ps.transport.available_transports` lists the names).
@@ -299,10 +332,36 @@ class ExperimentSpec:
     aggregation: str | None = None
     faults: tuple = ()
     transport: str | None = None
+    comm_pattern: str = "ps"
     seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "lr_milestones", tuple(self.lr_milestones))
+        object.__setattr__(self, "comm_pattern", validate_comm_pattern(self.comm_pattern))
+        if self.comm_pattern == "ring_allreduce":
+            # Mirror the simulator's constraints at spec construction so a
+            # bad spec file fails before any backend starts.
+            if self.paradigm != "bsp":
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' is a synchronous collective; "
+                    f"it requires paradigm 'bsp', got {self.paradigm!r}"
+                )
+            if len(self.cluster.worker_ids) < 2:
+                raise ValueError("ring allreduce needs at least 2 workers")
+            if self.compression is not None:
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' does not compose with compression"
+                )
+            if self.aggregation is not None:
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' does not compose with aggregation"
+                )
+            if self.faults:
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' does not compose with fault injection"
+                )
+            if self.num_shards != 1:
+                raise ValueError("ring allreduce requires num_shards=1")
         if self.compression is not None:
             validate_codec_spec(self.compression)
         if self.aggregation is not None:
@@ -326,6 +385,11 @@ class ExperimentSpec:
             raise ValueError("max_updates must be positive when given")
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if self.cluster.topology is not None and self.num_shards != 1:
+            raise ValueError(
+                "topology-aware timing models a single server endpoint; "
+                "use num_shards=1 with a cluster topology"
+            )
         if self.epoch_accounting not in ("global", "per_worker"):
             raise ValueError(
                 "epoch_accounting must be 'global' or 'per_worker', "
@@ -418,6 +482,7 @@ class ExperimentSpec:
             "aggregation": self.aggregation,
             "faults": [dict(entry) for entry in self.faults],
             "transport": self.transport,
+            "comm_pattern": self.comm_pattern,
             "seed": self.seed,
         }
 

@@ -53,6 +53,15 @@ from repro.experiments.export import (
     export_comparison_json,
     load_comparison_json,
 )
+from repro.experiments.topology_sweep import (
+    SWEEP_PARADIGMS,
+    SWEEP_TOPOLOGIES,
+    TopologySweepRun,
+    run_topology_sweep,
+    sweep_devices,
+    sweep_payload,
+    sweep_spec,
+)
 from repro.experiments.report import format_figure_result, format_comparison_summary
 
 __all__ = [
@@ -90,4 +99,11 @@ __all__ = [
     "load_comparison_json",
     "format_figure_result",
     "format_comparison_summary",
+    "SWEEP_PARADIGMS",
+    "SWEEP_TOPOLOGIES",
+    "TopologySweepRun",
+    "run_topology_sweep",
+    "sweep_devices",
+    "sweep_payload",
+    "sweep_spec",
 ]

@@ -9,6 +9,9 @@ from repro.metrics.convergence import (
 )
 from repro.metrics.throughput import (
     iteration_throughput,
+    PercentileSummary,
+    percentile,
+    percentile_summary,
     ThroughputSummary,
     TransferSummary,
     transfer_summary,
@@ -25,6 +28,9 @@ __all__ = [
     "accuracy_at_time",
     "area_under_accuracy_curve",
     "iteration_throughput",
+    "PercentileSummary",
+    "percentile",
+    "percentile_summary",
     "ThroughputSummary",
     "TransferSummary",
     "transfer_summary",

@@ -18,6 +18,10 @@ __all__ = [
     "iteration_throughput",
     "TransferSummary",
     "transfer_summary",
+    "PercentileSummary",
+    "EMPTY_PERCENTILES",
+    "percentile",
+    "percentile_summary",
 ]
 
 
@@ -74,6 +78,74 @@ class TransferSummary:
         if self.pushed_wire_bytes <= 0:
             return 1.0
         return self.pushed_raw_bytes / self.pushed_wire_bytes
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """Tail statistics of per-iteration times — the topology sweeps' output.
+
+    DSSP's value shows up in the *tail*: p50 barely moves between paradigms
+    while p99 separates them under heavy-tailed jitter, so the summary
+    carries exactly the three quantiles the paper-style plots need.
+    ``count == 0`` marks "no samples" while keeping every field present,
+    so serialized results stay schema-identical across backends.
+    """
+
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+    max: float
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+
+#: Schema-stable stand-in when a run produced no iteration samples.
+EMPTY_PERCENTILES = PercentileSummary(count=0, p50=0.0, p90=0.0, p99=0.0, mean=0.0, max=0.0)
+
+
+def percentile(samples, q: float) -> float:
+    """The ``q``-th percentile with linear interpolation.
+
+    Matches ``numpy.percentile``'s default method (rank ``q/100*(n-1)``,
+    linear interpolation between the neighbouring order statistics) —
+    pinned against NumPy by a unit test — but implemented explicitly so
+    the benchmark JSONs don't silently shift if NumPy changes defaults.
+    """
+    values = sorted(float(value) for value in samples)
+    if not values:
+        raise ValueError("samples must not be empty")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    rank = q / 100.0 * (len(values) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(values) - 1)
+    fraction = rank - lower
+    return values[lower] * (1.0 - fraction) + values[upper] * fraction
+
+
+def percentile_summary(samples: Iterable[float]) -> PercentileSummary:
+    """p50/p90/p99 (plus mean and max) of an iterable of durations."""
+    values = [float(value) for value in samples]
+    if not values:
+        return EMPTY_PERCENTILES
+    return PercentileSummary(
+        count=len(values),
+        p50=percentile(values, 50.0),
+        p90=percentile(values, 90.0),
+        p99=percentile(values, 99.0),
+        mean=sum(values) / len(values),
+        max=max(values),
+    )
 
 
 def transfer_summary(worker_reports: Iterable) -> TransferSummary:

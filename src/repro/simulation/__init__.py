@@ -17,6 +17,18 @@ from repro.simulation.profiles import DeviceProfile, GPU_CATALOGUE, get_device_p
 from repro.simulation.network import NetworkModel, INFINIBAND_EDR, GIGABIT_ETHERNET, LOCAL_PCIE
 from repro.simulation.cluster import WorkerSpec, ClusterSpec, homogeneous_cluster, heterogeneous_cluster
 from repro.simulation.workload import ModelCost, estimate_model_cost, IterationTimeModel
+from repro.simulation.topology import (
+    Link,
+    Topology,
+    TopologyState,
+    TopologyTimeModel,
+    TOPOLOGY_PRESETS,
+    build_topology,
+    ring_allreduce,
+    ring_allreduce_wire_bytes,
+    single_link_topology,
+    rack_topology,
+)
 from repro.simulation.trace import TraceRecord, SimulationTrace
 from repro.simulation.trainer import (
     SimulationConfig,
@@ -44,6 +56,16 @@ __all__ = [
     "ModelCost",
     "estimate_model_cost",
     "IterationTimeModel",
+    "Link",
+    "Topology",
+    "TopologyState",
+    "TopologyTimeModel",
+    "TOPOLOGY_PRESETS",
+    "build_topology",
+    "ring_allreduce",
+    "ring_allreduce_wire_bytes",
+    "single_link_topology",
+    "rack_topology",
     "TraceRecord",
     "SimulationTrace",
     "SimulationConfig",

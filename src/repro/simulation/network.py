@@ -86,6 +86,17 @@ class NetworkModel:
             shard_nbytes, rng
         )
 
+    def to_topology(self, worker_ids):
+        """The degenerate topology equivalent of this flat model.
+
+        One private link per worker with this model's latency, bandwidth
+        and lognormal jitter — bit-for-bit identical transfer times and
+        RNG consumption (the parity suite's anchor).
+        """
+        from repro.simulation.topology import single_link_topology
+
+        return single_link_topology(worker_ids, self)
+
 
 #: Effective PS-path throughput on the paper's Infiniband EDR cluster.
 INFINIBAND_EDR = NetworkModel(

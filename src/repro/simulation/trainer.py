@@ -40,7 +40,13 @@ from repro.data.loader import MiniBatchLoader
 from repro.data.partitioner import partition_dataset
 from repro.metrics.accuracy import evaluate_model
 from repro.metrics.convergence import time_to_accuracy
-from repro.metrics.throughput import ThroughputSummary, iteration_throughput
+from repro.metrics.throughput import (
+    EMPTY_PERCENTILES,
+    PercentileSummary,
+    ThroughputSummary,
+    iteration_throughput,
+    percentile_summary,
+)
 from repro.metrics.tracker import ExperimentTracker
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.module import Module
@@ -56,6 +62,13 @@ from repro.ps.worker import Worker
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.clock import VirtualClock
 from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.topology import (
+    Topology,
+    TopologyTimeModel,
+    build_topology,
+    validate_comm_pattern,
+    validate_topology_spec,
+)
 from repro.simulation.trace import SimulationTrace
 from repro.simulation.workload import IterationTimeModel, estimate_model_cost
 from repro.utils.logging import get_logger
@@ -161,6 +174,25 @@ class SimulationConfig:
         have their iteration time multiplied by ``scale`` during slow
         phases.  Every fault draws from the run's named RNG streams, so a
         chaos run replays identically from the seed.
+    topology:
+        Optional network topology for the *time* components: a preset name
+        (``"flat"``, ``"two-rack"``, ``"tail-heavy"``), an inline topology
+        dict, or a prebuilt :class:`repro.simulation.topology.Topology`.
+        ``None`` keeps the flat :class:`NetworkModel` cost path untouched;
+        the ``"flat"`` preset builds the degenerate single-link topology
+        from the cluster's network, which is bit-for-bit identical to
+        ``None`` in virtual time (the parity gate).  Shared rack uplinks
+        queue transfers FIFO, and every queueing delay lands in
+        ``SimulationResult.queue_trace``.
+    comm_pattern:
+        ``"ps"`` (default): every iteration pays a push and a pull on the
+        worker's server path.  ``"ring_allreduce"``: workers exchange
+        ``2*(n-1)`` chunked ring steps per synchronous round instead;
+        requires the BSP paradigm (the ring is a synchronous collective),
+        a single server shard, and no compression/aggregation/faults.  The
+        gradient *math* still flows through the parameter server (whose
+        sequential sum a ring reduce-scatter reproduces bit-for-bit on
+        identical pushes); only the costed time and wire bytes change.
     profile:
         Attach a per-layer forward/backward profiler
         (:class:`repro.utils.profiler.LayerProfiler`) to the first worker's
@@ -195,9 +227,44 @@ class SimulationConfig:
     compression: str | None = None
     aggregation: str | None = None
     faults: tuple = ()
+    topology: str | dict | Topology | None = None
+    comm_pattern: str = "ps"
     seed: int = 0
 
     def __post_init__(self) -> None:
+        self.comm_pattern = validate_comm_pattern(self.comm_pattern)
+        if self.topology is not None and not isinstance(self.topology, Topology):
+            validate_topology_spec(self.topology)
+        if self.topology is not None and self.num_server_shards != 1:
+            raise ValueError(
+                "topology-aware timing models a single server endpoint; "
+                "use num_server_shards=1 with a topology"
+            )
+        if self.comm_pattern == "ring_allreduce":
+            if self.paradigm != "bsp":
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' is a synchronous collective; "
+                    f"it requires paradigm 'bsp', got {self.paradigm!r}"
+                )
+            if self.cluster.num_workers < 2:
+                raise ValueError("ring allreduce needs at least 2 workers")
+            if self.compression is not None:
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' does not compose with push "
+                    "compression (the ring exchanges dense chunks)"
+                )
+            if self.aggregation is not None:
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' does not compose with robust "
+                    "aggregation (the ring sums all contributions)"
+                )
+            if self.faults:
+                raise ValueError(
+                    "comm_pattern 'ring_allreduce' does not compose with fault "
+                    "injection (a ring has no elastic membership)"
+                )
+            if self.num_server_shards != 1:
+                raise ValueError("ring allreduce requires num_server_shards=1")
         if self.compression is not None:
             validate_codec_spec(self.compression)
         if self.aggregation is not None:
@@ -255,6 +322,13 @@ class SimulationResult:
     #: Structured fault/membership events (crashes, corrupted pushes,
     #: aggregator rejections) in server observation order; empty when clean.
     events: list = field(default_factory=list)
+    #: Tail statistics of per-worker iteration intervals (push-to-push
+    #: virtual time, including synchronization waits) pooled across workers.
+    iteration_time_summary: PercentileSummary = EMPTY_PERCENTILES
+    #: FIFO queueing records of the topology's shared links (one dict per
+    #: shared-link traversal: link, arrival, start, wait, nbytes, tag);
+    #: empty for flat runs and degenerate topologies with no shared links.
+    queue_trace: list = field(default_factory=list)
 
     @property
     def final_accuracy(self) -> float:
@@ -410,6 +484,26 @@ class SimulatedTraining:
             # clamped because the time model treats >1 as a spec error (an
             # inflating codec still pays at most the dense charge).
             push_wire_fraction = min(1.0, make_codec(config.compression).wire_fraction())
+        # The topology path replaces only the *cost* model; the flat path is
+        # kept verbatim when no topology (and no collective pattern) is
+        # requested so existing runs stay bit-for-bit.
+        topo_model: TopologyTimeModel | None = None
+        if config.topology is not None or config.comm_pattern != "ps":
+            worker_ids = [spec.worker_id for spec in config.cluster.workers]
+            topology = build_topology(
+                config.topology if config.topology is not None else "flat",
+                worker_ids,
+                config.cluster.workers[0].network,
+            )
+            topo_model = TopologyTimeModel(
+                cost,
+                batch_size=config.timing_batch_size or config.batch_size,
+                topology=topology,
+                time_scale=config.time_scale,
+                push_wire_fraction=push_wire_fraction,
+                comm_pattern=config.comm_pattern,
+                worker_ids=worker_ids,
+            )
         time_model = IterationTimeModel(
             cost,
             batch_size=config.timing_batch_size or config.batch_size,
@@ -449,7 +543,15 @@ class SimulatedTraining:
 
         def iteration_time(worker_id: str, now: float) -> float:
             spec = config.cluster.worker(worker_id)
-            duration = time_model.iteration_time(spec, rng=timing_rng)
+            if topo_model is not None:
+                duration = topo_model.iteration_time(
+                    spec,
+                    rng=timing_rng,
+                    now=now,
+                    round_index=iterations_done[worker_id],
+                )
+            else:
+                duration = time_model.iteration_time(spec, rng=timing_rng)
             if config.slowdown_schedule is not None:
                 factor = float(config.slowdown_schedule(worker_id, now))
                 if factor <= 0:
@@ -622,6 +724,44 @@ class SimulatedTraining:
                 "worker_id": next(iter(workers)),
                 **profiler.as_dict(),
             }
+        # Tail statistics of iteration intervals: per-worker push-to-push
+        # virtual time (the first interval measured from t=0), pooled across
+        # workers — this is what the topology sweeps' p50/p90/p99 report.
+        interval_samples: list[float] = []
+        for worker_id in workers:
+            times = trace.push_times(worker_id)
+            if times.size:
+                interval_samples.extend(np.diff(times, prepend=0.0).tolist())
+        iteration_time_summary = percentile_summary(interval_samples)
+
+        pushed_wire = {
+            worker_id: worker.pushed_wire_bytes
+            for worker_id, worker in workers.items()
+        }
+        pushed_raw = {
+            worker_id: worker.pushed_raw_bytes
+            for worker_id, worker in workers.items()
+        }
+        pulled = {
+            worker_id: worker.pulled_bytes for worker_id, worker in workers.items()
+        }
+        if topo_model is not None and config.comm_pattern == "ring_allreduce":
+            # Model-costed ring accounting: each round wires
+            # 2*(n-1)/n * payload per worker and pulls nothing from a server
+            # (the substrate's PS transfers never happen on the simulated
+            # wire).  Raw bytes stay the dense payload per iteration.
+            ring_wire = topo_model.ring_wire_bytes_per_iteration()
+            payload = float(topo_model.cost.parameter_bytes)
+            pushed_wire = {
+                worker_id: int(round(iterations_done[worker_id] * ring_wire))
+                for worker_id in workers
+            }
+            pushed_raw = {
+                worker_id: int(round(iterations_done[worker_id] * payload))
+                for worker_id in workers
+            }
+            pulled = {worker_id: 0 for worker_id in workers}
+
         label = paradigm_label(config.paradigm, config.paradigm_kwargs)
         _LOGGER.info(
             "%s finished: %.0f virtual seconds, %d updates, final accuracy %.3f",
@@ -652,20 +792,13 @@ class SimulatedTraining:
             tracker=tracker,
             trace=trace,
             controller_decisions=controller_decisions,
-            pushed_wire_bytes_per_worker={
-                worker_id: worker.pushed_wire_bytes
-                for worker_id, worker in workers.items()
-            },
-            pushed_raw_bytes_per_worker={
-                worker_id: worker.pushed_raw_bytes
-                for worker_id, worker in workers.items()
-            },
-            pulled_bytes_per_worker={
-                worker_id: worker.pulled_bytes
-                for worker_id, worker in workers.items()
-            },
+            pushed_wire_bytes_per_worker=pushed_wire,
+            pushed_raw_bytes_per_worker=pushed_raw,
+            pulled_bytes_per_worker=pulled,
             profile=profile,
             events=list(self._injector.events) if self._injector else [],
+            iteration_time_summary=iteration_time_summary,
+            queue_trace=list(topo_model.state.queue_trace) if topo_model else [],
         )
 
 

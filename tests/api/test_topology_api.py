@@ -1,0 +1,227 @@
+"""API surface of the topology and comm-pattern spec fields.
+
+Construction-time validation, JSON round-trips, wall-clock backend
+rejection, the simulated backend's percentile reporting, ring-allreduce
+accounting, and the CLI overrides.
+"""
+
+import json
+
+import pytest
+
+from repro.api.backends import run_experiment
+from repro.api.cli import main
+from repro.api.spec import ClusterConfig, ExperimentSpec
+
+RING_DEFAULTS = dict(
+    name="ring",
+    workload="mlp",
+    scale="tiny",
+    cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+    paradigm="bsp",
+    paradigm_kwargs={},
+    epochs=0.5,
+    evaluate_every_updates=0,
+    seed=0,
+)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="topo-api",
+        workload="mlp",
+        scale="tiny",
+        cluster=ClusterConfig(num_workers=2, gpus_per_worker=1, topology="flat"),
+        paradigm="bsp",
+        paradigm_kwargs={},
+        epochs=0.5,
+        evaluate_every_updates=0,
+        seed=0,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpecValidation:
+    def test_unknown_preset_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="preset"):
+            ClusterConfig(num_workers=2, topology="warehouse-scale")
+
+    def test_malformed_inline_topology_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ClusterConfig(num_workers=2, topology={"kind": "mesh"})
+
+    def test_unknown_comm_pattern_rejected(self):
+        with pytest.raises(ValueError, match="comm_pattern"):
+            tiny_spec(comm_pattern="tree")
+
+    def test_ring_requires_bsp(self):
+        with pytest.raises(ValueError, match="synchronous"):
+            ExperimentSpec(
+                **{**RING_DEFAULTS, "paradigm": "asp"}, comm_pattern="ring_allreduce"
+            )
+
+    def test_ring_requires_two_workers(self):
+        with pytest.raises(ValueError, match="2 workers"):
+            ExperimentSpec(
+                **{
+                    **RING_DEFAULTS,
+                    "cluster": ClusterConfig(num_workers=1, gpus_per_worker=1),
+                },
+                comm_pattern="ring_allreduce",
+            )
+
+    def test_ring_rejects_compression(self):
+        with pytest.raises(ValueError, match="compression"):
+            ExperimentSpec(
+                **RING_DEFAULTS, comm_pattern="ring_allreduce", compression="topk:0.1"
+            )
+
+    def test_topology_rejects_sharding(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            tiny_spec(num_shards=2)
+
+    def test_round_trips_through_json(self):
+        spec = tiny_spec(comm_pattern="ring_allreduce")
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone.cluster.topology == "flat"
+        assert clone.comm_pattern == "ring_allreduce"
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_inline_topology_round_trips(self):
+        inline = {
+            "kind": "racks",
+            "num_racks": 2,
+            "leaf": {"latency": 1e-4, "bandwidth": 1e9},
+            "uplink": {"latency": 1e-3, "bandwidth": 1e8, "jitter": "pareto:2.0"},
+        }
+        spec = tiny_spec(cluster=ClusterConfig(num_workers=4, topology=inline))
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone.cluster.topology == inline
+
+    def test_replace_overrides_topology(self):
+        spec = tiny_spec()
+        flat = spec.replace(cluster=spec.cluster.replace(topology=None))
+        assert flat.cluster.topology is None
+        assert spec.cluster.topology == "flat"
+
+
+class TestBackendBehaviour:
+    @pytest.mark.parametrize("backend", ["threaded", "process"])
+    def test_wall_clock_backends_reject_topology(self, backend):
+        with pytest.raises(ValueError, match="topology"):
+            run_experiment(tiny_spec(), backend)
+
+    @pytest.mark.parametrize("backend", ["threaded", "process"])
+    def test_wall_clock_backends_reject_ring(self, backend):
+        spec = ExperimentSpec(**RING_DEFAULTS, comm_pattern="ring_allreduce")
+        with pytest.raises(ValueError, match="comm_pattern"):
+            run_experiment(spec, backend)
+
+    def test_simulated_reports_percentiles(self):
+        result = run_experiment(tiny_spec(), "simulated")
+        summary = result.iteration_time_percentiles
+        assert summary.count > 0
+        assert summary.p99 >= summary.p90 >= summary.p50 > 0.0
+        payload = result.to_dict()
+        assert set(payload["iteration_time_percentiles"]) == {
+            "count", "p50", "p90", "p99", "mean", "max",
+        }
+
+    def test_wall_clock_percentiles_schema_stable(self):
+        spec = ExperimentSpec(
+            name="flat-threaded",
+            workload="mlp",
+            scale="tiny",
+            cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+            paradigm="bsp",
+            paradigm_kwargs={},
+            epochs=0.5,
+            evaluate_every_updates=0,
+            seed=0,
+        )
+        result = run_experiment(spec, "threaded")
+        payload = result.to_dict()["iteration_time_percentiles"]
+        assert payload["count"] == 0
+        assert payload["p99"] == 0.0
+
+    def test_ring_wire_accounting(self):
+        spec = ExperimentSpec(**RING_DEFAULTS, comm_pattern="ring_allreduce")
+        result = run_experiment(spec, "simulated")
+        assert not result.errors
+        reports = {r.worker_id: r for r in result.worker_reports}
+        for report in reports.values():
+            if report.iterations == 0:
+                continue
+            # 2*(n-1)/n of the dense payload per round, and no server pull.
+            per_round = report.pushed_wire_bytes / report.iterations
+            dense = report.pushed_raw_bytes / report.iterations
+            assert per_round == pytest.approx(dense, rel=1e-6)  # n=2: 1x payload
+            assert report.pulled_bytes == 0
+
+    def test_ring_deterministic_and_converges_like_ps(self):
+        ps = run_experiment(ExperimentSpec(**RING_DEFAULTS), "simulated")
+        ring_spec = ExperimentSpec(**RING_DEFAULTS, comm_pattern="ring_allreduce")
+        ring = run_experiment(ring_spec, "simulated")
+        again = run_experiment(ring_spec, "simulated")
+        # The ring reuses the PS apply path numerically, so the update
+        # budget matches and the trajectory replays exactly; only the
+        # round timing (and with it the within-round push arrival order)
+        # differs from the PS pattern, so the curves are close, not equal.
+        assert ring.total_updates == ps.total_updates
+        assert ring.accuracies.tolist() == again.accuracies.tolist()
+        assert ring.total_time == again.total_time
+        assert abs(ring.final_accuracy - ps.final_accuracy) < 0.1
+
+
+class TestCliOverrides:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        spec = ExperimentSpec(
+            name="cli-topo",
+            workload="mlp",
+            scale="tiny",
+            cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+            paradigm="bsp",
+            paradigm_kwargs={},
+            epochs=0.5,
+            evaluate_every_updates=0,
+            seed=0,
+        )
+        return spec.save(tmp_path / "spec.json")
+
+    def test_topology_flag_threads_through(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "simulated",
+             "--topology", "two-rack", "--output", str(output)]
+        )
+        assert code == 0
+        assert "iteration times" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["provenance"]["spec"]["cluster"]["topology"] == "two-rack"
+        assert payload["iteration_time_percentiles"]["count"] > 0
+
+    def test_comm_pattern_flag_threads_through(self, spec_path, tmp_path):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "simulated",
+             "--comm-pattern", "ring_allreduce", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["provenance"]["spec"]["comm_pattern"] == "ring_allreduce"
+
+    def test_unknown_topology_flag_fails_cleanly(self, spec_path, capsys):
+        code = main(
+            ["run", str(spec_path), "--backend", "simulated",
+             "--topology", "warehouse"]
+        )
+        assert code != 0
+
+    def test_registry_lists_topologies(self, capsys):
+        code = main(["registry"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "two-rack" in printed
+        assert "ring_allreduce" in printed

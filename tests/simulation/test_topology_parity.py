@@ -1,0 +1,197 @@
+"""Flat-model parity and determinism gates for the topology layer.
+
+Two invariants protect the seed's numbers:
+
+* **Parity** — running the simulator with ``topology="flat"`` (the
+  degenerate single-link-per-worker topology built from the cluster's
+  network profile) must reproduce the seed's flat
+  :class:`~repro.simulation.network.NetworkModel` path *bit-for-bit*:
+  identical virtual times, accuracy curves and per-worker waits, for all
+  four paradigms, with jitter on and off.  The topology layer performs the
+  same arithmetic in the same order and consumes the same RNG draws — any
+  drift here silently invalidates every historical result.
+* **Determinism** — a 256-worker run behind tail-heavy racks replays
+  identically from the same seed: same event log, same FIFO queue trace,
+  same iteration-time percentiles.  The sweep suite's recorded numbers are
+  only meaningful because of this.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.models import mlp
+from repro.simulation.cluster import homogeneous_cluster
+from repro.simulation.network import NetworkModel
+from repro.simulation.trainer import SimulationConfig, simulate_training
+
+PARADIGMS = ("bsp", "asp", "ssp", "dssp")
+
+
+def paradigm_kwargs(paradigm):
+    if paradigm == "ssp":
+        return {"staleness": 2}
+    if paradigm == "dssp":
+        return {"s_lower": 1, "s_upper": 4}
+    return {}
+
+
+def builder_for(train: ArrayDataset):
+    input_dim = train.inputs.shape[1]
+
+    def builder(rng: np.random.Generator):
+        return mlp(input_dim=input_dim, hidden_dims=(16,), num_classes=4, rng=rng)
+
+    return builder
+
+
+def network(jitter: float) -> NetworkModel:
+    return NetworkModel(
+        name="parity",
+        latency=1e-3,
+        bandwidth_bytes_per_second=5e8,
+        jitter=jitter,
+    )
+
+
+def run(
+    train, test, paradigm, *, jitter, topology, num_workers=4, seed=0,
+    epochs=2.0, **kwargs,
+):
+    config = SimulationConfig(
+        cluster=homogeneous_cluster(
+            num_workers=num_workers, gpus_per_worker=1, network=network(jitter)
+        ),
+        paradigm=paradigm,
+        paradigm_kwargs=paradigm_kwargs(paradigm),
+        epochs=epochs,
+        batch_size=16,
+        learning_rate=0.05,
+        evaluate_every_updates=8,
+        topology=topology,
+        seed=seed,
+        **kwargs,
+    )
+    return simulate_training(config, builder_for(train), train, test)
+
+
+class TestFlatParity:
+    """topology="flat" is the seed flat model, bit for bit."""
+
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    @pytest.mark.parametrize("jitter", [0.0, 0.2])
+    def test_bit_for_bit_virtual_time(self, tiny_flat_datasets, paradigm, jitter):
+        train, test = tiny_flat_datasets
+        flat = run(train, test, paradigm, jitter=jitter, topology=None)
+        topo = run(train, test, paradigm, jitter=jitter, topology="flat")
+        # Exact equality, not approx: same arithmetic, same RNG draws.
+        assert topo.total_virtual_time == flat.total_virtual_time
+        assert topo.times.tolist() == flat.times.tolist()
+        assert topo.accuracies.tolist() == flat.accuracies.tolist()
+        assert topo.wait_time_per_worker == flat.wait_time_per_worker
+        assert topo.total_updates == flat.total_updates
+        assert (
+            topo.iteration_time_summary.to_dict()
+            == flat.iteration_time_summary.to_dict()
+        )
+
+    def test_flat_topology_has_no_queueing(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        result = run(train, test, "dssp", jitter=0.2, topology="flat")
+        assert result.queue_trace == []
+
+    def test_inline_flat_dict_equals_preset(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        preset = run(train, test, "bsp", jitter=0.2, topology="flat")
+        inline = run(train, test, "bsp", jitter=0.2, topology={"kind": "flat"})
+        assert inline.total_virtual_time == preset.total_virtual_time
+        assert inline.times.tolist() == preset.times.tolist()
+
+
+class TestRackTopologyBehaviour:
+    def test_shared_uplink_produces_queueing(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        result = run(train, test, "bsp", jitter=0.2, topology="two-rack")
+        assert result.queue_trace, "shared uplinks must record FIFO waits"
+        for record in result.queue_trace:
+            assert record["link"].startswith("uplink-rack")
+            assert record["start"] >= record["arrival"]
+            assert record["wait"] == record["start"] - record["arrival"]
+        assert any(record["wait"] > 0 for record in result.queue_trace)
+
+    def test_rack_topology_slower_than_flat(self, tiny_flat_datasets):
+        # The two-rack preset's contended 0.6 GB/s uplink must cost more
+        # virtual time than the parity network's private links.
+        train, test = tiny_flat_datasets
+        flat = run(train, test, "bsp", jitter=0.0, topology=None)
+        racks = run(train, test, "bsp", jitter=0.0, topology="two-rack")
+        assert racks.total_virtual_time > flat.total_virtual_time
+
+    def test_iteration_summary_matches_numpy(self, tiny_flat_datasets):
+        train, test = tiny_flat_datasets
+        result = run(train, test, "dssp", jitter=0.2, topology="two-rack")
+        pooled = []
+        for worker_id in result.iterations_per_worker:
+            times = result.trace.push_times(worker_id)
+            if times.size:
+                pooled.extend(np.diff(times, prepend=0.0).tolist())
+        summary = result.iteration_time_summary
+        assert summary.count == len(pooled)
+        assert summary.p50 == pytest.approx(float(np.percentile(pooled, 50)))
+        assert summary.p90 == pytest.approx(float(np.percentile(pooled, 90)))
+        assert summary.p99 == pytest.approx(float(np.percentile(pooled, 99)))
+
+
+class TestTailHeavyDeterminism:
+    """Same seed, same history — at sweep scale (256 workers)."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        rng = np.random.default_rng(11)
+        inputs = rng.normal(size=(640, 12))
+        labels = rng.integers(0, 4, size=640)
+        train = ArrayDataset(inputs, labels)
+        test = ArrayDataset(inputs[:128], labels[:128])
+        return train, test
+
+    def big_run(self, problem, seed=0):
+        train, test = problem
+        return run(
+            train,
+            test,
+            "dssp",
+            jitter=0.2,
+            topology="tail-heavy",
+            num_workers=256,
+            seed=seed,
+            epochs=8.0,
+        )
+
+    def test_replays_identically(self, problem):
+        first = self.big_run(problem)
+        second = self.big_run(problem)
+        assert first.queue_trace == second.queue_trace
+        assert first.events == second.events
+        assert (
+            first.iteration_time_summary.to_dict()
+            == second.iteration_time_summary.to_dict()
+        )
+        assert first.total_virtual_time == second.total_virtual_time
+        assert first.times.tolist() == second.times.tolist()
+        assert first.accuracies.tolist() == second.accuracies.tolist()
+        assert first.wait_time_per_worker == second.wait_time_per_worker
+
+    def test_different_seed_diverges(self, problem):
+        first = self.big_run(problem, seed=0)
+        other = self.big_run(problem, seed=1)
+        assert first.queue_trace != other.queue_trace
+        assert first.total_virtual_time != other.total_virtual_time
+
+    def test_all_workers_route_through_two_uplinks(self, problem):
+        result = self.big_run(problem)
+        links = {record["link"] for record in result.queue_trace}
+        assert links == {"uplink-rack0", "uplink-rack1"}
+        tags = {record["tag"].split(":")[1] for record in result.queue_trace}
+        assert tags == {"push", "pull"}

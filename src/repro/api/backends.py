@@ -196,6 +196,22 @@ def _reject_transport(spec: ExperimentSpec, backend_name: str) -> None:
         )
 
 
+def _reject_net_faults(spec: ExperimentSpec, backend_name: str) -> None:
+    """Fail loudly when a spec schedules network chaos this backend lacks.
+
+    The simulated backend has no real network to perturb and the threaded
+    backend synchronizes through in-process queues; silently running the
+    spec fault-free would make "the chaos run converged" meaningless.
+    """
+    if spec.net_faults:
+        raise ValueError(
+            f"the {backend_name} backend has no network to inject faults "
+            "into; remove net_faults from the spec or run on the tcp "
+            "backend (the process backend's pipe transport supports "
+            "delay/drop)"
+        )
+
+
 def _reject_topology(spec: ExperimentSpec, backend_name: str) -> None:
     """Fail loudly on topology/pattern fields only the simulator can honour.
 
@@ -243,6 +259,7 @@ class SimulatedBackend:
     ) -> RunResult:
         """Execute ``spec`` in the simulator."""
         _reject_transport(spec, self.name)
+        _reject_net_faults(spec, self.name)
         provenance = _provenance(spec, self.name, workload, cluster)
         workload = workload or _build_workload(spec)
         cluster = cluster or spec.cluster.build()
@@ -343,6 +360,7 @@ class ThreadedBackend:
         """Execute ``spec`` on the threaded runtime."""
         _reject_simulator_only_fields(spec, self.name)
         _reject_transport(spec, self.name)
+        _reject_net_faults(spec, self.name)
         _reject_topology(spec, self.name)
         provenance = _provenance(spec, self.name, workload, cluster)
         workload = workload or _build_workload(spec)
@@ -558,6 +576,7 @@ class ProcessBackend:
             compression=spec.compression,
             aggregation=spec.aggregation,
             faults=spec.faults,
+            net_faults=spec.net_faults,
             seed=spec.seed,
             transport=transport,
             wait_timeout=wait_timeout,
@@ -664,6 +683,7 @@ def tcp_plan_from_spec(
         compression=spec.compression,
         aggregation=spec.aggregation,
         faults=spec.faults,
+        net_faults=spec.net_faults,
         seed=spec.seed,
         address=address if address is not None else spec.cluster.address,
         # One lost heartbeat must not kill a worker: probe at a quarter of

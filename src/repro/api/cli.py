@@ -8,8 +8,10 @@ Subcommands:
   ``--backend tcp`` the run self-hosts a socket parameter server over
   localhost; add ``--address host:port`` to connect the workers to an
   already-running ``serve`` server instead.
-* ``serve SPEC.json [--bind host:port] [--checkpoint CKPT.npz]`` — run a
-  standalone TCP parameter server for the spec and wait for workers.
+* ``serve SPEC.json [--bind host:port] [--checkpoint CKPT.npz]
+  [--supervise]`` — run a standalone TCP parameter server for the spec and
+  wait for workers.  ``--supervise`` adds a watchdog that relaunches the
+  server from its latest checkpoint when it dies hard (``kill -9``, OOM).
 * ``validate SPEC.json`` — parse and validate a spec without running it.
 * ``registry`` — list the registered workloads, models, paradigms, backends,
   transports, scales, devices, networks, topology presets, jitter
@@ -21,7 +23,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.api.backends import (
@@ -99,6 +103,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "'serve' server instead of self-hosting one over localhost",
     )
     run.add_argument(
+        "--net-faults",
+        action="append",
+        default=None,
+        metavar="[WORKER=]SPEC",
+        help="inject a deterministic network fault (tcp backend; the "
+        "process backend's pipe transport takes delay/drop): SPEC is "
+        "delay:MS, drop[:P[,N]], partition:START,DURATION or "
+        "throttle:BYTES_PER_S, optionally prefixed with a worker index "
+        "or id (e.g. --net-faults 'worker-1=drop:0.5'); repeatable",
+    )
+    run.add_argument(
         "--topology",
         default=None,
         help="simulated backend only: override the cluster's network "
@@ -144,6 +159,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write the raw training result JSON here on completion",
     )
+    serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="watchdog mode: relaunch the server from the latest checkpoint "
+        "when it dies hard (kill -9, OOM, segfault); workers reconnect "
+        "and the run resumes — requires --checkpoint",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="give up after the supervised server has died N times "
+        "(default: 5; only meaningful with --supervise)",
+    )
     serve.add_argument("--seed", type=int, default=None, help="override the spec's seed")
     serve.add_argument(
         "--compression", default=None, help="override the spec's gradient push codec"
@@ -167,6 +197,22 @@ def _format_profile(profile: dict, top: int = 12) -> str:
     return header + "\n" + render_profile(profile, top=top)
 
 
+def _parse_net_fault_argument(text: str) -> dict:
+    """Parse one ``--net-faults`` value: ``[WORKER=]SPEC``.
+
+    The worker prefix is an index (``1=delay:5``) or id
+    (``worker-1=delay:5``); without it the fault hits every worker.
+    """
+    worker, separator, spec = text.partition("=")
+    if not separator:
+        return {"spec": text}
+    worker = worker.strip()
+    return {
+        "spec": spec,
+        "worker": int(worker) if worker.lstrip("-").isdigit() else worker,
+    }
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(arguments.spec)
     if arguments.seed is not None:
@@ -175,6 +221,12 @@ def _command_run(arguments: argparse.Namespace) -> int:
         spec = spec.replace(compression=arguments.compression)
     if arguments.transport is not None:
         spec = spec.replace(transport=arguments.transport)
+    if arguments.net_faults:
+        spec = spec.replace(
+            net_faults=tuple(
+                _parse_net_fault_argument(value) for value in arguments.net_faults
+            )
+        )
     if arguments.topology is not None:
         spec = spec.replace(cluster=spec.cluster.replace(topology=arguments.topology))
     if arguments.comm_pattern is not None:
@@ -267,6 +319,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     triggers a graceful restart: checkpoint (when ``--checkpoint`` is
     set), tell connected workers to reconnect with backoff, exit 0 — a
     relaunched ``serve`` on the same address resumes from the checkpoint.
+    With ``--supervise`` the server runs under a watchdog instead: hard
+    deaths (``kill -9``) relaunch it from the latest checkpoint on the
+    same address, and SIGTERM to the supervisor shuts the pair down
+    gracefully.
     """
     spec = ExperimentSpec.load(arguments.spec)
     if arguments.seed is not None:
@@ -275,7 +331,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         spec = spec.replace(compression=arguments.compression)
     if arguments.checkpoint_every and arguments.checkpoint is None:
         raise ValueError("--checkpoint-every requires --checkpoint")
-    from repro.ps.tcp_runtime import TcpServer, result_to_wire
+    if arguments.supervise and arguments.checkpoint is None:
+        raise ValueError("--supervise requires --checkpoint")
+    from repro.ps.tcp_runtime import TcpServer, TcpSupervisor, result_to_wire
 
     plan = tcp_plan_from_spec(
         spec,
@@ -287,13 +345,37 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     )
 
     def ready(address: str) -> None:
+        mode = "supervising" if arguments.supervise else "serving"
         print(
-            f"serving {spec.name!r} ({spec.workload}, {spec.label}) on {address} "
+            f"{mode} {spec.name!r} ({spec.workload}, {spec.label}) on {address} "
             f"— expecting {plan.num_workers} worker(s)",
             flush=True,
         )
+        if arguments.supervise:
+            # Chaos harnesses kill -9 this pid to exercise the watchdog.
+            print(f"server pid {supervisor.server_pid}", flush=True)
 
-    result = TcpServer(plan, ready_callback=ready).serve()
+    if arguments.supervise:
+        supervisor = TcpSupervisor(
+            plan, max_restarts=arguments.max_restarts, ready_callback=ready
+        )
+        # SIGTERM to the supervisor forwards to the child (checkpoint,
+        # notify workers) and exits without respawning; only the main
+        # thread may install the handler.
+        if threading.current_thread() is threading.main_thread():
+            previous_handler = signal.signal(
+                signal.SIGTERM, supervisor.request_shutdown
+            )
+            try:
+                result = supervisor.run()
+            finally:
+                signal.signal(signal.SIGTERM, previous_handler)
+        else:
+            result = supervisor.run()
+        if supervisor.restarts:
+            print(f"server restarted {supervisor.restarts} time(s)")
+    else:
+        result = TcpServer(plan, ready_callback=ready).serve()
     if result is None:
         print("shutdown requested: state checkpointed, workers told to reconnect")
         return 0

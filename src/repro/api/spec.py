@@ -32,6 +32,7 @@ from repro.experiments.config import DEFAULT, SMALL, TINY, ExperimentScale
 from repro.ps.aggregation import validate_aggregation_spec
 from repro.ps.compression import validate_codec_spec
 from repro.ps.faults import validate_fault_specs
+from repro.ps.netfaults import validate_net_fault_specs
 from repro.ps.transport import parse_address, validate_transport
 from repro.simulation.cluster import ClusterSpec, WorkerSpec
 from repro.simulation.network import (
@@ -284,6 +285,18 @@ class ExperimentSpec:
         flapping are injected deterministically from ``seed``; the run's
         chaos history is returned as ``RunResult.events``.  Entries are
         validated against the cluster here, at spec construction.
+    net_faults:
+        Optional network-chaos plan: a list of entries with a codec-style
+        ``spec`` (``"delay:5"``, ``"drop:0.5,2"``, ``"partition:2,1"``,
+        ``"throttle:1000000"``; see :mod:`repro.ps.netfaults`) and an
+        optional ``worker`` target (index or id; omitted hits every
+        worker).  The tcp backend supports the full set — faults tear
+        real sockets and the run survives via reconnect/retry; the
+        process backend's ``pipe`` transport accepts ``delay``/``drop``
+        only (a dropped push is a permanent elastic death); the
+        simulated and threaded backends reject specs that set any.
+        Fault timing and the resulting event log are deterministic in
+        ``seed``.
     comm_pattern:
         Communication pattern the simulated backend costs: ``"ps"``
         (default — push/pull against the parameter server) or
@@ -331,6 +344,7 @@ class ExperimentSpec:
     compression: str | None = None
     aggregation: str | None = None
     faults: tuple = ()
+    net_faults: tuple = ()
     transport: str | None = None
     comm_pattern: str = "ps"
     seed: int = 0
@@ -369,6 +383,11 @@ class ExperimentSpec:
         object.__setattr__(self, "faults", tuple(self.faults))
         if self.faults:
             validate_fault_specs(self.faults, self.cluster.worker_ids)
+        object.__setattr__(
+            self, "net_faults", tuple(dict(entry) for entry in self.net_faults)
+        )
+        if self.net_faults:
+            validate_net_fault_specs(self.net_faults, self.cluster.worker_ids)
         if self.transport is not None:
             object.__setattr__(
                 self, "transport", validate_transport(self.transport)
@@ -481,6 +500,7 @@ class ExperimentSpec:
             "compression": self.compression,
             "aggregation": self.aggregation,
             "faults": [dict(entry) for entry in self.faults],
+            "net_faults": [dict(entry) for entry in self.net_faults],
             "transport": self.transport,
             "comm_pattern": self.comm_pattern,
             "seed": self.seed,
@@ -502,6 +522,8 @@ class ExperimentSpec:
             kwargs["lr_milestones"] = tuple(kwargs["lr_milestones"])
         if "faults" in kwargs:
             kwargs["faults"] = tuple(kwargs["faults"])
+        if "net_faults" in kwargs:
+            kwargs["net_faults"] = tuple(kwargs["net_faults"])
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:

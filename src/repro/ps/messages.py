@@ -70,6 +70,12 @@ class PushRequest:
     #: Name of the codec that produced ``encoded_gradients`` (metadata for
     #: logging/validation; decoding itself is codec-independent).
     codec: str | None = None
+    #: Optional sequence number (the worker's iteration index).  Transports
+    #: that can lose an OK mid-flight (the TCP runtime) attach it so the
+    #: server's per-worker watermark dedups retransmissions: a retried push
+    #: is applied exactly once.  ``None`` keeps the legacy at-most-once
+    #: behaviour of in-process transports that cannot drop messages.
+    seq: int | None = None
 
 
 @dataclass(frozen=True)

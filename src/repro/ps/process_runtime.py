@@ -71,6 +71,7 @@ from repro.ps.compression import (
 )
 from repro.ps.faults import FaultInjector, parse_fault_specs
 from repro.ps.messages import PushRequest, WorkerReport
+from repro.ps.netfaults import NetFaultSchedule, parse_net_fault_specs
 from repro.ps.runtime import ThreadedTrainingResult
 from repro.ps.server import ParameterServer
 from repro.ps.transport import ConnectionClosed, PipeConnection, validate_transport
@@ -174,6 +175,12 @@ class ProcessTrainingPlan:
         and exits, so membership re-bounds elastically on *both*
         transports — unlike the hard ``crash_at`` test hooks below, which
         exercise the unannounced-death protocol windows.
+    net_faults:
+        Optional network-chaos entries (:mod:`repro.ps.netfaults`).  Only
+        the ``"pipe"`` transport accepts them, and only the ``delay`` and
+        ``drop`` kinds: a pipe can add latency before a push, and a
+        dropped push is a permanent elastic death because pipes have no
+        reconnect path.  The tcp backend supports the full fault set.
     seed:
         Master seed shared by every process's :class:`~repro.utils.rng.RngStream`.
     transport:
@@ -216,6 +223,7 @@ class ProcessTrainingPlan:
     compression: str | None = None
     aggregation: str | None = None
     faults: tuple = ()
+    net_faults: tuple = ()
     seed: int = 0
     transport: str = "shm"
     wait_timeout: float = 120.0
@@ -231,6 +239,22 @@ class ProcessTrainingPlan:
         if self.faults:
             parse_fault_specs(
                 self.faults, [f"worker-{index}" for index in range(self.num_workers)]
+            )
+        object.__setattr__(
+            self, "net_faults", tuple(dict(entry) for entry in self.net_faults)
+        )
+        if self.net_faults:
+            if self.transport != "pipe":
+                raise ValueError(
+                    "net_faults on the process backend require transport='pipe' "
+                    "(shm pushes never cross a connection, so there is nothing "
+                    "to perturb); use the tcp backend for the full fault set"
+                )
+            parse_net_fault_specs(
+                self.net_faults,
+                [f"worker-{index}" for index in range(self.num_workers)],
+                allowed_kinds=("delay", "drop"),
+                context="the process pipe transport",
             )
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -390,6 +414,10 @@ def _server_main(
         streams = RngStream(plan.seed)
         fault_plan = parse_fault_specs(plan.faults, worker_ids)
         injector = FaultInjector(fault_plan, streams) if fault_plan else None
+        # One shared event log: the injector's records and the workers'
+        # shipped network-chaos events land in the same list, in arrival
+        # order, exactly as the TCP runtime reports them.
+        events: list = injector.events if injector is not None else []
         server = ParameterServer(
             store=store,
             optimizer=SGD(
@@ -580,6 +608,9 @@ def _server_main(
                     # exited.  Elastic on both transports — nothing of the
                     # dead worker's is left in flight on the shared store.
                     dead.add(index)
+                    events.extend(
+                        dict(event) for event in header.get("events") or []
+                    )
                     if injector is not None:
                         injector.record(
                             "crash", worker_id, clock=header.get("clock", 0)
@@ -590,6 +621,9 @@ def _server_main(
                             oks[index_of[released]].release()
                 elif kind == "done":
                     reports[index] = WorkerReport(**header["report"])
+                    events.extend(
+                        dict(event) for event in header.get("events") or []
+                    )
                     if payload is not None:
                         worker_profile = payload
                     drop(conn)
@@ -640,7 +674,7 @@ def _server_main(
                 evaluation_accuracies=eval_accuracies,
                 evaluation_losses=eval_losses,
                 errors=errors,
-                events=list(injector.events) if injector is not None else [],
+                events=list(events),
                 profile=worker_profile,
             )
         )
@@ -745,6 +779,14 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
         )
         fault_crash = fault_plan.crash_at().get(worker_id)
         flaky = fault_plan.flaky_for(worker_id)
+        net_plan = parse_net_fault_specs(
+            plan.net_faults, [f"worker-{i}" for i in range(plan.num_workers)]
+        )
+        net_schedule = (
+            NetFaultSchedule(net_plan, worker_id, plan.seed)
+            if net_plan.for_worker(worker_id)
+            else None
+        )
         total_wait = 0.0
         total_compute = 0.0
 
@@ -777,6 +819,25 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
                 payload = None  # the gradient already sits in the mailbox
             else:
                 payload = dict(flat_gradients or {})
+            if net_schedule is not None:
+                # Pipe transport supports delay/drop only (plan validation
+                # enforces it), so the throttle byte count is irrelevant.
+                decision = net_schedule.next_push(0)
+                if decision.delay > 0:
+                    time.sleep(decision.delay)
+                if decision.drop is not None:
+                    # A dropped push on a pipe is a permanent death: pipes
+                    # have no reconnect path, so the worker announces the
+                    # torn connection and leaves the membership elastically.
+                    conn.send(
+                        {
+                            "type": "leave",
+                            "worker": index,
+                            "clock": iteration,
+                            "events": list(net_schedule.events),
+                        }
+                    )
+                    return
             conn.send(
                 {
                     "type": "push",
@@ -818,6 +879,9 @@ def _worker_main(plan, handle, index, conn, barrier, ok, abort, unrelated=()) ->
             {
                 "type": "done",
                 "worker": index,
+                "events": (
+                    list(net_schedule.events) if net_schedule is not None else []
+                ),
                 "report": {
                     "worker_id": worker_id,
                     "iterations": worker.iterations,

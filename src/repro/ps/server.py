@@ -208,6 +208,34 @@ class ParameterServer:
         """Apply a pushed gradient and decide which workers to release."""
         return self.finish_push(request, self.apply_push(request))
 
+    def acknowledge_duplicate(self, request: PushRequest) -> PushResponse:
+        """Acknowledge a retransmitted push without re-applying it.
+
+        The exactly-once path of sequence-numbered transports: the runtime
+        detected (via its per-worker watermark) that this push already
+        landed, so weights, optimizer state, buffers and the staleness
+        tracker stay untouched — but the policy clock still advances,
+        because the worker's *progress* is real and its wait condition
+        (and those of its peers) must resolve exactly as they did for the
+        original delivery.
+        """
+        if request.worker_id not in self._registered_workers:
+            raise KeyError(f"push from unregistered worker {request.worker_id!r}")
+        outcome = self.policy.on_push(request.worker_id, request.timestamp)
+        released = tuple(self.policy.pop_releasable())
+        _LOGGER.debug(
+            "duplicate push from %s (seq=%s): release=%s unblocked=%s",
+            request.worker_id, request.seq, outcome.release, released,
+        )
+        return PushResponse(
+            worker_id=request.worker_id,
+            release_now=outcome.release,
+            released_workers=released,
+            new_version=self.store.version,
+            staleness=0,
+            used_extra_credit=outcome.used_extra_credit,
+        )
+
     def apply_push(self, request: PushRequest) -> AppliedPush:
         """Storage half of a push: apply the gradient, measure staleness.
 

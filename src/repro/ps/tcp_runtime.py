@@ -60,7 +60,7 @@ import signal
 import socket
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Mapping
 
@@ -74,6 +74,12 @@ from repro.optim.sgd import SGD
 from repro.ps.aggregation import make_aggregator, validate_aggregation_spec
 from repro.ps.checkpoint import load_codec_states, restore_into, save_checkpoint
 from repro.ps.faults import FaultInjector, parse_fault_specs
+from repro.ps.netfaults import (
+    ChaosConnection,
+    NetFaultSchedule,
+    RetryBudget,
+    parse_net_fault_specs,
+)
 from repro.ps.compression import (
     EncodedShard,
     decode_shard,
@@ -99,6 +105,7 @@ __all__ = [
     "TcpTrainingPlan",
     "TcpTrainingResult",
     "TcpServer",
+    "TcpSupervisor",
     "TcpTrainer",
     "run_tcp_worker",
     "result_to_wire",
@@ -167,6 +174,7 @@ class TcpTrainingPlan:
     compression: str | None = None
     aggregation: str | None = None
     faults: tuple = ()
+    net_faults: tuple = ()
     seed: int = 0
     address: str = "127.0.0.1:0"
     heartbeat_interval: float = 1.0
@@ -186,6 +194,15 @@ class TcpTrainingPlan:
         if self.faults:
             parse_fault_specs(
                 self.faults, [f"worker-{index}" for index in range(self.num_workers)]
+            )
+        object.__setattr__(
+            self, "net_faults", tuple(dict(entry) for entry in self.net_faults)
+        )
+        if self.net_faults:
+            parse_net_fault_specs(
+                self.net_faults,
+                [f"worker-{index}" for index in range(self.num_workers)],
+                context="the tcp backend",
             )
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -385,10 +402,23 @@ class TcpServer:
             weight_decay=plan.weight_decay,
         )
         policy = make_policy(plan.paradigm, **plan.paradigm_kwargs)
-        fault_plan = parse_fault_specs(
-            plan.faults, [f"worker-{index}" for index in range(plan.num_workers)]
-        )
+        worker_ids = [f"worker-{index}" for index in range(plan.num_workers)]
+        fault_plan = parse_fault_specs(plan.faults, worker_ids)
+        # One chronological event log owns every structured event of the run
+        # (injected faults, chaos drops, reconnects, server restarts); the
+        # fault injector appends into the same list.
+        self._events: list[dict] = []
         self._injector = FaultInjector(fault_plan, streams) if fault_plan else None
+        if self._injector is not None:
+            self._injector.events = self._events
+        self._net_plan = parse_net_fault_specs(plan.net_faults, worker_ids)
+        # Workers whose socket the chaos plan may legitimately tear: their
+        # connection losses are events, not run errors.
+        self._chaos_workers = {
+            worker_id
+            for worker_id in worker_ids
+            if self._net_plan.tears_connections(worker_id)
+        }
         server = ParameterServer(
             store=store,
             optimizer=optimizer,
@@ -403,9 +433,12 @@ class TcpServer:
         )
         self._store, self._server, self._policy = store, server, policy
 
-        # Restart path: restore weights, optimizer state, clocks, residuals.
+        # Restart path: restore weights, optimizer state, clocks, residuals,
+        # push watermarks and the event history of previous incarnations.
         self._restored_clocks: dict[str, int] = {}
         self._codec_states: dict[str, dict[str, np.ndarray]] = {}
+        self._push_watermarks: dict[str, int] = {}
+        self._restarts = 0
         checkpoint = Path(plan.checkpoint_path).with_suffix(".npz") if plan.checkpoint_path else None
         if checkpoint is not None and checkpoint.exists():
             metadata = restore_into(checkpoint, store, optimizer)
@@ -413,10 +446,27 @@ class TcpServer:
                 str(worker): int(clock)
                 for worker, clock in metadata.extra.get("worker_clocks", {}).items()
             }
+            self._push_watermarks = {
+                str(worker): int(seq)
+                for worker, seq in metadata.extra.get("push_watermarks", {}).items()
+            }
             self._codec_states = load_codec_states(checkpoint)
+            self._events.extend(
+                dict(event) for event in metadata.extra.get("events", [])
+            )
+            self._restarts = int(metadata.extra.get("restarts", 0)) + 1
+            self._events.append(
+                {
+                    "kind": "server_restart",
+                    "worker": "server",
+                    "restart": self._restarts,
+                    "version": int(store.version),
+                    "clocks": dict(self._restored_clocks),
+                }
+            )
             _LOGGER.info(
-                "restored checkpoint %s at version %d (clocks=%s)",
-                checkpoint, store.version, self._restored_clocks,
+                "restored checkpoint %s at version %d (clocks=%s, watermarks=%s)",
+                checkpoint, store.version, self._restored_clocks, self._push_watermarks,
             )
         self._checkpoint = checkpoint
 
@@ -508,7 +558,11 @@ class TcpServer:
                     if not self._peers and now >= self._abort_deadline:
                         break
                 elif self._started and not self._peers:
-                    break  # everyone done (or dead) — the run is over
+                    # Chaos-torn workers are mid-redial, not gone: linger
+                    # until they report done (the liveness guard still
+                    # bounds a worker that never makes it back).
+                    if not (self._chaos_workers - set(self._reports)):
+                        break  # everyone done (or dead) — the run is over
                 events = self._selector.select(timeout=poll)
                 now = time.monotonic()
                 for key, _ in events:
@@ -625,6 +679,12 @@ class TcpServer:
     # -- membership ----------------------------------------------------
     def _handle_join(self, conn, header: dict) -> None:
         worker_id = str(header["worker"])
+        if header.get("chaos"):
+            # Standalone serve mode: the chaos plan lives in the *run*
+            # spec, not necessarily the server's — the join envelope
+            # declares tear-prone workers so their connection losses are
+            # recorded as events, not run errors.
+            self._chaos_workers.add(worker_id)
         if conn in self._pending:
             self._pending.remove(conn)
         if self._aborted:
@@ -641,11 +701,27 @@ class TcpServer:
         if worker_id in self._restored_clocks and worker_id not in self._joined_ever:
             clock = self._restored_clocks[worker_id]
         elif self._started:
-            clock = self._policy.clock_table.slowest_clock()
+            # A returning worker resumes exactly after its last push the
+            # server owns (the exactly-once watermark); a brand-new elastic
+            # joiner starts at the cluster's slowest clock.
+            watermark = self._push_watermarks.get(worker_id)
+            if watermark is not None:
+                clock = watermark + 1
+            elif worker_id in self._chaos_workers:
+                # A chaos-torn worker with no watermark lost its very first
+                # push: replay from zero so no work is dropped (elastic
+                # joiners below still start at the cluster's slowest clock).
+                clock = 0
+            else:
+                clock = self._policy.clock_table.slowest_clock()
         else:
             clock = 0
         if self._injector is not None and self._started and worker_id in self._joined_ever:
             self._injector.record("rejoin", worker_id, clock=clock)
+        elif worker_id in self._joined_ever or worker_id in self._restored_clocks:
+            self._events.append(
+                {"kind": "reconnect", "worker": worker_id, "clock": int(clock)}
+            )
         self._server.register_worker(worker_id, clock)
         self._joined_ever.add(worker_id)
         now = time.monotonic()
@@ -696,11 +772,14 @@ class TcpServer:
         self._retire(peer.conn)
         # A death the fault plan scheduled is chaos, not failure: it becomes
         # a "crash" event (same as every other backend), not a run error.
+        # The same goes for a socket the net-fault plan may tear (drop or
+        # partition): the worker is alive and will ride the reconnect path.
         planned = (
             self._injector is not None
             and worker_id in self._injector.plan.crash_at()
         )
-        if not planned:
+        chaos = worker_id in self._chaos_workers
+        if not planned and not chaos:
             self._errors.append(f"{worker_id}: {reason}")
         self._last_progress = time.monotonic()
         if self._injector is not None:
@@ -709,6 +788,10 @@ class TcpServer:
             except KeyError:
                 clock = 0
             self._injector.record("crash", worker_id, clock=clock, reason=reason)
+        elif chaos:
+            self._events.append(
+                {"kind": "connection_lost", "worker": worker_id, "reason": reason}
+            )
         self._server.discard_staged(worker_id)
         if worker_id in self._server.worker_ids:
             released = self._server.deregister_worker(worker_id)
@@ -728,6 +811,8 @@ class TcpServer:
         report = dict(header["report"])
         report["mean_loss"] = _float_or_nan(report.get("mean_loss", "nan"))
         self._reports[worker_id] = WorkerReport(**report)
+        # Worker-side chaos and retry events ride along with the report.
+        self._events.extend(dict(event) for event in header.get("events") or [])
         if header.get("profile") is not None:
             self._profile = header["profile"]
         self._retire(peer.conn)
@@ -796,6 +881,7 @@ class TcpServer:
                 for key, frame in zip(keys, codec_frames)
             }
 
+        seq = header.get("seq")
         request = PushRequest(
             worker_id=worker_id,
             gradients={},
@@ -806,8 +892,27 @@ class TcpServer:
             flat_gradients=None,
             encoded_gradients=tuple(gradient_frames),
             codec=header.get("codec"),
+            seq=None if seq is None else int(seq),
         )
-        response = self._server.handle_push(request)
+        watermark = self._push_watermarks.get(worker_id)
+        if request.seq is not None and watermark is not None and request.seq <= watermark:
+            # Exactly-once: a retransmission of a push this server already
+            # owns (the worker never saw its OK, or replayed after a
+            # reconnect).  Advance the policy clock — the worker's progress
+            # is real — but leave weights, optimizer and staleness untouched.
+            response = self._server.acknowledge_duplicate(request)
+            self._events.append(
+                {
+                    "kind": "duplicate_push",
+                    "worker": worker_id,
+                    "seq": request.seq,
+                    "watermark": watermark,
+                }
+            )
+        else:
+            response = self._server.handle_push(request)
+            if request.seq is not None:
+                self._push_watermarks[worker_id] = request.seq
         for released in response.released_workers:
             self._send_ok(released)
         if response.release_now:
@@ -854,7 +959,16 @@ class TcpServer:
             self._store,
             self._server.optimizer,
             paradigm=self.plan.paradigm,
-            extra={"worker_clocks": self._policy.clock_table.clocks()},
+            extra={
+                "worker_clocks": self._policy.clock_table.clocks(),
+                # Watermarks and event history travel with the weights so a
+                # restarted server dedups retransmissions consistently with
+                # the state it restored, and the result's event log spans
+                # every incarnation.
+                "push_watermarks": dict(self._push_watermarks),
+                "events": _json_safe(list(self._events)),
+                "restarts": self._restarts,
+            },
             codec_states=self._codec_states or None,
         )
 
@@ -915,7 +1029,7 @@ class TcpServer:
             evaluation_accuracies=self._eval_accuracies,
             evaluation_losses=self._eval_losses,
             errors=self._errors,
-            events=list(self._injector.events) if self._injector is not None else [],
+            events=[dict(event) for event in self._events],
             profile=self._profile,
         )
         wire = result_to_wire(result)
@@ -1022,12 +1136,29 @@ def _load_codec_state(worker, header: dict, frames) -> None:
     )
 
 
-def _join_server(plan: TcpTrainingPlan, worker_id: str, address: str, timeout: float):
-    """Connect (with retry/backoff), join, and return the welcome."""
+def _join_server(
+    plan: TcpTrainingPlan,
+    worker_id: str,
+    address: str,
+    timeout: float,
+    chaos: bool = False,
+):
+    """Connect (with retry/backoff), join, and return the welcome.
+
+    ``timeout`` bounds the connect *and* the welcome wait — a rejoin
+    under a retry budget must pay one attempt for an unanswered join,
+    not the whole budget.  ``chaos`` marks this worker as one whose
+    connection the chaos plan may tear: a standalone server (spec
+    without ``net_faults``) learns it from the join envelope, so the
+    tears stay events rather than run errors.
+    """
     conn = connect_tcp(address, timeout=timeout)
-    conn.send({"type": "join", "worker": worker_id, "codec": plan.compression})
+    header = {"type": "join", "worker": worker_id, "codec": plan.compression}
+    if chaos:
+        header["chaos"] = True
+    conn.send(header)
     while True:
-        header, frames = conn.recv(timeout=plan.wait_timeout)
+        header, frames = conn.recv(timeout=timeout)
         kind = header.get("type")
         if kind == "welcome":
             return conn, header, frames
@@ -1064,6 +1195,15 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
     address = address or plan.address
     conn: TcpConnection | None = None
     heartbeat: _Heartbeat | None = None
+    net_plan = parse_net_fault_specs(
+        plan.net_faults, [f"worker-{i}" for i in range(plan.num_workers)]
+    )
+    schedule = (
+        NetFaultSchedule(net_plan, worker_id, plan.seed)
+        if net_plan.for_worker(worker_id)
+        else None
+    )
+    worker_events: list[dict] = []
 
     def rejoin():
         """Reconnect after a server restart (or lost connection)."""
@@ -1072,9 +1212,19 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
             heartbeat.stop()
         if conn is not None:
             conn.close()
+        if schedule is not None:
+            # A partitioned worker cannot reach the server until the window
+            # closes; the chaos layer holds the redial, not the server.
+            schedule.hold_reconnect()
         conn, welcome, frames = _join_server(
-            plan, worker_id, address, timeout=plan.wait_timeout
+            plan,
+            worker_id,
+            address,
+            timeout=min(plan.wait_timeout, 10.0),
+            chaos=net_plan.tears_connections(worker_id),
         )
+        if schedule is not None:
+            conn = ChaosConnection(conn, schedule)
         completed = int(welcome["clock"])
         want_state = bool(welcome.get("want_codec_state", False))
         if completed != drawn:
@@ -1096,10 +1246,51 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
             if header.get("type") != "start":
                 raise _RunAborted(header.get("reason", "server went away"))
 
+    def recover(reason: str):
+        """Budgeted rejoin: bounded exponential backoff, jittered sleeps.
+
+        Retries transient failures (server restarting, the server still
+        holding our half-dead old socket → 'duplicate join' rejects) and
+        fails the worker loudly once the budget is spent — a dead server
+        must never wedge the training loop forever.
+        """
+        budget = RetryBudget(
+            max_attempts=8, base_delay=0.1, max_delay=2.0, deadline=plan.wait_timeout
+        )
+        last_error: Exception | None = None
+        for attempt in budget.attempts():
+            try:
+                rejoin()
+                worker_events.append(
+                    {
+                        "kind": "retry",
+                        "worker": worker_id,
+                        "seq": completed,
+                        "attempts": attempt + 1,
+                        "reason": reason,
+                    }
+                )
+                return
+            except (ConnectionError, TimeoutError, OSError) as error:
+                last_error = error
+            except RuntimeError as error:
+                if "duplicate" not in str(error):
+                    raise
+                last_error = error
+        raise RuntimeError(
+            f"{worker_id}: reconnect budget exhausted after {reason}: {last_error}"
+        )
+
     try:
         conn, welcome, frames = _join_server(
-            plan, worker_id, address, timeout=plan.wait_timeout
+            plan,
+            worker_id,
+            address,
+            timeout=plan.wait_timeout,
+            chaos=net_plan.tears_connections(worker_id),
         )
+        if schedule is not None:
+            conn = ChaosConnection(conn, schedule)
         layout = _layout_from_wire(welcome["layout"])
         buffer_order = welcome["buffers"]
         want_state = bool(welcome.get("want_codec_state", False))
@@ -1118,6 +1309,10 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
             if header.get("type") != "start":
                 raise _RunAborted(header.get("reason", "server went away"))
 
+        if schedule is not None:
+            # Partition windows count from here, not process startup —
+            # model build and data loading must not eat the window.
+            schedule.mark_start()
         start = time.monotonic()
         slowdown = plan.slowdowns.get(worker_id, 0.0)
         crash_iteration = plan.crash_at.get(worker_id)
@@ -1169,6 +1364,10 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
             header = {
                 "type": "push",
                 "worker": worker_id,
+                # Sequence number = iteration index: the server's per-worker
+                # watermark dedups any retransmission, so a push whose OK
+                # was lost is applied exactly once.
+                "seq": completed,
                 "base_version": computation.base_version,
                 "timestamp": time.monotonic() - start,
                 "loss": _json_safe(float(computation.loss)),
@@ -1205,13 +1404,19 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
                     kind = reply.get("type")
                     if kind in ("ok", "abort", "restart"):
                         break
-            except ConnectionClosed:
-                rejoin()
+            except ConnectionClosed as closed:
+                recover(str(closed) or "connection closed")
+                continue
+            except TimeoutError:
+                # The OK never came (hung or wedged server).  Redial and
+                # retransmit: the server's per-worker watermark makes a
+                # push whose OK was lost idempotent.
+                recover("push acknowledgement timed out")
                 continue
             if kind == "abort":
                 raise _RunAborted(reply.get("reason", "aborted"))
             if kind == "restart":
-                rejoin()
+                recover("server restart")
                 continue
             total_wait += time.monotonic() - wait_start
             _load_weights(worker, layout, reply, reply_frames)
@@ -1225,6 +1430,9 @@ def run_tcp_worker(plan: TcpTrainingPlan, index: int, address: str | None = None
             {
                 "type": "done",
                 "worker": worker_id,
+                "events": _json_safe(
+                    [*(schedule.events if schedule is not None else []), *worker_events]
+                ),
                 "report": _json_safe(
                     {
                         "worker_id": worker_id,
@@ -1274,6 +1482,155 @@ def _serve_entry(plan: TcpTrainingPlan, ready_conn) -> None:
 
 def _worker_entry(plan: TcpTrainingPlan, index: int, address: str) -> None:
     run_tcp_worker(plan, index, address)
+
+
+def _supervised_serve_entry(plan: TcpTrainingPlan, ready_conn, result_conn) -> None:
+    """Server child under a supervisor: report address, serve, ship outcome.
+
+    The result pipe carries ``("result", wire)`` on completion or
+    ``("restart", None)`` after a graceful SIGTERM checkpoint; a hard
+    crash (``kill -9``) ships nothing, which is exactly how the
+    supervisor tells the two apart.
+    """
+
+    def ready(address: str) -> None:
+        ready_conn.send(address)
+        ready_conn.close()
+
+    result = TcpServer(plan, ready_callback=ready).serve()
+    try:
+        if result is None:
+            result_conn.send(("restart", None))
+        else:
+            result_conn.send(("result", result_to_wire(result)))
+        result_conn.close()
+    except (BrokenPipeError, OSError):  # pragma: no cover - supervisor died
+        pass
+
+
+class TcpSupervisor:
+    """Watchdog that keeps a :class:`TcpServer` alive across hard crashes.
+
+    Runs the server as a child process and monitors it: a child that dies
+    without reporting a result — ``kill -9``, OOM, a segfault — is
+    relaunched on the *same* address from the latest atomic checkpoint,
+    and the workers ride their normal reconnect path (jittered redial
+    backoff, rejoin, watermark-deduplicated push replay).  A graceful
+    SIGTERM to the child also leads to a relaunch (self-healing is the
+    supervisor's whole job); a SIGTERM to the supervisor itself — routed
+    through :meth:`request_shutdown` — forwards to the child, lets it
+    checkpoint, and exits without respawning.
+
+    Requires ``plan.checkpoint_path``: a supervisor that cannot restore
+    state would silently restart training from scratch.
+    """
+
+    def __init__(
+        self,
+        plan: TcpTrainingPlan,
+        context=None,
+        max_restarts: int = 5,
+        ready_callback=None,
+    ) -> None:
+        if plan.checkpoint_path is None:
+            raise ValueError(
+                "supervised serving requires checkpoint_path: the supervisor "
+                "restarts the server from the latest atomic checkpoint"
+            )
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+        self.plan = plan
+        self.max_restarts = max_restarts
+        self._ready_callback = ready_callback
+        if context is None or isinstance(context, str):
+            from repro.ps.process_runtime import default_context_name
+
+            self.context = multiprocessing.get_context(
+                context or default_context_name()
+            )
+        else:
+            self.context = context
+        self._stop = threading.Event()
+        self.bound_address: str | None = None
+        self.server_pid: int | None = None
+        self.restarts = 0
+        self._child = None
+
+    def request_shutdown(self, *_args) -> None:
+        """Stop supervising: forward SIGTERM to the child, don't respawn."""
+        self._stop.set()
+
+    def run(self) -> TcpTrainingResult | None:
+        """Supervise until the run completes; ``None`` after a shutdown."""
+        plan = self.plan
+        while True:
+            ready_recv, ready_send = self.context.Pipe(duplex=False)
+            result_recv, result_send = self.context.Pipe(duplex=False)
+            child = self.context.Process(
+                target=_supervised_serve_entry,
+                args=(plan, ready_send, result_send),
+                name="repro-tcp-server",
+                daemon=True,
+            )
+            child.start()
+            self._child = child
+            self.server_pid = child.pid
+            ready_send.close()
+            result_send.close()
+            if not ready_recv.poll(plan.wait_timeout):
+                child.terminate()
+                child.join(timeout=5.0)
+                return TcpTrainingResult(
+                    wall_time=0.0,
+                    worker_reports=[],
+                    server_statistics={},
+                    errors=["supervised tcp server never reported its address"],
+                )
+            address = ready_recv.recv()
+            ready_recv.close()
+            if self.bound_address is None:
+                # Pin the first child's (possibly ephemeral) port: every
+                # restart must rebind the address the workers redial.
+                self.bound_address = address
+                plan = replace(plan, address=address)
+                if self._ready_callback is not None:
+                    self._ready_callback(address)
+
+            while child.is_alive() and not self._stop.is_set():
+                child.join(timeout=0.2)
+            if self._stop.is_set() and child.is_alive():
+                child.terminate()  # SIGTERM: checkpoint, notify workers, exit
+            child.join(timeout=plan.wait_timeout)
+
+            try:
+                # A hard-killed child leaves the pipe readable but empty:
+                # poll() sees the EOF, recv() raises.  No payload = crash.
+                payload = result_recv.recv() if result_recv.poll(1.0) else None
+            except EOFError:
+                payload = None
+            result_recv.close()
+            if payload is not None and payload[0] == "result":
+                return result_from_wire(payload[1])
+            if self._stop.is_set():
+                return None
+            # Either a graceful external SIGTERM ("restart") or a hard crash
+            # (no payload at all): relaunch from the latest checkpoint.
+            self.restarts += 1
+            if self.restarts > self.max_restarts:
+                return TcpTrainingResult(
+                    wall_time=0.0,
+                    worker_reports=[],
+                    server_statistics={},
+                    errors=[
+                        f"supervised tcp server died {self.restarts} times "
+                        f"(limit {self.max_restarts}); giving up"
+                    ],
+                )
+            _LOGGER.warning(
+                "supervised server died (exitcode %s); restart %d/%d from %s",
+                child.exitcode, self.restarts, self.max_restarts,
+                plan.checkpoint_path,
+            )
 
 
 class TcpTrainer:

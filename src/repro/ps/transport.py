@@ -257,7 +257,16 @@ class TcpConnection:
         then a single ``sendall``.  A peer that died raises
         :class:`ConnectionClosed`.
         """
-        message = self._encode(header, tuple(shards))
+        return self.send_raw(self._encode(header, tuple(shards)))
+
+    def encode(self, header: dict, shards: tuple[EncodedShard, ...] = ()) -> bytearray:
+        """Frame a message without sending it (chaos injection, tests)."""
+        return self._encode(header, tuple(shards))
+
+    def send_raw(self, message) -> int:
+        """Ship pre-framed bytes as-is; the chaos layer uses this to put a
+        deliberately truncated message on the wire before tearing the
+        socket, so the peer sees a genuine mid-frame EOF."""
         try:
             with self._send_lock:
                 self._sock.sendall(message)
@@ -279,7 +288,14 @@ class TcpConnection:
             message = self._pop_message()
             if message is not None:
                 return message
-            chunk = self._sock.recv(_RECV_CHUNK)
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except TimeoutError:
+                raise
+            except OSError as error:
+                # A hard-killed peer surfaces as ECONNRESET here, not EOF;
+                # normalize so callers only handle ConnectionClosed.
+                raise ConnectionClosed(str(error) or "recv failed") from error
             if not chunk:
                 raise ConnectionClosed("peer closed the connection")
             self._buffer.extend(chunk)
@@ -373,9 +389,13 @@ def connect_tcp(
 
     Workers use this both at startup (the server may not be listening yet)
     and when reconnecting after a server restart; the interval doubles up
-    to one second between attempts.  Raises ``ConnectionError`` with the
-    last underlying error once the budget is exhausted.
+    to one second between attempts, and every sleep is scaled by a uniform
+    ``[0.5, 1.5)`` jitter so a herd of workers orphaned by one ``restart``
+    broadcast does not redial the new server in lockstep.  Raises
+    ``ConnectionError`` with the last underlying error once the budget is
+    exhausted.
     """
+    import random
     import time
 
     host, port = parse_address(address)
@@ -392,5 +412,5 @@ def connect_tcp(
                 raise ConnectionError(
                     f"could not connect to {address} within {timeout:.0f}s: {error}"
                 ) from error
-            time.sleep(interval)
+            time.sleep(interval * (0.5 + random.random()))
             interval = min(interval * 2, 1.0)

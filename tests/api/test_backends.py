@@ -457,3 +457,60 @@ class TestProfilePlumbing:
         assert np.array_equal(plain.accuracies, profiled.accuracies)
         assert np.array_equal(plain.losses, profiled.losses)
         assert plain.total_updates == profiled.total_updates
+
+
+class TestNetFaultsSpecField:
+    @pytest.mark.parametrize("backend", ["simulated", "threaded"])
+    def test_rejected_on_backends_without_network(self, backend):
+        with pytest.raises(ValueError, match="no network"):
+            run_experiment(
+                TINY_SPEC.replace(net_faults=({"spec": "delay:5"},)), backend
+            )
+
+    def test_process_shm_transport_rejected(self):
+        # shm pushes never cross a connection: demand the pipe transport.
+        with pytest.raises(ValueError, match="transport='pipe'"):
+            run_experiment(
+                TINY_SPEC.replace(net_faults=({"spec": "delay:5"},)), "process"
+            )
+
+    def test_process_pipe_rejects_unsupported_kinds(self):
+        with pytest.raises(ValueError, match="pipe transport"):
+            run_experiment(
+                TINY_SPEC.replace(
+                    transport="pipe", net_faults=({"spec": "partition:1,1"},)
+                ),
+                "process",
+            )
+
+    def test_process_pipe_delay_runs_clean(self):
+        result = run_experiment(
+            TINY_SPEC.replace(transport="pipe", net_faults=({"spec": "delay:1"},)),
+            "process",
+        )
+        assert result.errors == []
+        assert result.total_updates == 20
+
+    def test_process_pipe_drop_is_a_permanent_leave(self):
+        # Pipes cannot reconnect, so a dropped worker leaves for good; the
+        # survivor finishes and the drop shows up as a structured event.
+        result = run_experiment(
+            TINY_SPEC.replace(
+                transport="pipe", net_faults=({"spec": "drop", "worker": 0},)
+            ),
+            "process",
+        )
+        assert result.errors == []
+        kinds = [event["kind"] for event in result.events]
+        assert "net_drop" in kinds
+        assert result.iterations_per_worker["worker-1"] == 10
+
+    def test_tcp_drop_reconnects_and_completes(self):
+        result = run_experiment(
+            TINY_SPEC.replace(net_faults=({"spec": "drop", "worker": 0},)), "tcp"
+        )
+        assert result.errors == []
+        kinds = [event["kind"] for event in result.events]
+        assert "net_drop" in kinds
+        assert "reconnect" in kinds
+        assert result.iterations_per_worker == {"worker-0": 10, "worker-1": 10}

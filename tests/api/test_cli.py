@@ -247,3 +247,79 @@ class TestTcpBackendCli:
         code = main(["serve", str(spec_path), "--checkpoint-every", "5"])
         assert code == 2
         assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestNetFaultsFlag:
+    def test_argument_parsing(self):
+        from repro.api.cli import _parse_net_fault_argument
+
+        assert _parse_net_fault_argument("delay:5") == {"spec": "delay:5"}
+        assert _parse_net_fault_argument("1=drop:0.5") == {
+            "spec": "drop:0.5",
+            "worker": 1,
+        }
+        assert _parse_net_fault_argument("worker-1=drop") == {
+            "spec": "drop",
+            "worker": "worker-1",
+        }
+
+    def test_rejected_on_simulated_backend(self, spec_path, capsys):
+        code = main(
+            ["run", str(spec_path), "--backend", "simulated",
+             "--net-faults", "delay:5"]
+        )
+        assert code == 2
+        assert "no network" in capsys.readouterr().err
+
+    def test_tcp_run_with_delay_fault(self, spec_path, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "tcp",
+             "--net-faults", "delay:1", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["errors"] == []
+        assert payload["provenance"]["spec"]["net_faults"] == [{"spec": "delay:1"}]
+
+
+class TestSupervisedServe:
+    def test_supervise_requires_checkpoint(self, spec_path, capsys):
+        code = main(["serve", str(spec_path), "--supervise"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_supervised_serve_then_run(self, spec_path, tmp_path, capsys):
+        # The happy path of watchdog mode: the supervised server hosts an
+        # uninterrupted run exactly like a bare 'serve' would.  (The
+        # kill -9 path is exercised in tests/ps/test_tcp_runtime.py and
+        # the chaos-net-smoke CI job.)
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            address = "127.0.0.1:%d" % probe.getsockname()[1]
+        serve_code = []
+        server = threading.Thread(
+            target=lambda: serve_code.append(
+                main(
+                    ["serve", str(spec_path), "--bind", address,
+                     "--supervise", "--checkpoint",
+                     str(tmp_path / "supervised.npz")]
+                )
+            ),
+            daemon=True,
+        )
+        server.start()
+        output = tmp_path / "result.json"
+        code = main(
+            ["run", str(spec_path), "--backend", "tcp",
+             "--address", address, "--output", str(output)]
+        )
+        server.join(timeout=120.0)
+        assert not server.is_alive(), "supervised serve never returned"
+        assert code == 0
+        assert serve_code == [0]
+        printed = capsys.readouterr().out
+        assert "supervising" in printed
+        assert "server pid" in printed
+        payload = json.loads(output.read_text())
+        assert payload["errors"] == []

@@ -268,3 +268,47 @@ class TestSpecSerialization:
         restored = ExperimentSpec.from_json(spec.to_json())
         assert restored.lr_milestones == (1.5, 2.0)
         assert isinstance(restored.lr_milestones, tuple)
+
+
+class TestNetFaultsField:
+    def _spec(self, **overrides):
+        base = dict(
+            name="chaos",
+            workload="mlp",
+            scale="tiny",
+            cluster=ClusterConfig(num_workers=2, gpus_per_worker=1),
+            paradigm="bsp",
+            paradigm_kwargs={},
+            epochs=1.0,
+            batch_size=16,
+            seed=0,
+        )
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_validated_at_construction(self):
+        with pytest.raises(ValueError, match="meteor"):
+            self._spec(net_faults=({"spec": "meteor:5"},))
+        with pytest.raises(ValueError, match="out of range"):
+            self._spec(net_faults=({"spec": "drop", "worker": 7},))
+        with pytest.raises(ValueError, match="duplicate"):
+            self._spec(
+                net_faults=({"spec": "delay:5"}, {"spec": "delay:10"})
+            )
+
+    def test_round_trips_through_dict(self):
+        spec = self._spec(
+            net_faults=(
+                {"spec": "delay:5"},
+                {"spec": "drop:0.5,2", "worker": 1},
+            )
+        )
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.net_faults == (
+            {"spec": "delay:5"},
+            {"spec": "drop:0.5,2", "worker": 1},
+        )
+
+    def test_default_is_empty_tuple(self):
+        assert self._spec().net_faults == ()

@@ -78,6 +78,14 @@ class ServerThread:
 
 
 class TestPlanValidation:
+    def test_unknown_net_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="meteor"):
+            tiny_plan(net_faults=({"spec": "meteor:1"},))
+
+    def test_net_fault_target_must_be_in_roster(self):
+        with pytest.raises(ValueError, match="out of range"):
+            tiny_plan(net_faults=({"spec": "drop", "worker": 9},))
+
     def test_heartbeat_timeout_must_exceed_twice_interval(self):
         with pytest.raises(ValueError, match="heartbeat_timeout"):
             tiny_plan(heartbeat_interval=1.0, heartbeat_timeout=2.0)
@@ -435,3 +443,239 @@ class TestGracefulRestart:
             assert set(ref_arrays) == set(got_arrays)
             for key, value in ref_arrays.items():
                 assert np.array_equal(value, got_arrays[key]), key
+
+
+def _assert_checkpoints_match(reference_path, chaos_path):
+    """Final model weights in two checkpoints must be byte-identical."""
+    with np.load(reference_path) as ref, np.load(chaos_path) as got:
+        ref_arrays = {k: ref[k] for k in ref.files if "::" in k}
+        got_arrays = {k: got[k] for k in got.files if "::" in k}
+        assert set(ref_arrays) == set(got_arrays)
+        for key, value in ref_arrays.items():
+            assert np.array_equal(value, got_arrays[key]), key
+
+
+class TestExactlyOnce:
+    @staticmethod
+    def _seed_with_phase(phase: str) -> int:
+        # The drop phase (torn mid-frame vs delivered-then-torn) is drawn
+        # from the worker's chaos stream, so probing seeds pins the test to
+        # a specific phase without touching the production draw order.
+        from repro.ps.netfaults import NetFaultSchedule, parse_net_fault_specs
+
+        plan = parse_net_fault_specs([{"spec": "drop"}], ["worker-0"])
+        for seed in range(256):
+            if NetFaultSchedule(plan, "worker-0", seed).next_push(0).drop == phase:
+                return seed
+        pytest.fail(f"no seed under 256 yields a {phase!r} drop")
+
+    @pytest.mark.parametrize("phase", ["torn", "sent"])
+    def test_dropped_push_replays_bit_for_bit(self, tmp_path, phase):
+        # drop:1.0 tears worker-0's first push.  'torn' loses the push
+        # (recompute + resend); 'sent' applies it but loses the OK (the
+        # watermark hands back clock k+1 so nothing is applied twice).
+        # Either way the final model must be byte-identical to a clean run.
+        seed = self._seed_with_phase(phase)
+        base = dict(
+            paradigm="bsp",
+            paradigm_kwargs={},
+            num_workers=1,
+            iterations_per_worker=5,
+            seed=seed,
+            checkpoint_every_pushes=1,
+            wait_timeout=30.0,
+        )
+        clean = tiny_plan(checkpoint_path=str(tmp_path / "clean.npz"), **base)
+        clean_result = TcpTrainer(clean).run()
+        assert clean_result.errors == []
+        assert clean_result.events == []  # chaos-free runs stay event-free
+
+        chaos = tiny_plan(
+            checkpoint_path=str(tmp_path / "chaos.npz"),
+            net_faults=({"spec": "drop"},),
+            **base,
+        )
+        chaos_result = TcpTrainer(chaos).run()
+        # The torn connection is injected chaos, not a failure.
+        assert chaos_result.errors == []
+        kinds = [event["kind"] for event in chaos_result.events]
+        assert "net_drop" in kinds
+        assert "connection_lost" in kinds
+        assert "reconnect" in kinds
+        report = chaos_result.worker_reports[0]
+        assert report.samples_processed == report.iterations * 16
+        assert chaos_result.server_statistics["store_version"] == 5
+        _assert_checkpoints_match(tmp_path / "clean.npz", tmp_path / "chaos.npz")
+
+    def test_retransmitted_push_applied_exactly_once(self):
+        # Protocol-level determinism: we are the worker, so the retransmit
+        # race (server applied seq=0 but the OK never arrived) is exact.
+        # The second seq=0 push must ack without touching the weights.
+        from repro.ps.tcp_runtime import _dense_frame
+
+        plan = tiny_plan(
+            paradigm="ssp",
+            paradigm_kwargs={"staleness": 2},
+            num_workers=1,
+            iterations_per_worker=8,
+            wait_timeout=10.0,
+        )
+        ready = threading.Event()
+        box = {}
+
+        def run_server():
+            def on_ready(address):
+                box["address"] = address
+                ready.set()
+
+            box["server"] = server = TcpServer(plan, ready_callback=on_ready)
+            box["result"] = server.serve()
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert ready.wait(30.0)
+
+        conn = connect_tcp(box["address"], timeout=10.0)
+        conn.send({"type": "join", "worker": "worker-0", "codec": None})
+        header, _ = conn.recv(timeout=10.0)
+        assert header["type"] == "welcome"
+        if not header["started"]:
+            header, _ = conn.recv(timeout=10.0)
+            assert header["type"] == "start"
+
+        server = box["server"]
+        size = server._store.flat_layouts[0][1][-1].hi
+
+        def push(seq):
+            conn.send(
+                {
+                    "type": "push",
+                    "worker": "worker-0",
+                    "base_version": 0,
+                    "timestamp": 0.0,
+                    "loss": 1.0,
+                    "samples": 16,
+                    "codec": None,
+                    "seq": seq,
+                },
+                (_dense_frame(0, np.full(size, 0.125)),),
+            )
+            while True:
+                reply, _ = conn.recv(timeout=10.0)
+                if reply["type"] == "ok":
+                    return reply
+
+        push(seq=0)
+        assert server._store.version == 1
+        applied_once = {k: v.copy() for k, v in server._store.snapshot().items()}
+
+        push(seq=0)  # retransmission: acked, weights untouched
+        assert server._store.version == 1
+        after_duplicate = server._store.snapshot()
+        assert all(
+            np.array_equal(applied_once[key], after_duplicate[key])
+            for key in applied_once
+        )
+        assert server._push_watermarks["worker-0"] == 0
+
+        push(seq=1)  # progress resumes past the duplicate
+        assert server._store.version == 2
+        assert server._push_watermarks["worker-0"] == 1
+
+        conn.close()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        duplicates = [
+            event
+            for event in box["result"].events
+            if event["kind"] == "duplicate_push"
+        ]
+        assert duplicates == [
+            {"kind": "duplicate_push", "worker": "worker-0", "seq": 0, "watermark": 0}
+        ]
+
+
+class TestSupervisedRestart:
+    def test_kill9_restart_resumes_bit_for_bit(self, tmp_path):
+        # The watchdog path end to end: SIGKILL the server child mid-run,
+        # the supervisor relaunches it on the same address from the latest
+        # atomic checkpoint, the worker rides its reconnect budget, and the
+        # final model is byte-identical to an uninterrupted run.
+        from repro.ps.tcp_runtime import TcpSupervisor
+
+        ctx = multiprocessing.get_context("spawn" if os.name == "nt" else "fork")
+        base = dict(
+            paradigm="bsp",
+            paradigm_kwargs={},
+            num_workers=1,
+            iterations_per_worker=6,
+            slowdowns={"worker-0": 0.4},
+            checkpoint_every_pushes=1,
+            wait_timeout=30.0,
+        )
+
+        reference = tiny_plan(
+            checkpoint_path=str(tmp_path / "reference.npz"), **base
+        )
+        result = TcpTrainer(reference, context=ctx).run()
+        assert result.errors == []
+
+        supervised = tiny_plan(
+            checkpoint_path=str(tmp_path / "supervised.npz"), **base
+        )
+        ready = threading.Event()
+        box = {}
+
+        def on_ready(address):
+            box["address"] = address
+            ready.set()
+
+        supervisor = TcpSupervisor(
+            supervised, context=ctx, max_restarts=3, ready_callback=on_ready
+        )
+
+        def run_supervisor():
+            box["result"] = supervisor.run()
+
+        thread = threading.Thread(target=run_supervisor, daemon=True)
+        thread.start()
+        assert ready.wait(30.0), "supervised server never bound"
+
+        worker = ctx.Process(
+            target=_worker_entry, args=(supervised, 0, box["address"]), daemon=True
+        )
+        worker.start()
+
+        # Wait for the first atomic checkpoint so the restart has state to
+        # restore, let a couple more pushes land, then hard-kill the child.
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline and not os.path.exists(
+            supervised.checkpoint_path
+        ):
+            time.sleep(0.05)
+        assert os.path.exists(supervised.checkpoint_path)
+        time.sleep(0.5)
+        os.kill(supervisor.server_pid, signal.SIGKILL)
+
+        worker.join(timeout=60.0)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive(), "supervisor never returned"
+        assert worker.exitcode == 0
+
+        final = box["result"]
+        assert final is not None
+        assert final.errors == []
+        assert supervisor.restarts == 1
+        kinds = [event["kind"] for event in final.events]
+        assert "server_restart" in kinds
+        assert "reconnect" in kinds
+        assert final.server_statistics["store_version"] == 6
+        _assert_checkpoints_match(
+            tmp_path / "reference.npz", tmp_path / "supervised.npz"
+        )
+
+    def test_supervisor_requires_checkpoint_path(self):
+        from repro.ps.tcp_runtime import TcpSupervisor
+
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            TcpSupervisor(tiny_plan())
